@@ -1,0 +1,50 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+The harness runs each figure's full experiment grid once (via
+``benchmark.pedantic(..., rounds=1)``) — these are reproduction benches, not
+micro-benchmarks, so repeating them buys nothing.  A single session-scoped
+:class:`ExperimentRunner` shares traces across benches, which makes the
+whole suite run in a few minutes.
+
+Budgets default to the library's standard 400k evaluated instructions per
+benchmark; set ``REPRO_EVAL_INSTRUCTIONS`` / ``REPRO_PROFILE_INSTRUCTIONS``
+to trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def emit(*args, **kwargs):
+    """Print past pytest's capture.
+
+    The benches print the figures they regenerate; routing those prints
+    around the capture plugin makes the tables land in the terminal (and in
+    any teed log) on success, not only on failure.
+    """
+    if _CAPTURE_MANAGER is None:
+        print(*args, **kwargs)
+        return
+    with _CAPTURE_MANAGER.global_and_fixture_disabled():
+        print(*args, **kwargs)
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

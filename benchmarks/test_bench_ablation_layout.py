@@ -1,0 +1,89 @@
+"""Ablation — how much does the *layout policy* matter?
+
+Runs the way-placement hardware with five different code layouts: the
+paper's heaviest-chain-first ordering, classic Pettis-Hansen procedure
+ordering, the original order, random chain order, and an adversarial
+coldest-first order.  The compiler pass is the paper's contribution; this
+quantifies it, especially for small way-placement areas where only the
+front of the binary is covered — and shows why *block-chain* granularity
+beats *function* granularity there.
+"""
+
+from repro.experiments.formatting import format_pct, render_table
+from repro.layout.pettis_hansen import pettis_hansen_layout
+from repro.layout.placement import LayoutPolicy
+from repro.sim.simulator import Simulator
+from repro.trace.fetch import line_events_from_block_trace
+from repro.utils.stats import arithmetic_mean
+from repro.workloads.mibench import benchmark_names
+
+from benchmarks.conftest import emit, run_once
+
+KB = 1024
+POLICIES = [
+    ("way-placement", LayoutPolicy.WAY_PLACEMENT),
+    ("original", LayoutPolicy.ORIGINAL),
+    ("random-chains", LayoutPolicy.RANDOM_CHAINS),
+    ("coldest-first", LayoutPolicy.COLDEST_FIRST),
+]
+
+
+def _pettis_hansen_energy(runner, bench):
+    """Mean normalised energy under a Pettis-Hansen layout (not a runner
+    policy, so simulated directly)."""
+    workload = runner.workload(bench)
+    layout = pettis_hansen_layout(workload.program, runner.profile(bench))
+    events = line_events_from_block_trace(
+        runner.block_trace(bench), workload.program, layout, 32
+    )
+    report = Simulator().run_events(
+        events,
+        "way-placement",
+        benchmark=bench,
+        wpa_size=4 * KB,
+        mem_fraction=runner.mem_fraction(bench),
+    )
+    return report.normalise(runner.report(bench, "baseline")).icache_energy
+
+
+def test_bench_ablation_layout(benchmark, runner):
+    def run():
+        means = {}
+        for label, policy in POLICIES:
+            values = [
+                runner.normalised(
+                    bench,
+                    "way-placement",
+                    wpa_size=4 * KB,
+                    layout_policy=policy,
+                ).icache_energy
+                for bench in benchmark_names()
+            ]
+            means[label] = arithmetic_mean(values)
+        means["pettis-hansen"] = arithmetic_mean(
+            _pettis_hansen_energy(runner, bench) for bench in benchmark_names()
+        )
+        return means
+
+    means = run_once(benchmark, run)
+    emit()
+    emit(
+        render_table(
+            "Ablation: layout policy under a 4KB way-placement area "
+            "(mean I-cache energy %)",
+            ["layout", "energy %"],
+            [[label, format_pct(value)] for label, value in means.items()],
+        )
+    )
+    # the paper's profile-guided ordering must win...
+    assert means["way-placement"] == min(means.values())
+    # ...the adversarial ordering must lose to it decisively
+    assert means["coldest-first"] > means["way-placement"] + 0.02
+    # unguided orders sit in between
+    assert means["way-placement"] < means["original"]
+    assert means["way-placement"] < means["random-chains"]
+    # and block-chain granularity beats function-granular Pettis-Hansen
+    # under a small area (whole hot functions don't fit in 4KB)
+    assert means["way-placement"] <= means["pettis-hansen"]
+    # though Pettis-Hansen, being profile-guided, still beats random order
+    assert means["pettis-hansen"] < means["random-chains"]

@@ -1,0 +1,76 @@
+"""Ablation — profile-input sensitivity.
+
+The paper trains on the small inputs and evaluates on the large ones.  This
+bench compares that train/test layout against an oracle layout built from a
+profile of the *evaluation* input itself, bounding how much the input
+mismatch costs the compiler pass.
+"""
+
+import pytest
+
+from repro.experiments.formatting import format_pct, render_table
+from repro.layout.placement import way_placement_layout
+from repro.profiling.profiler import profile_block_trace
+from repro.sim.simulator import Simulator
+from repro.trace.fetch import line_events_from_block_trace
+from repro.utils.stats import arithmetic_mean
+from repro.workloads.mibench import benchmark_names
+
+from benchmarks.conftest import emit, run_once
+
+KB = 1024
+SUBSET = benchmark_names()[::3]
+
+
+def test_bench_ablation_profile(benchmark, runner):
+    def run():
+        rows = {}
+        for bench in SUBSET:
+            workload = runner.workload(bench)
+            baseline = runner.report(bench, "baseline")
+            train = runner.normalised(bench, "way-placement", wpa_size=4 * KB)
+
+            # oracle: profile the evaluation trace itself
+            block_trace = runner.block_trace(bench)
+            oracle_profile = profile_block_trace(
+                workload.program, block_trace, "oracle"
+            )
+            oracle_layout = way_placement_layout(
+                workload.program, oracle_profile.block_counts
+            )
+            events = line_events_from_block_trace(
+                block_trace, workload.program, oracle_layout, 32
+            )
+            oracle_report = Simulator().run_events(
+                events,
+                "way-placement",
+                benchmark=bench,
+                wpa_size=4 * KB,
+                mem_fraction=runner.mem_fraction(bench),
+            )
+            rows[bench] = (
+                train.icache_energy,
+                oracle_report.normalise(baseline).icache_energy,
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    train_mean = arithmetic_mean(r[0] for r in rows.values())
+    oracle_mean = arithmetic_mean(r[1] for r in rows.values())
+    emit()
+    emit(
+        render_table(
+            "Ablation: train-input profile vs oracle profile "
+            "(4KB WPA, I-cache energy %)",
+            ["benchmark", "small-input profile", "oracle profile"],
+            [
+                [b, format_pct(r[0]), format_pct(r[1])]
+                for b, r in rows.items()
+            ]
+            + [["average", format_pct(train_mean), format_pct(oracle_mean)]],
+        )
+    )
+    # the oracle can only help, but the train profile must be close to it:
+    # the paper's methodology depends on profiles transferring across inputs
+    assert oracle_mean <= train_mean + 0.002
+    assert train_mean - oracle_mean <= 0.03

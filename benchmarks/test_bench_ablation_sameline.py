@@ -1,0 +1,56 @@
+"""Ablation — how much of the saving is the Section 4.2 same-line skip?
+
+The paper folds two mechanisms into its scheme: explicit way placement
+(1 tag check instead of N on line transitions) and the same-line skip
+(0 tag checks when staying inside a line, "also used in [12]").  This bench
+separates them: way-placement with the skip disabled, and a *stronger
+baseline* that gets the skip without way placement.
+"""
+
+from repro.experiments.formatting import format_pct, render_table
+from repro.utils.stats import arithmetic_mean
+from repro.workloads.mibench import benchmark_names
+
+from benchmarks.conftest import emit, run_once
+
+KB = 1024
+
+
+def test_bench_ablation_sameline(benchmark, runner):
+    def run():
+        rows = {}
+        for bench in benchmark_names():
+            baseline = runner.report(bench, "baseline")
+            full = runner.report(bench, "way-placement", wpa_size=32 * KB)
+            no_skip = runner.report(
+                bench, "way-placement", wpa_size=32 * KB, same_line_skip=False
+            )
+            skip_only = runner.report(bench, "baseline", same_line_skip=True)
+            rows[bench] = (
+                full.normalise(baseline).icache_energy,
+                no_skip.normalise(baseline).icache_energy,
+                skip_only.normalise(baseline).icache_energy,
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    means = [arithmetic_mean(r[i] for r in rows.values()) for i in range(3)]
+    emit()
+    emit(
+        render_table(
+            "Ablation: same-line skip vs way placement (normalised I-cache energy %)",
+            ["benchmark", "full scheme", "placement only", "skip only"],
+            [
+                [bench, format_pct(a), format_pct(b), format_pct(c)]
+                for bench, (a, b, c) in rows.items()
+            ]
+            + [["average", *(format_pct(m) for m in means)]],
+        )
+    )
+    full_mean, placement_only_mean, skip_only_mean = means
+    # each mechanism alone saves energy, together they save the most
+    assert full_mean < placement_only_mean < 1.0
+    assert full_mean < skip_only_mean < 1.0
+    # placement-only still beats the plain baseline by a wide margin: a
+    # single-way check on *every* fetch in the WPA
+    assert placement_only_mean <= 0.75

@@ -1,0 +1,86 @@
+"""Ablation — MRU way-prediction (Inoue et al.) as an extra baseline.
+
+The paper's related work dismisses prediction-based schemes because
+"incorrect predictions require extra logic for recovery and a performance
+penalty is incurred".  This bench quantifies the comparison honestly:
+way-prediction gets close on *energy* for loop-dominated workloads (the MRU
+way is usually right), but it needs a recovery path exercised orders of
+magnitude more often than way-placement's way-hint correction — the
+determinism argument, not a raw-energy argument, is what favours the
+compiler-controlled scheme.
+"""
+
+from repro.experiments.formatting import format_pct, format_ratio, render_table
+from repro.utils.stats import arithmetic_mean
+from repro.workloads.mibench import benchmark_names
+
+from benchmarks.conftest import emit, run_once
+
+KB = 1024
+
+#: Tiny/medium-footprint benchmarks where code layout does not perturb the
+#: miss rate — the clean apples-to-apples delay comparison.
+COMPACT = ["bitcount", "susan_s", "rijndael_d", "rawcaudio", "fft", "crc", "sha"]
+
+
+def test_bench_ablation_waypred(benchmark, runner):
+    def run():
+        rows = {}
+        for bench in benchmark_names():
+            placed_n = runner.normalised(bench, "way-placement", wpa_size=32 * KB)
+            pred_n = runner.normalised(bench, "way-prediction")
+            placed_r = runner.report(bench, "way-placement", wpa_size=32 * KB)
+            pred_r = runner.report(bench, "way-prediction")
+            rows[bench] = (
+                placed_n.icache_energy,
+                pred_n.icache_energy,
+                placed_n.delay,
+                pred_n.delay,
+                1000 * placed_r.counters.second_accesses / placed_r.counters.fetches,
+                1000 * pred_r.counters.second_accesses / pred_r.counters.fetches,
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    mean = lambda i: arithmetic_mean(r[i] for r in rows.values())
+    emit()
+    emit(
+        render_table(
+            "Ablation: way-placement vs MRU way-prediction",
+            [
+                "benchmark",
+                "WP energy",
+                "pred energy",
+                "WP delay",
+                "pred delay",
+                "WP recov/k",
+                "pred recov/k",
+            ],
+            [
+                [
+                    b,
+                    format_pct(r[0]),
+                    format_pct(r[1]),
+                    format_ratio(r[2]),
+                    format_ratio(r[3]),
+                    f"{r[4]:6.2f}",
+                    f"{r[5]:6.2f}",
+                ]
+                for b, r in rows.items()
+            ],
+        )
+    )
+    emit(
+        f"mean recovery accesses per 1000 fetches: "
+        f"way-placement {mean(4):.2f}, way-prediction {mean(5):.2f}"
+    )
+
+    # energy: the two schemes are close; way-placement never loses by much
+    assert mean(0) <= mean(1) + 0.01
+    # recovery traffic: way-prediction needs its correction path at least
+    # an order of magnitude more often (the paper's 'extra logic' argument)
+    assert mean(5) >= 10 * max(mean(4), 0.01)
+    # on compact benchmarks, where layout doesn't shift the miss rate,
+    # mispredict cycles make way-prediction measurably slower
+    for bench in COMPACT:
+        assert rows[bench][3] >= rows[bench][2]

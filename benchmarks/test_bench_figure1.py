@@ -1,0 +1,31 @@
+"""Figure 1 — the paper's worked example (12 vs 3 tag comparisons)."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from tests.scheme_helpers import events_from
+
+from benchmarks.conftest import emit, run_once
+
+FIGURE1_CACHE = CacheGeometry(32, 4, 4)
+FETCHES = [(0x04, 1), (0x08, 1), (0x20, 1)]
+
+
+def test_bench_figure1(benchmark):
+    def run():
+        baseline = BaselineScheme(FIGURE1_CACHE, page_size=16).run(
+            events_from(FETCHES, line_size=4)
+        )
+        placed = WayPlacementScheme(
+            FIGURE1_CACHE, wpa_size=48, page_size=16, hint_initial=True
+        ).run(events_from(FETCHES, line_size=4))
+        return baseline.ways_precharged, placed.ways_precharged
+
+    base, placed = run_once(benchmark, run)
+    emit()
+    emit("Figure 1: tag comparisons for the add/br/mul example")
+    emit(f"  normal access        : {base} comparisons")
+    emit(f"  way-placement access : {placed} comparisons")
+    emit(f"  saving               : {100 * (1 - placed / base):.0f}%")
+    assert base == 12
+    assert placed == 3

@@ -1,0 +1,34 @@
+"""Figure 5 — varying the way-placement area size from 32KB down to 1KB
+(32KB, 32-way cache), averaged across all benchmarks.
+
+Paper reference points: energy degrades gracefully as the area shrinks
+(52% -> 56% of baseline at 1KB in the paper) and every size beats
+way-memoization; ED stays ~0.93-0.94 throughout.
+"""
+
+from repro.experiments.figures import FIGURE5_WPA_SIZES, figure5
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_bench_figure5(benchmark, runner):
+    result = run_once(benchmark, lambda: figure5(runner))
+    emit()
+    emit(result.render())
+
+    sizes = list(FIGURE5_WPA_SIZES)
+    energies = [result.placement_energy[s] for s in sizes]
+
+    # monotone (never better with a smaller area, tiny tolerance for noise)
+    for bigger, smaller in zip(energies, energies[1:]):
+        assert smaller >= bigger - 0.005
+    # even the 1KB area keeps a large saving...
+    assert energies[-1] <= 0.60
+    # ...and degradation from 32KB to 1KB is visible but modest
+    assert 0.01 <= energies[-1] - energies[0] <= 0.08
+    # every size beats way-memoization (the paper's key Figure 5 claim)
+    for energy in energies:
+        assert energy < result.memoization_energy
+    # ED stays in the paper's 0.93-0.94 band at every size
+    for ed in result.placement_ed.values():
+        assert 0.90 <= ed <= 0.96

@@ -1,0 +1,68 @@
+"""Figure 6 — varying cache size (16/32/64KB) and associativity (8/16/32)
+with 16KB and 8KB way-placement areas, averaged across all benchmarks.
+
+Paper reference points: savings grow with associativity and cache size; the
+best configuration (64KB, 32-way) saves >= ~58% I-cache energy and gives the
+lowest ED product; at 16KB/8-way way-memoization *increases* cache energy
+(>100%) while way-placement still saves substantially; way-placement's
+worst-case ED stays at or below ~1.0 and below way-memoization's.
+"""
+
+from repro.experiments.figures import (
+    FIGURE6_CACHE_SIZES,
+    FIGURE6_WAYS,
+    FIGURE6_WPA_SIZES,
+    figure6,
+)
+
+from benchmarks.conftest import emit, run_once
+
+KB = 1024
+
+
+def test_bench_figure6(benchmark, runner):
+    result = run_once(benchmark, lambda: figure6(runner))
+    emit()
+    emit(result.render())
+    (size, ways), wpa, best = result.best_ed()
+    emit()
+    emit(
+        f"best ED product: {best:.2f} at {size // KB}KB {ways}-way "
+        f"with a {wpa // KB}KB way-placement area"
+    )
+
+    # savings grow with associativity at every size, for both WPA sizes
+    for cache_size in FIGURE6_CACHE_SIZES:
+        for wpa in FIGURE6_WPA_SIZES:
+            energies = [
+                result.cell(cache_size, w).placement_energy[wpa]
+                for w in FIGURE6_WAYS
+            ]
+            assert energies[0] > energies[1] > energies[2]
+
+    # savings grow with cache size at fixed (32-way) associativity
+    by_size = [
+        result.cell(s, 32).placement_energy[16 * KB] for s in FIGURE6_CACHE_SIZES
+    ]
+    assert by_size[0] > by_size[1] > by_size[2]
+
+    # the best configuration is the big, highly-associative cache
+    assert (size, ways) == (64 * KB, 32)
+    best_cell = result.cell(64 * KB, 32)
+    assert min(best_cell.placement_energy.values()) <= 0.45  # >= ~55% saving
+    assert best <= 0.92
+
+    # way-memoization backfires on the small low-associativity cache...
+    assert result.cell(16 * KB, 8).memoization_energy > 1.0
+    # ...where way-placement still delivers a real saving
+    assert result.cell(16 * KB, 8).placement_energy[16 * KB] <= 0.90
+
+    # way-placement never does worse than way-memoization anywhere
+    for cell in result.cells.values():
+        for wpa in FIGURE6_WPA_SIZES:
+            assert cell.placement_energy[wpa] < cell.memoization_energy
+            assert cell.placement_ed[wpa] <= cell.memoization_ed + 0.005
+
+    # worst-case ED stays essentially at/below baseline (paper: 0.98)
+    worst = max(v for c in result.cells.values() for v in c.placement_ed.values())
+    assert worst <= 1.01

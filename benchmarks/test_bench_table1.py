@@ -1,0 +1,22 @@
+"""Table 1 — the baseline system configuration."""
+
+from repro.experiments.formatting import render_table
+from repro.sim.machine import XSCALE_BASELINE, table1_rows
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_bench_table1(benchmark):
+    rows = run_once(benchmark, lambda: table1_rows(XSCALE_BASELINE))
+    emit()
+    emit(
+        render_table(
+            "Table 1: Baseline system configuration",
+            ["Parameter", "Configuration"],
+            [list(row) for row in rows],
+        )
+    )
+    table = dict(rows)
+    assert table["I-Cache, D-Cache"] == "32KB, 32-Way, 32B Block"
+    assert table["Memory Latency"] == "50 Cycles"
+    assert table["I-TLB, D-TLB"] == "32-Entry Fully Associative"

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the simulator's own throughput.
+
+Unlike the figure benches these use pytest-benchmark conventionally (many
+rounds) — they guard against performance regressions in the hot loops that
+every experiment depends on: the CFG walker, the line-event expander, and
+the per-scheme replay loops.
+"""
+
+import pytest
+
+from repro.layout import original_layout, way_placement_layout
+from repro.sim.simulator import Simulator
+from repro.trace.executor import CfgWalker
+from repro.trace.fetch import line_events_from_block_trace
+from repro.workloads.inputs import LARGE_INPUT, branch_models_for
+from repro.workloads.mibench import load_benchmark
+
+KB = 1024
+BUDGET = 100_000
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    workload = load_benchmark("susan_c")
+    models = branch_models_for(workload, LARGE_INPUT)
+    walker = CfgWalker(workload.program, models, seed=2)
+    block_trace = walker.walk(BUDGET)
+    layout = original_layout(workload.program)
+    events = line_events_from_block_trace(
+        block_trace, workload.program, layout, 32
+    )
+    return workload, models, block_trace, layout, events
+
+
+def test_bench_cfg_walker_throughput(benchmark, prepared):
+    workload, models, _, _, _ = prepared
+    walker = CfgWalker(workload.program, models, seed=3)
+    trace = benchmark(walker.walk, BUDGET)
+    assert trace.num_instructions >= BUDGET
+
+
+def test_bench_line_event_expansion_throughput(benchmark, prepared):
+    workload, _, block_trace, layout, _ = prepared
+    events = benchmark(
+        line_events_from_block_trace, block_trace, workload.program, layout, 32
+    )
+    assert events.num_fetches == block_trace.num_instructions
+
+
+@pytest.mark.parametrize(
+    "scheme,kwargs",
+    [
+        ("baseline", {}),
+        ("way-placement", {"wpa_size": 32 * KB}),
+        ("way-memoization", {}),
+    ],
+)
+def test_bench_scheme_replay_throughput(benchmark, prepared, scheme, kwargs):
+    _, _, _, _, events = prepared
+    simulator = Simulator()
+
+    def replay():
+        return simulator.run_events(events, scheme, benchmark="susan_c", **kwargs)
+
+    report = benchmark(replay)
+    assert report.counters.fetches == events.num_fetches

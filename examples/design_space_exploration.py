@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep cache geometry and way-placement area
+for a chosen benchmark and print the energy/ED grid — the per-benchmark
+version of the paper's Figures 5 and 6.
+
+Run:  python examples/design_space_exploration.py [benchmark]
+"""
+
+import sys
+
+from repro import ExperimentRunner, XSCALE_BASELINE, benchmark_names
+from repro.experiments.formatting import format_pct, format_ratio, render_table
+
+KB = 1024
+
+CACHE_SIZES = [16 * KB, 32 * KB, 64 * KB]
+WAYS = [8, 16, 32]
+WPA_SIZES = [32 * KB, 8 * KB, 2 * KB, 1 * KB]
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "susan_c"
+    if bench not in benchmark_names():
+        raise SystemExit(
+            f"unknown benchmark {bench!r}; choose from {benchmark_names()}"
+        )
+    runner = ExperimentRunner(eval_instructions=200_000)
+
+    # -- WPA size sweep on the default 32KB/32-way cache -------------------
+    rows = []
+    for wpa in WPA_SIZES:
+        result = runner.normalised(bench, "way-placement", wpa_size=wpa)
+        rows.append(
+            [
+                f"{wpa // KB}KB",
+                format_pct(result.icache_energy),
+                format_ratio(result.ed_product),
+            ]
+        )
+    memo = runner.normalised(bench, "way-memoization")
+    rows.append(
+        ["way-memo", format_pct(memo.icache_energy), format_ratio(memo.ed_product)]
+    )
+    print(
+        render_table(
+            f"{bench}: way-placement area sweep on "
+            f"{XSCALE_BASELINE.icache.describe()}",
+            ["WPA", "energy %", "ED"],
+            rows,
+        )
+    )
+    print()
+
+    # -- geometry grid with an 8KB WPA --------------------------------------
+    rows = []
+    for size in CACHE_SIZES:
+        for ways in WAYS:
+            machine = XSCALE_BASELINE.with_icache(size, ways)
+            result = runner.normalised(
+                bench, "way-placement", machine, wpa_size=8 * KB
+            )
+            rows.append(
+                [
+                    f"{size // KB}KB",
+                    str(ways),
+                    format_pct(result.icache_energy),
+                    format_ratio(result.ed_product),
+                ]
+            )
+    print(
+        render_table(
+            f"{bench}: cache geometry grid (8KB way-placement area)",
+            ["cache", "ways", "energy %", "ED"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Inspect what the compiler pass actually does to a binary: chains, their
+profiled weights, and the before/after address map — Section 3 of the paper
+made visible.
+
+Run:  python examples/layout_inspection.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    SMALL_INPUT,
+    benchmark_names,
+    branch_models_for,
+    build_chains,
+    load_benchmark,
+    original_layout,
+    profile_program,
+    way_placement_layout,
+)
+
+KB = 1024
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "patricia"
+    if bench not in benchmark_names():
+        raise SystemExit(
+            f"unknown benchmark {bench!r}; choose from {benchmark_names()}"
+        )
+    workload = load_benchmark(bench)
+    program = workload.program
+    print(
+        f"{bench}: {len(program.functions)} functions, "
+        f"{program.num_blocks} blocks, {program.size_bytes / KB:.1f}KB"
+    )
+
+    profile = profile_program(
+        program, branch_models_for(workload, SMALL_INPUT), 100_000
+    )
+    weights = {
+        block.uid: profile.count_of(block.uid) * block.num_instructions
+        for block in program.blocks()
+    }
+
+    chains = build_chains(program)
+    ranked = sorted(chains, key=lambda c: -c.weight(weights))
+    print(f"\n{len(chains)} chains; the ten heaviest:")
+    print(f"{'rank':>4} {'blocks':>6} {'bytes':>6} {'instrs executed':>16}  head")
+    for rank, chain in enumerate(ranked[:10], start=1):
+        head = program.block_by_uid(chain.head)
+        size = sum(program.block_by_uid(u).size_bytes for u in chain.uids)
+        print(
+            f"{rank:>4} {len(chain):>6} {size:>6} {chain.weight(weights):>16,}"
+            f"  {head.function}:{head.label}"
+        )
+
+    original = original_layout(program)
+    placed = way_placement_layout(program, profile.block_counts)
+
+    def coverage(layout, prefix_bytes):
+        """Fraction of executed instructions inside the first ``prefix_bytes``."""
+        covered = total = 0
+        for block in program.blocks():
+            executed = weights[block.uid]
+            total += executed
+            if layout.address_of(block.uid) < prefix_bytes:
+                covered += executed
+        return covered / total if total else 0.0
+
+    print("\nexecuted-instruction coverage of the binary's first N bytes:")
+    print(f"{'prefix':>8} {'original':>9} {'way-placement':>14}")
+    for prefix in (1 * KB, 4 * KB, 16 * KB, 32 * KB):
+        print(
+            f"{prefix // KB:>6}KB {100 * coverage(original, prefix):>8.1f}% "
+            f"{100 * coverage(placed, prefix):>13.1f}%"
+        )
+
+    print("\nhottest five blocks, before -> after:")
+    for uid, count in profile.hottest_blocks(5):
+        block = program.block_by_uid(uid)
+        print(
+            f"  {block.function}:{block.label:<14} executed {count:>8,} times   "
+            f"{original.address_of(uid):#08x} -> {placed.address_of(uid):#08x}"
+        )
+
+
+if __name__ == "__main__":
+    main()

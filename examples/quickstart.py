@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's pipeline on one benchmark, in ~40 lines.
+
+Profiles the `crc` benchmark on its small input, builds the way-placement
+layout, and compares baseline / way-memoization / way-placement on the
+XScale-like machine of Table 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LARGE_INPUT,
+    SMALL_INPUT,
+    branch_models_for,
+    load_benchmark,
+    original_layout,
+    profile_program,
+    simulate,
+    way_placement_layout,
+)
+
+KB = 1024
+
+
+def main() -> None:
+    # 1. Generate the synthetic benchmark (our MiBench stand-in).
+    workload = load_benchmark("crc")
+    program = workload.program
+    print(f"benchmark: {program.name}, {program.size_bytes / KB:.1f}KB of code")
+
+    # 2. Profile on the small (train) input — the paper's methodology.
+    profile = profile_program(
+        program, branch_models_for(workload, SMALL_INPUT), max_instructions=100_000
+    )
+    print(f"profiled {profile.num_instructions} instructions (small input)")
+
+    # 3. Lay out the binary: original order vs heaviest-chain-first.
+    base_layout = original_layout(program)
+    wp_layout = way_placement_layout(program, profile.block_counts)
+
+    # 4. Evaluate on the large input.
+    eval_models = branch_models_for(workload, LARGE_INPUT)
+    runs = {
+        "baseline": simulate(program, base_layout, "baseline", eval_models, 400_000),
+        "way-memoization": simulate(
+            program, base_layout, "way-memoization", eval_models, 400_000
+        ),
+        "way-placement": simulate(
+            program, wp_layout, "way-placement", eval_models, 400_000,
+            wpa_size=32 * KB,
+        ),
+    }
+
+    # 5. Report, normalised to the baseline (the paper's unit).
+    baseline = runs["baseline"]
+    print(f"\n{'scheme':18} {'I-cache energy':>15} {'ED product':>11}")
+    for name, report in runs.items():
+        result = report.normalise(baseline)
+        print(
+            f"{name:18} {result.icache_energy_pct:14.1f}% "
+            f"{result.ed_product:11.3f}"
+        )
+    saving = 1 - runs["way-placement"].normalise(baseline).icache_energy
+    print(f"\nway-placement saves {100 * saving:.0f}% of instruction cache energy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for offline evaluation ships setuptools without the
+``wheel`` package, so PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
+``setup.py develop`` path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

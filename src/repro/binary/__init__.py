@@ -1,0 +1,13 @@
+"""Binary image emission and loading.
+
+The layout engine decides *where* code goes; this package actually emits
+the machine code: every block's instructions are encoded at their assigned
+addresses with branch targets resolved through the layout's symbol table —
+the final step a link-time rewriter like DIABLO performs.  Images round-trip
+back into instruction listings, which is how the tests prove the encoding,
+the layout, and the CFG agree with each other.
+"""
+
+from repro.binary.image import BinaryImage, emit_image, load_image
+
+__all__ = ["BinaryImage", "emit_image", "load_image"]

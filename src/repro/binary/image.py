@@ -1,0 +1,107 @@
+"""Emission of executable images from a program plus a layout."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import LayoutError
+from repro.isa.disassembler import format_instruction
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction, Opcode
+from repro.layout.layouts import Layout
+from repro.program.program import Program
+
+__all__ = ["BinaryImage", "emit_image", "load_image"]
+
+#: Encoded NOP used to pad any alignment gaps in an image.
+_NOP_WORD = encode_instruction(Instruction(Opcode.NOP))
+
+
+@dataclass(frozen=True)
+class BinaryImage:
+    """An emitted binary: raw bytes plus the symbol table used to link it."""
+
+    program_name: str
+    base_address: int
+    data: bytes
+    symbols: Dict[str, int]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def num_words(self) -> int:
+        return len(self.data) // 4
+
+    def word_at(self, address: int) -> int:
+        """The 32-bit instruction word at ``address`` (little endian)."""
+        offset = address - self.base_address
+        if not 0 <= offset <= len(self.data) - 4 or offset % 4:
+            raise LayoutError(
+                f"address {address:#x} outside image "
+                f"[{self.base_address:#x}, {self.base_address + len(self.data):#x})"
+            )
+        return struct.unpack_from("<I", self.data, offset)[0]
+
+    def disassemble(self) -> str:
+        """Instruction listing of the whole image (offsets resolved)."""
+        lines = []
+        for index, instruction in enumerate(load_image(self.data, self.base_address)):
+            address = self.base_address + index * 4
+            text = format_instruction(instruction)
+            if instruction.opcode in (Opcode.B, Opcode.BL):
+                target = address + instruction.imm * INSTRUCTION_SIZE
+                text = f"{instruction.mnemonic} {target:#x}"
+            lines.append(f"{address:#010x}:  {text}")
+        return "\n".join(lines)
+
+
+def _symbols_for_function(
+    program: Program, layout: Layout, function_name: str
+) -> Dict[str, int]:
+    """Resolvable names inside one function: its labels + all functions."""
+    symbols: Dict[str, int] = {}
+    for name, function in program.functions.items():
+        symbols[name] = layout.address_of(function.entry.uid)
+    for block in program.functions[function_name].blocks:
+        symbols[block.label] = layout.address_of(block.uid)
+    return symbols
+
+
+def emit_image(program: Program, layout: Layout) -> BinaryImage:
+    """Encode every block at its layout address into one contiguous image.
+
+    Branches resolve against the emitting function's labels, calls against
+    function names — matching the assembler's symbol scoping.  Gaps in the
+    layout (none are produced by the shipped linkers, but layouts are not
+    required to be gap-free) are padded with NOPs.
+    """
+    base = min(layout.address_of(uid) for uid in layout.block_order)
+    words: List[int] = [_NOP_WORD] * ((layout.end_address - base) // 4)
+
+    for function in program.functions.values():
+        symbols = _symbols_for_function(program, layout, function.name)
+        for block in function.blocks:
+            address = layout.address_of(block.uid)
+            for instruction in block.instructions:
+                words[(address - base) // 4] = encode_instruction(
+                    instruction, address=address, symbols=symbols
+                )
+                address += INSTRUCTION_SIZE
+
+    data = struct.pack(f"<{len(words)}I", *words)
+    symbols = layout.symbol_table(program)
+    return BinaryImage(
+        program_name=program.name, base_address=base, data=data, symbols=symbols
+    )
+
+
+def load_image(data: bytes, base_address: int = 0) -> Tuple[Instruction, ...]:
+    """Decode an image back into instructions (branches as word offsets)."""
+    if len(data) % 4:
+        raise LayoutError(f"image length {len(data)} is not a whole word count")
+    words = struct.unpack(f"<{len(data) // 4}I", data)
+    return tuple(decode_instruction(word) for word in words)

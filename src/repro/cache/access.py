@@ -1,0 +1,106 @@
+"""Activity counters: what a fetch scheme did, ready for energy pricing.
+
+Schemes simulate the fetch stream and record *physical activity* (match
+lines precharged, tags compared, lines filled, TLB probes...).  The energy
+model prices this activity afterwards; the timing model turns the same
+counters into cycles.  Keeping the three concerns separate makes each
+independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["FetchCounters"]
+
+
+@dataclass
+class FetchCounters:
+    """Integer activity counters accumulated over one simulated run."""
+
+    # Stream structure
+    fetches: int = 0  # instruction fetches issued
+    line_events: int = 0  # line-transition events processed
+    same_line_fetches: int = 0  # fetches served without any tag activity
+
+    # Tag-array activity
+    full_searches: int = 0  # all-way CAM searches performed
+    single_way_searches: int = 0  # one-way (way-placement / predicted) checks
+    link_followed: int = 0  # transitions resolved by a valid memo link
+    ways_precharged: int = 0  # total match lines precharged (= tags compared)
+
+    # Outcomes
+    hits: int = 0  # line transitions that found the line resident
+    misses: int = 0
+    fills: int = 0
+    wp_fills: int = 0  # fills forced into the mandated way
+    evictions: int = 0  # fills that displaced a valid line
+
+    # Way-hint / way-prediction corrections
+    second_accesses: int = 0  # corrective all-way accesses after a wrong guess
+    hint_false_positives: int = 0
+    hint_false_negatives: int = 0
+
+    # Way-memoization bookkeeping
+    link_writes: int = 0
+
+    # I-TLB
+    itlb_accesses: int = 0
+    itlb_misses: int = 0
+
+    # Filter cache (L0) — only used by the filter-cache scheme
+    l0_accesses: int = 0
+    l0_hits: int = 0
+    l0_misses: int = 0
+
+    # Scratchpad memory — only used by the scratchpad scheme
+    spm_accesses: int = 0
+
+    # Extra latency beyond the base pipeline (second accesses, L0 misses)
+    extra_access_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        """Misses per line-transition lookup."""
+        lookups = self.hits + self.misses
+        return self.misses / lookups if lookups else 0.0
+
+    @property
+    def fetch_miss_rate(self) -> float:
+        """Misses per instruction fetch (the classic cache miss rate)."""
+        return self.misses / self.fetches if self.fetches else 0.0
+
+    @property
+    def mean_ways_per_fetch(self) -> float:
+        """Average match lines precharged per instruction fetch."""
+        return self.ways_precharged / self.fetches if self.fetches else 0.0
+
+    def merge(self, other: "FetchCounters") -> "FetchCounters":
+        """Field-wise sum (for aggregating runs)."""
+        merged = FetchCounters()
+        for field in fields(FetchCounters):
+            setattr(
+                merged,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return merged
+
+    def validate(self) -> None:
+        """Cross-field sanity checks; raises ``ValueError`` on violation."""
+        for field in fields(FetchCounters):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(f"counter {field.name} is negative: {value}")
+        if self.hits + self.misses > self.line_events + self.second_accesses:
+            raise ValueError(
+                "more lookup outcomes than line events: "
+                f"{self.hits}+{self.misses} > {self.line_events}"
+            )
+        if self.fills < self.misses:
+            raise ValueError(f"{self.misses} misses but only {self.fills} fills")
+        if self.wp_fills > self.fills:
+            raise ValueError("wp_fills exceeds total fills")
+        if self.evictions > self.fills:
+            raise ValueError("evictions exceed fills")

@@ -1,0 +1,115 @@
+"""Cache geometry: sizes, field extraction, and the way-placement mapping.
+
+The XScale-style cache is organised as ``num_sets`` CAM sub-banks, each
+holding all ``ways`` lines of one set.  Addresses split, LSB first, into:
+
+* ``line offset``  — ``log2(line_size)`` bits;
+* ``set index``    — ``log2(num_sets)`` bits;
+* ``tag``          — the rest.
+
+The paper's way-placement mapping takes the ``log2(ways)`` *least
+significant tag bits* as the explicit way index, so a contiguous region of
+exactly one cache-size of bytes covers every (set, way) once.  The tag keeps
+its full length ("the way-placement bits are also used as part of it").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheConfigError
+from repro.utils.bitops import log2_exact, mask
+
+__all__ = ["CacheGeometry"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable description of a set-associative cache."""
+
+    size_bytes: int
+    ways: int
+    line_size: int
+    address_bits: int = 32
+
+    def __post_init__(self) -> None:
+        log2_exact(self.size_bytes, "cache size")
+        log2_exact(self.ways, "associativity")
+        log2_exact(self.line_size, "line size")
+        if self.line_size < 4:
+            raise CacheConfigError(f"line size {self.line_size} below one instruction")
+        if self.size_bytes < self.ways * self.line_size:
+            raise CacheConfigError(
+                f"cache of {self.size_bytes} bytes cannot hold {self.ways} ways "
+                f"of {self.line_size}-byte lines"
+            )
+        if self.address_bits <= self.offset_bits + self.set_bits:
+            raise CacheConfigError(
+                f"{self.address_bits} address bits leave no tag bits for "
+                f"{self.size_bytes}B/{self.ways}-way/{self.line_size}B geometry"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_exact(self.line_size, "line size")
+
+    @property
+    def set_bits(self) -> int:
+        return log2_exact(self.num_sets, "set count")
+
+    @property
+    def way_bits(self) -> int:
+        return log2_exact(self.ways, "way count")
+
+    @property
+    def tag_bits(self) -> int:
+        return self.address_bits - self.offset_bits - self.set_bits
+
+    @property
+    def instructions_per_line(self) -> int:
+        return self.line_size // 4
+
+    # -- address slicing ----------------------------------------------------
+    def line_address(self, address: int) -> int:
+        return address & ~(self.line_size - 1)
+
+    def set_index(self, address: int) -> int:
+        return (address >> self.offset_bits) & mask(self.set_bits)
+
+    def tag(self, address: int) -> int:
+        return address >> (self.offset_bits + self.set_bits)
+
+    def mandated_way(self, address: int) -> int:
+        """The explicit way the way-placement mapping assigns this address.
+
+        The least significant ``way_bits`` bits of the tag ("a 32-way cache
+        uses the lower 5 bits from the tag to select the way").
+        """
+        return self.tag(address) & mask(self.way_bits)
+
+    def reconstruct_address(self, tag: int, set_index: int) -> int:
+        """Inverse of (tag, set): the line base address."""
+        return (tag << (self.offset_bits + self.set_bits)) | (
+            set_index << self.offset_bits
+        )
+
+    def describe(self) -> str:
+        size = (
+            f"{self.size_bytes // 1024}KB"
+            if self.size_bytes >= 1024
+            else f"{self.size_bytes}B"
+        )
+        return (
+            f"{size}, {self.ways}-way, "
+            f"{self.line_size}B lines ({self.num_sets} sets, "
+            f"{self.tag_bits}-bit tags)"
+        )

@@ -1,0 +1,95 @@
+"""The instruction TLB, extended with the paper's way-placement bit.
+
+A fully-associative TLB of ``entries`` page translations with round-robin
+replacement (matching the XScale's 32-entry I-TLB).  Each entry carries one
+extra *way-placement bit* — set by the operating system when it installs the
+translation — saying whether the page lies inside the way-placement area.
+
+The way-placement area is a prefix ``[0, wpa_size)`` of the binary and a
+multiple of the page size; the OS can resize it at any moment (the paper's
+"static or per-program basis, even adjusting it during program execution"),
+which here just re-derives the bit on future installs and rewrites resident
+entries — modelling an OS that updates the page table and shoots down the
+TLB bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CacheConfigError
+from repro.utils.bitops import log2_exact
+
+__all__ = ["InstructionTlb"]
+
+
+class InstructionTlb:
+    """Fully-associative I-TLB with per-entry way-placement bits."""
+
+    def __init__(self, entries: int, page_size: int, wpa_size: int = 0):
+        if entries < 1:
+            raise CacheConfigError(f"TLB needs at least one entry, got {entries}")
+        log2_exact(page_size, "page size")
+        self.entries = entries
+        self.page_size = page_size
+        self._page_bits = log2_exact(page_size, "page size")
+        self._pages: List[int] = [-1] * entries  # virtual page numbers
+        self._wp_bits: List[bool] = [False] * entries
+        self._pointer = 0
+        self._wpa_pages = 0
+        self.set_wpa_size(wpa_size)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def set_wpa_size(self, wpa_size: int) -> None:
+        """(Re)size the way-placement area; must be a page multiple."""
+        if wpa_size < 0 or wpa_size % self.page_size:
+            raise CacheConfigError(
+                f"way-placement area size {wpa_size} is not a non-negative "
+                f"multiple of the {self.page_size}-byte page size"
+            )
+        self._wpa_pages = wpa_size >> self._page_bits
+        # The OS rewrites the bit in resident entries when it resizes the area.
+        for index, page in enumerate(self._pages):
+            if page != -1:
+                self._wp_bits[index] = page < self._wpa_pages
+
+    @property
+    def wpa_size(self) -> int:
+        return self._wpa_pages << self._page_bits
+
+    def page_number(self, address: int) -> int:
+        return address >> self._page_bits
+
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> bool:
+        """Translate ``address``; returns the way-placement bit.
+
+        Counts hits/misses; a miss installs the translation (round-robin)
+        with the bit the OS would write.
+        """
+        page = address >> self._page_bits
+        try:
+            index = self._pages.index(page)
+        except ValueError:
+            self.misses += 1
+            index = self._pointer
+            self._pointer = (self._pointer + 1) % self.entries
+            self._pages[index] = page
+            self._wp_bits[index] = page < self._wpa_pages
+            return self._wp_bits[index]
+        self.hits += 1
+        return self._wp_bits[index]
+
+    def is_way_placed(self, address: int) -> bool:
+        """Ground truth (the page table's view), independent of residency."""
+        return (address >> self._page_bits) < self._wpa_pages
+
+    def resident(self) -> Dict[int, bool]:
+        """Resident page -> way-placement bit, for tests."""
+        return {
+            page: bit
+            for page, bit in zip(self._pages, self._wp_bits)
+            if page != -1
+        }

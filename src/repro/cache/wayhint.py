@@ -1,0 +1,45 @@
+"""The way-hint bit: one bit of state, read before the cache access.
+
+The I-TLB is read in parallel with the instruction cache, so the
+way-placement bit arrives too late to steer the *current* access.  The paper
+adds a single way-hint bit recording whether the *previous* access was to
+the way-placement area and uses it as the prediction for the current one.
+
+Misprediction outcomes (paper Section 4.1):
+
+* predicted non-WPA, actually WPA  -> full search anyway; a lost saving.
+* predicted WPA, actually non-WPA -> the one-way access cannot be trusted;
+  a second, all-ways access follows with a one-cycle penalty.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WayHintBit"]
+
+
+class WayHintBit:
+    """Single-bit last-value predictor of 'access is in the WPA'."""
+
+    def __init__(self, initial: bool = False):
+        self._bit = bool(initial)
+        self.predictions = 0
+        self.false_positives = 0  # said WPA, was not (costs a second access)
+        self.false_negatives = 0  # said non-WPA, was WPA (lost saving)
+
+    def predict(self) -> bool:
+        self.predictions += 1
+        return self._bit
+
+    def update(self, actual_wpa: bool) -> None:
+        if self._bit and not actual_wpa:
+            self.false_positives += 1
+        elif not self._bit and actual_wpa:
+            self.false_negatives += 1
+        self._bit = actual_wpa
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        wrong = self.false_positives + self.false_negatives
+        return 1.0 - wrong / self.predictions

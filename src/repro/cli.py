@@ -1,0 +1,390 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-benchmarks``
+    The 23-benchmark suite with per-benchmark shape parameters.
+``table1``
+    Print the paper's Table 1 machine configuration.
+``figure4`` / ``figure5`` / ``figure6``
+    Regenerate a figure (optionally on a benchmark subset).
+``simulate``
+    Run one (benchmark, scheme, geometry, WPA) combination and print the
+    normalised result plus the activity counters behind it.
+``inspect``
+    Show the compiler pass's work on one benchmark: chains, weights,
+    prefix coverage.
+``choose-wpa``
+    Run the OS's way-placement-area selection policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.figures import figure4, figure5, figure6
+from repro.experiments.formatting import render_table
+from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
+from repro.layout.wpa_select import choose_wpa_size
+from repro.sim.machine import XSCALE_BASELINE, table1_rows
+from repro.workloads.mibench import MIBENCH_BENCHMARKS, benchmark_names
+
+KB = 1024
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Instruction Cache Energy Saving Through "
+            "Compiler Way-Placement' (DATE 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-benchmarks", help="list the benchmark suite")
+    sub.add_parser("table1", help="print the Table 1 machine configuration")
+
+    for name, description in (
+        ("figure4", "per-benchmark energy and ED (32KB/32-way, 32KB WPA)"),
+        ("figure5", "way-placement area size sweep"),
+        ("figure6", "cache size x associativity grid"),
+    ):
+        figure = sub.add_parser(name, help=description)
+        figure.add_argument(
+            "--benchmarks",
+            nargs="+",
+            metavar="NAME",
+            help="restrict to these benchmarks (default: full suite)",
+        )
+        _add_budget_arguments(figure)
+
+    simulate = sub.add_parser("simulate", help="run one configuration")
+    simulate.add_argument("--benchmark", required=True, choices=benchmark_names())
+    simulate.add_argument(
+        "--scheme",
+        default="way-placement",
+        choices=[
+            "baseline",
+            "way-placement",
+            "way-memoization",
+            "way-prediction",
+            "filter-cache",
+        ],
+    )
+    simulate.add_argument("--wpa-kb", type=int, default=32, help="WPA size in KB")
+    simulate.add_argument("--cache-kb", type=int, default=32)
+    simulate.add_argument("--ways", type=int, default=32)
+    simulate.add_argument("--line-bytes", type=int, default=32)
+    simulate.add_argument(
+        "--layout",
+        default=None,
+        choices=[policy.value for policy in LayoutPolicy],
+        help="override the scheme's default layout pairing",
+    )
+    _add_budget_arguments(simulate)
+
+    inspect = sub.add_parser("inspect", help="show the compiler pass's work")
+    inspect.add_argument("--benchmark", required=True, choices=benchmark_names())
+    _add_budget_arguments(inspect)
+
+    choose = sub.add_parser("choose-wpa", help="run the OS's WPA size policy")
+    choose.add_argument("--benchmark", required=True, choices=benchmark_names())
+    choose.add_argument("--page-kb", type=int, default=1)
+    _add_budget_arguments(choose)
+
+    report = sub.add_parser(
+        "report", help="full reproduction report (all figures + checklist)"
+    )
+    report.add_argument("--output", help="write the markdown report to this file")
+    report.add_argument("--benchmarks", nargs="+", metavar="NAME")
+    _add_budget_arguments(report)
+
+    export = sub.add_parser("export", help="figure data as CSV or JSON")
+    export.add_argument("--figure", required=True, choices=["4", "5", "6"])
+    export.add_argument("--format", default="csv", choices=["csv", "json"])
+    export.add_argument("--output", help="write to this file instead of stdout")
+    export.add_argument("--benchmarks", nargs="+", metavar="NAME")
+    _add_budget_arguments(export)
+
+    return parser
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--eval-instructions",
+        type=int,
+        default=None,
+        help="evaluation trace length (default 400000 or $REPRO_EVAL_INSTRUCTIONS)",
+    )
+    parser.add_argument(
+        "--profile-instructions",
+        type=int,
+        default=None,
+        help="profiling trace length (default 100000 or $REPRO_PROFILE_INSTRUCTIONS)",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
+        eval_instructions=getattr(args, "eval_instructions", None),
+        profile_instructions=getattr(args, "profile_instructions", None),
+    )
+
+
+def _cmd_list_benchmarks() -> int:
+    rows = [
+        [
+            name,
+            f"{spec.code_kb:.1f}",
+            str(spec.num_functions),
+            str(spec.kernel_functions),
+            f"{spec.mem_density:.2f}",
+        ]
+        for name, spec in MIBENCH_BENCHMARKS.items()
+    ]
+    print(
+        render_table(
+            "Benchmark suite (synthetic MiBench stand-ins)",
+            ["name", "code KB", "functions", "kernels", "mem density"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_table1() -> int:
+    print(
+        render_table(
+            "Table 1: Baseline system configuration",
+            ["Parameter", "Configuration"],
+            [list(row) for row in table1_rows()],
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    benchmarks = args.benchmarks
+    if benchmarks:
+        unknown = set(benchmarks) - set(benchmark_names())
+        if unknown:
+            raise ReproError(f"unknown benchmarks: {sorted(unknown)}")
+    if args.command == "figure4":
+        print(figure4(runner, benchmarks=benchmarks).render())
+    elif args.command == "figure5":
+        print(figure5(runner, benchmarks=benchmarks).render())
+    else:
+        print(figure6(runner, benchmarks=benchmarks).render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    machine = XSCALE_BASELINE.with_icache(
+        args.cache_kb * KB, args.ways, args.line_bytes
+    )
+    wpa_size = args.wpa_kb * KB if args.scheme == "way-placement" else 0
+    layout_policy = LayoutPolicy(args.layout) if args.layout else None
+    result = runner.normalised(
+        args.benchmark,
+        args.scheme,
+        machine,
+        wpa_size=wpa_size,
+        layout_policy=layout_policy,
+    )
+    report = runner.report(
+        args.benchmark,
+        args.scheme,
+        machine,
+        wpa_size=wpa_size,
+        layout_policy=layout_policy,
+    )
+    counters = report.counters
+    print(f"benchmark : {args.benchmark}")
+    print(f"scheme    : {args.scheme} on {machine.icache.describe()}")
+    if wpa_size:
+        print(f"WPA       : {args.wpa_kb}KB")
+    print(f"layout    : {report.layout_description}")
+    print()
+    print(f"normalised I-cache energy : {result.icache_energy_pct:6.1f}%")
+    print(f"normalised delay          : {result.delay:8.3f}")
+    print(f"ED product                : {result.ed_product:8.3f}")
+    print()
+    print(
+        render_table(
+            "activity counters",
+            ["counter", "value"],
+            [
+                ["fetches", f"{counters.fetches:,}"],
+                ["line transitions", f"{counters.line_events:,}"],
+                ["full searches", f"{counters.full_searches:,}"],
+                ["single-way checks", f"{counters.single_way_searches:,}"],
+                ["links followed", f"{counters.link_followed:,}"],
+                ["match lines precharged", f"{counters.ways_precharged:,}"],
+                ["misses", f"{counters.misses:,}"],
+                ["hint false +/-", f"{counters.hint_false_positives}/{counters.hint_false_negatives}"],
+                ["I-TLB misses", f"{counters.itlb_misses:,}"],
+                ["cycles", f"{report.cycles:,}"],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.layout.chains import build_chains
+
+    runner = _make_runner(args)
+    program = runner.workload(args.benchmark).program
+    profile = runner.profile(args.benchmark)
+    layout = runner.layout(args.benchmark, LayoutPolicy.WAY_PLACEMENT)
+    weights = {
+        block.uid: profile.count_of(block.uid) * block.num_instructions
+        for block in program.blocks()
+    }
+    chains = sorted(build_chains(program), key=lambda c: -c.weight(weights))
+    print(
+        f"{args.benchmark}: {len(program.functions)} functions, "
+        f"{program.num_blocks} blocks, {program.size_bytes / KB:.1f}KB, "
+        f"{len(chains)} chains"
+    )
+    rows = []
+    for rank, chain in enumerate(chains[:12], start=1):
+        head = program.block_by_uid(chain.head)
+        size = sum(program.block_by_uid(u).size_bytes for u in chain.uids)
+        rows.append(
+            [
+                str(rank),
+                f"{head.function}:{head.label}",
+                str(len(chain)),
+                str(size),
+                f"{chain.weight(weights):,}",
+                f"{layout.address_of(chain.head):#x}",
+            ]
+        )
+    print(
+        render_table(
+            "heaviest chains (way-placement order)",
+            ["rank", "head", "blocks", "bytes", "instrs executed", "placed at"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_choose_wpa(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    program = runner.workload(args.benchmark).program
+    profile = runner.profile(args.benchmark)
+    layout = runner.layout(args.benchmark, LayoutPolicy.WAY_PLACEMENT)
+    choice = choose_wpa_size(
+        program,
+        layout,
+        profile.block_counts,
+        XSCALE_BASELINE.icache,
+        page_size=args.page_kb * KB,
+        edge_counts=profile.edge_counts,
+    )
+    print(f"benchmark          : {args.benchmark}")
+    print(f"chosen WPA size    : {choice.wpa_size // KB}KB")
+    print(f"profiled coverage  : {100 * choice.coverage:.1f}%")
+    print(f"boundary crossings : {choice.crossing_rate:.6f} per instruction")
+    print()
+    print(
+        render_table(
+            "candidate ranking (estimated tag energy, lower is better)",
+            ["WPA", "estimate"],
+            [
+                [f"{size // KB}KB", f"{estimate:.4f}"]
+                for size, estimate in choice.ranking
+            ],
+        )
+    )
+    return 0
+
+
+def _validate_benchmarks(names) -> None:
+    if names:
+        unknown = set(names) - set(benchmark_names())
+        if unknown:
+            raise ReproError(f"unknown benchmarks: {sorted(unknown)}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import reproduction_report
+
+    _validate_benchmarks(args.benchmarks)
+    text = reproduction_report(_make_runner(args), benchmarks=args.benchmarks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import (
+        figure4_records,
+        figure5_records,
+        figure6_records,
+        records_to_csv,
+        records_to_json,
+    )
+
+    _validate_benchmarks(args.benchmarks)
+    runner = _make_runner(args)
+    if args.figure == "4":
+        records = figure4_records(figure4(runner, benchmarks=args.benchmarks))
+    elif args.figure == "5":
+        records = figure5_records(figure5(runner, benchmarks=args.benchmarks))
+    else:
+        records = figure6_records(figure6(runner, benchmarks=args.benchmarks))
+    text = records_to_csv(records) if args.format == "csv" else records_to_json(records)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"figure {args.figure} data written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list-benchmarks":
+            return _cmd_list_benchmarks()
+        if args.command == "table1":
+            return _cmd_table1()
+        if args.command in ("figure4", "figure5", "figure6"):
+            return _cmd_figure(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
+        if args.command == "choose-wpa":
+            return _cmd_choose_wpa(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "export":
+            return _cmd_export(args)
+        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

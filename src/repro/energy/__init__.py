@@ -1,0 +1,25 @@
+"""Analytic energy models: pricing the activity the schemes counted.
+
+The split mirrors the paper's toolchain: the cache model plays CACTI's role
+(per-access energies derived from geometry), the processor model plays
+XTREM's (whole-processor energy and the energy-delay product).  All values
+are in picojoules; REFERENCE constants are calibrated so the baseline
+32KB/32-way XScale-like configuration spends roughly a quarter of processor
+energy in the instruction cache, matching the paper's StrongARM motivation.
+"""
+
+from repro.energy.params import EnergyParams
+from repro.energy.cache_model import CacheEnergyModel, EnergyBreakdown
+from repro.energy.processor import ProcessorEnergyModel, ProcessorReport
+from repro.energy.leakage import DrowsyModel, DrowsyStats, LeakageParams
+
+__all__ = [
+    "EnergyParams",
+    "CacheEnergyModel",
+    "EnergyBreakdown",
+    "ProcessorEnergyModel",
+    "ProcessorReport",
+    "DrowsyModel",
+    "DrowsyStats",
+    "LeakageParams",
+]

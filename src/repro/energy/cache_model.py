@@ -1,0 +1,174 @@
+"""Pricing cache activity: counters x geometry x parameters -> picojoules.
+
+``CacheEnergyModel`` exposes the per-event energies (useful on their own for
+unit tests and what-if analysis) and :meth:`energy`, which prices a whole
+:class:`~repro.cache.access.FetchCounters` into an :class:`EnergyBreakdown`.
+
+Two organisation modes:
+
+* ``cam`` (default, XScale-like): tag search energy scales with the ways
+  actually precharged; the data array reads only the matched way, so data
+  energy is per fetch and scheme-independent.
+* ``ram`` (conventional SRAM set-associative): *data* for all ways is read
+  in parallel with the tags on a full access, so single-way accesses save
+  data energy too.  Used by the RAM-organisation ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.energy.params import EnergyParams
+from repro.errors import EnergyModelError
+
+__all__ = ["CacheEnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Instruction-fetch-path energy, by component, in picojoules."""
+
+    tag_pj: float = 0.0  # CAM searches / tag comparisons
+    data_pj: float = 0.0  # data-array reads (incl. memo link-read overhead)
+    fill_pj: float = 0.0  # writing fetched lines into the array
+    link_pj: float = 0.0  # way-memoization link writes
+    l0_pj: float = 0.0  # filter-cache accesses and refills
+    spm_pj: float = 0.0  # scratchpad fetches
+    hint_pj: float = 0.0  # way-hint bit
+    itlb_pj: float = 0.0  # I-TLB searches and fills
+    memory_pj: float = 0.0  # off-chip line fetches
+
+    @property
+    def icache_pj(self) -> float:
+        """The paper's 'instruction cache energy': everything inside the
+        cache macro (tags, data, fills, links, L0, hint bit)."""
+        return (
+            self.tag_pj
+            + self.data_pj
+            + self.fill_pj
+            + self.link_pj
+            + self.l0_pj
+            + self.spm_pj
+            + self.hint_pj
+        )
+
+    @property
+    def fetch_path_pj(self) -> float:
+        """Cache macro plus I-TLB plus memory traffic."""
+        return self.icache_pj + self.itlb_pj + self.memory_pj
+
+
+class CacheEnergyModel:
+    """Analytic per-access energy model for one cache geometry."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        params: EnergyParams = EnergyParams(),
+        organisation: str = "cam",
+        memo_links: bool = False,
+        wayhint: bool = False,
+        l0_size: int = 0,
+    ):
+        if organisation not in ("cam", "ram"):
+            raise EnergyModelError(f"organisation must be 'cam' or 'ram', got {organisation!r}")
+        self.geometry = geometry
+        self.params = params
+        self.organisation = organisation
+        self.memo_links = memo_links
+        self.wayhint = wayhint
+        self.l0_size = l0_size
+
+    # -- per-event energies -------------------------------------------------
+    @property
+    def tag_way_pj(self) -> float:
+        """Searching ONE way: precharge + compare over the full tag width."""
+        scale = self.params.size_scale(
+            self.geometry.size_bytes, self.params.tag_size_exponent
+        )
+        return self.params.cam_pj_per_way_bit * self.geometry.tag_bits * scale
+
+    @property
+    def full_search_pj(self) -> float:
+        """Searching every way of one set."""
+        return self.tag_way_pj * self.geometry.ways
+
+    @property
+    def data_read_pj(self) -> float:
+        """Reading one instruction word from one way's data array."""
+        base = self.params.data_read_pj * self.params.size_scale(
+            self.geometry.size_bytes, self.params.data_size_exponent
+        )
+        if self.memo_links:
+            base *= 1.0 + self.params.link_data_overhead
+        return base
+
+    @property
+    def line_fill_pj(self) -> float:
+        """Writing one fetched line into the data array."""
+        bits = self.geometry.line_size * 8
+        if self.memo_links:
+            bits *= 1.0 + self.params.link_fill_overhead
+        return self.params.fill_pj_per_bit * bits
+
+    @property
+    def memory_line_pj(self) -> float:
+        """Fetching one line from off-chip memory."""
+        return self.params.memory_pj_per_bit * self.geometry.line_size * 8
+
+    @property
+    def l0_fill_pj(self) -> float:
+        return self.params.l0_fill_pj_per_bit * self.geometry.line_size * 8
+
+    # -- whole-run pricing ----------------------------------------------------
+    def energy(self, counters: FetchCounters) -> EnergyBreakdown:
+        """Price a run's counters into an :class:`EnergyBreakdown`."""
+        params = self.params
+
+        tag_pj = counters.ways_precharged * self.tag_way_pj
+        tag_pj += counters.single_way_searches * params.way_mux_pj
+
+        cache_fetches = counters.fetches - counters.spm_accesses
+        if self.organisation == "cam":
+            # Only the matched way's data is ever read.
+            data_pj = cache_fetches * self.data_read_pj
+        else:
+            # RAM organisation: a full access reads every way's data in
+            # parallel; single-way and same-line accesses read one way.
+            full_fetch_reads = counters.full_searches
+            single_reads = (
+                cache_fetches
+                + counters.second_accesses
+                - counters.full_searches
+            )
+            data_pj = (
+                full_fetch_reads * self.geometry.ways + single_reads
+            ) * self.data_read_pj
+
+        fill_pj = counters.fills * self.line_fill_pj
+        link_pj = counters.link_writes * params.link_write_pj
+        l0_pj = (
+            counters.l0_accesses * params.l0_read_pj
+            + counters.l0_misses * self.l0_fill_pj
+        )
+        spm_pj = counters.spm_accesses * params.spm_read_pj
+        hint_pj = counters.line_events * params.wayhint_pj if self.wayhint else 0.0
+        itlb_pj = (
+            counters.itlb_accesses * params.itlb_search_pj
+            + counters.itlb_misses * params.itlb_fill_pj
+        )
+        memory_pj = counters.fills * self.memory_line_pj
+
+        return EnergyBreakdown(
+            tag_pj=tag_pj,
+            data_pj=data_pj,
+            fill_pj=fill_pj,
+            link_pj=link_pj,
+            l0_pj=l0_pj,
+            spm_pj=spm_pj,
+            hint_pj=hint_pj,
+            itlb_pj=itlb_pj,
+            memory_pj=memory_pj,
+        )

@@ -1,0 +1,161 @@
+"""Leakage energy and drowsy caches — the paper's 'orthogonal' axis.
+
+The related-work section points at drowsy caches (Flautner et al.) and
+cache decay (Kaxiras et al.) as leakage techniques that are *orthogonal* to
+way-placement "and can therefore be used together for additional energy
+savings".  This module makes that claim checkable: an event-driven model of
+per-line activity puts lines that have not been fetched for a decay window
+into a low-leakage drowsy state, with a wake penalty on the next access.
+
+The model runs *alongside* any fetch scheme (it consumes the same line-event
+trace), so the ablation bench can overlay drowsy leakage on the baseline and
+on way-placement and verify the savings compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.errors import EnergyModelError
+from repro.trace.events import LineEventTrace
+
+__all__ = ["LeakageParams", "DrowsyStats", "DrowsyModel"]
+
+
+@dataclass(frozen=True)
+class LeakageParams:
+    """Leakage constants (picojoules / cycles)."""
+
+    leak_pj_per_line_cycle: float = 0.03  # a powered line's leakage per cycle
+    drowsy_factor: float = 0.10  # drowsy leakage relative to active
+    decay_window_cycles: int = 2000  # inactivity before a line goes drowsy
+    wake_cycles: int = 1  # pipeline penalty to wake a drowsy line
+
+    def __post_init__(self) -> None:
+        if self.leak_pj_per_line_cycle < 0:
+            raise EnergyModelError("leakage per line-cycle must be non-negative")
+        if not 0.0 <= self.drowsy_factor <= 1.0:
+            raise EnergyModelError("drowsy_factor must be a fraction in [0, 1]")
+        if self.decay_window_cycles < 1:
+            raise EnergyModelError("decay window must be at least one cycle")
+        if self.wake_cycles < 0:
+            raise EnergyModelError("wake penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class DrowsyStats:
+    """Outcome of a drowsy simulation over one trace."""
+
+    total_cycles: int
+    num_lines: int
+    active_line_cycles: int
+    drowsy_line_cycles: int
+    wakes: int
+    wake_penalty_cycles: int
+
+    @property
+    def drowsy_fraction(self) -> float:
+        """Fraction of line-cycles spent drowsy."""
+        total = self.active_line_cycles + self.drowsy_line_cycles
+        return self.drowsy_line_cycles / total if total else 0.0
+
+    def leakage_pj(self, params: LeakageParams) -> float:
+        """Leakage with the drowsy policy enabled."""
+        return params.leak_pj_per_line_cycle * (
+            self.active_line_cycles
+            + self.drowsy_line_cycles * params.drowsy_factor
+        )
+
+    def always_on_leakage_pj(self, params: LeakageParams) -> float:
+        """Leakage of the same run with every line always powered."""
+        return (
+            params.leak_pj_per_line_cycle * self.num_lines * self.total_cycles
+        )
+
+    def leakage_saving(self, params: LeakageParams) -> float:
+        """Fraction of leakage energy the drowsy policy removes."""
+        always_on = self.always_on_leakage_pj(params)
+        if always_on == 0:
+            return 0.0
+        return 1.0 - self.leakage_pj(params) / always_on
+
+
+class DrowsyModel:
+    """Event-driven drowsy-line tracking over a line-event trace.
+
+    Time is measured in fetch cycles (one per instruction, the base CPI of
+    the machine model).  Cache contents follow the baseline round-robin
+    placement; each (set, way) slot remembers when its resident line was
+    last fetched, accumulating active cycles up to the decay window and
+    drowsy cycles beyond it.  Slots holding no line yet are drowsy from
+    time zero (cold lines are powered down).
+    """
+
+    def __init__(self, geometry: CacheGeometry, params: LeakageParams = LeakageParams()):
+        self.geometry = geometry
+        self.params = params
+
+    def run(self, events: LineEventTrace) -> DrowsyStats:
+        geometry = self.geometry
+        window = self.params.decay_window_cycles
+        cache = CamCache(geometry)
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+
+        last_access: Dict[Tuple[int, int], int] = {}
+        active = 0
+        drowsy = 0
+        wakes = 0
+        now = 0
+
+        find = cache.find
+        fill = cache.fill
+
+        for addr, count in zip(events.line_addrs.tolist(), events.counts.tolist()):
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+            way = find(set_index, tag)
+            if way < 0:
+                way, _ = fill(set_index, tag)
+            slot = (set_index, way)
+            previous = last_access.get(slot)
+            if previous is not None:
+                idle = now - previous
+                if idle > window:
+                    active += window
+                    drowsy += idle - window
+                    wakes += 1
+                else:
+                    active += idle
+            else:
+                drowsy += now  # cold slot: powered down since t=0
+                if now > 0:
+                    wakes += 1
+            active += count  # the line is active while being fetched
+            now += count
+            last_access[slot] = now
+
+        # Flush: bring every slot's accounting up to the end of the run.
+        total_slots = geometry.num_sets * geometry.ways
+        for slot, timestamp in last_access.items():
+            idle = now - timestamp
+            if idle > window:
+                active += window
+                drowsy += idle - window
+            else:
+                active += idle
+        untouched = total_slots - len(last_access)
+        drowsy += untouched * now
+
+        return DrowsyStats(
+            total_cycles=now,
+            num_lines=total_slots,
+            active_line_cycles=active,
+            drowsy_line_cycles=drowsy,
+            wakes=wakes,
+            wake_penalty_cycles=wakes * self.params.wake_cycles,
+        )

@@ -1,0 +1,110 @@
+"""Whole-processor energy and the energy-delay product (XTREM's role).
+
+Processor energy = fetch-path energy (from the cache model) + a calibrated
+rest-of-core component with a per-instruction activity term and a per-cycle
+term (clock tree, leakage, stall power).  The per-cycle term makes stalls —
+cache misses, way-hint second accesses — cost energy as well as time.
+
+The paper's metrics are *normalised*: every result divides a scheme's value
+by the baseline's on the same benchmark and machine.  ``normalised_*``
+helpers implement exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.access import FetchCounters
+from repro.energy.cache_model import EnergyBreakdown
+from repro.energy.params import EnergyParams
+from repro.errors import EnergyModelError
+
+__all__ = ["ProcessorEnergyModel", "ProcessorReport"]
+
+
+@dataclass(frozen=True)
+class ProcessorReport:
+    """Energy/timing summary of one simulated run."""
+
+    instructions: int
+    cycles: int
+    breakdown: EnergyBreakdown
+    core_pj: float
+
+    @property
+    def icache_pj(self) -> float:
+        return self.breakdown.icache_pj
+
+    @property
+    def processor_pj(self) -> float:
+        """Total processor energy: fetch path + rest of core."""
+        return self.breakdown.fetch_path_pj + self.core_pj
+
+    @property
+    def icache_fraction(self) -> float:
+        """Share of processor energy spent in the instruction cache macro."""
+        total = self.processor_pj
+        return self.breakdown.icache_pj / total if total else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    # -- normalisation against a baseline run -------------------------------
+    def normalised_icache_energy(self, baseline: "ProcessorReport") -> float:
+        if baseline.icache_pj <= 0:
+            raise EnergyModelError("baseline instruction cache energy is zero")
+        return self.icache_pj / baseline.icache_pj
+
+    def normalised_delay(self, baseline: "ProcessorReport") -> float:
+        if baseline.cycles <= 0:
+            raise EnergyModelError("baseline cycle count is zero")
+        return self.cycles / baseline.cycles
+
+    def ed_product(self, baseline: "ProcessorReport") -> float:
+        """Normalised energy-delay product (processor energy x run time)."""
+        if baseline.processor_pj <= 0 or baseline.cycles <= 0:
+            raise EnergyModelError("baseline energy/delay is zero")
+        energy_ratio = self.processor_pj / baseline.processor_pj
+        delay_ratio = self.cycles / baseline.cycles
+        return energy_ratio * delay_ratio
+
+
+class ProcessorEnergyModel:
+    """Adds the rest-of-core component on top of a cache breakdown.
+
+    ``mem_fraction`` is the workload's dynamic share of load/store
+    instructions: each memory operation adds D-cache/address-path energy on
+    top of the flat per-instruction cost, so register-resident kernels give
+    the I-cache a larger share of total processor energy.
+    """
+
+    def __init__(self, params: EnergyParams = EnergyParams()):
+        self.params = params
+
+    def core_energy_pj(
+        self, instructions: int, cycles: int, mem_fraction: float = 0.25
+    ) -> float:
+        if not 0.0 <= mem_fraction <= 1.0:
+            raise EnergyModelError(
+                f"mem_fraction must be in [0, 1], got {mem_fraction}"
+            )
+        per_instruction = (
+            self.params.core_pj_per_instruction
+            + mem_fraction * self.params.mem_op_extra_pj
+        )
+        return instructions * per_instruction + cycles * self.params.core_pj_per_cycle
+
+    def report(
+        self,
+        counters: FetchCounters,
+        breakdown: EnergyBreakdown,
+        cycles: int,
+        mem_fraction: float = 0.25,
+    ) -> ProcessorReport:
+        return ProcessorReport(
+            instructions=counters.fetches,
+            cycles=cycles,
+            breakdown=breakdown,
+            core_pj=self.core_energy_pj(counters.fetches, cycles, mem_fraction),
+        )

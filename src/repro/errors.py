@@ -1,0 +1,71 @@
+"""Exception hierarchy for the way-placement reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses mark
+the subsystem that detected the problem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EncodingError",
+    "AssemblerError",
+    "ProgramError",
+    "LayoutError",
+    "CacheConfigError",
+    "TraceError",
+    "ProfileError",
+    "SchemeError",
+    "EnergyModelError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source text was malformed."""
+
+
+class ProgramError(ReproError):
+    """A program, function, or CFG is structurally invalid."""
+
+
+class LayoutError(ReproError):
+    """A code layout is inconsistent (overlaps, misalignment, missing blocks)."""
+
+
+class CacheConfigError(ReproError):
+    """A cache or TLB geometry is invalid (non-power-of-two, too small, ...)."""
+
+
+class TraceError(ReproError):
+    """Trace generation failed (unreachable block, bad step budget, ...)."""
+
+
+class ProfileError(ReproError):
+    """Profile data is missing, malformed, or inconsistent with the program."""
+
+
+class SchemeError(ReproError):
+    """A fetch scheme was configured or driven incorrectly."""
+
+
+class EnergyModelError(ReproError):
+    """Energy-model parameters are invalid."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment grid or figure request is invalid."""

@@ -1,0 +1,43 @@
+"""Experiment harness: run grids, normalise, regenerate tables and figures."""
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.figures import (
+    Figure4Result,
+    Figure5Result,
+    Figure6Result,
+    figure4,
+    figure5,
+    figure6,
+    FIGURE5_WPA_SIZES,
+    FIGURE6_CACHE_SIZES,
+    FIGURE6_WAYS,
+    FIGURE6_WPA_SIZES,
+)
+from repro.experiments.formatting import render_table, format_pct, format_ratio
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    SensitivityResult,
+    reprice_report,
+    sensitivity_grid,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "figure4",
+    "figure5",
+    "figure6",
+    "FIGURE5_WPA_SIZES",
+    "FIGURE6_CACHE_SIZES",
+    "FIGURE6_WAYS",
+    "FIGURE6_WPA_SIZES",
+    "render_table",
+    "format_pct",
+    "format_ratio",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "reprice_report",
+    "sensitivity_grid",
+]

@@ -1,0 +1,119 @@
+"""Exporting figure results as machine-readable records (CSV / JSON).
+
+Every figure result converts to a flat list of record dicts — one per
+plotted point — which serialise to CSV (for plotting tools) or JSON (for
+downstream analysis).  The record schemas are stable and tested.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import Figure4Result, Figure5Result, Figure6Result
+
+__all__ = [
+    "figure4_records",
+    "figure5_records",
+    "figure6_records",
+    "records_to_csv",
+    "records_to_json",
+]
+
+
+def figure4_records(result: Figure4Result) -> List[Dict[str, object]]:
+    """One record per (benchmark, scheme) bar of Figure 4."""
+    records: List[Dict[str, object]] = []
+    for bench in result.benchmarks:
+        for scheme, data in (
+            ("way-memoization", result.memoization[bench]),
+            ("way-placement", result.placement[bench]),
+        ):
+            records.append(
+                {
+                    "figure": "4",
+                    "benchmark": bench,
+                    "scheme": scheme,
+                    "wpa_kb": result.wpa_size // 1024 if scheme == "way-placement" else "",
+                    "icache_energy": round(data.icache_energy, 6),
+                    "ed_product": round(data.ed_product, 6),
+                    "delay": round(data.delay, 6),
+                }
+            )
+    return records
+
+
+def figure5_records(result: Figure5Result) -> List[Dict[str, object]]:
+    """One record per way-placement-area point plus the memo reference."""
+    records: List[Dict[str, object]] = []
+    for wpa in result.wpa_sizes:
+        records.append(
+            {
+                "figure": "5",
+                "scheme": "way-placement",
+                "wpa_kb": wpa // 1024,
+                "icache_energy": round(result.placement_energy[wpa], 6),
+                "ed_product": round(result.placement_ed[wpa], 6),
+            }
+        )
+    records.append(
+        {
+            "figure": "5",
+            "scheme": "way-memoization",
+            "wpa_kb": "",
+            "icache_energy": round(result.memoization_energy, 6),
+            "ed_product": round(result.memoization_ed, 6),
+        }
+    )
+    return records
+
+
+def figure6_records(result: Figure6Result) -> List[Dict[str, object]]:
+    """One record per (cache, ways, scheme[, wpa]) cell of Figure 6."""
+    records: List[Dict[str, object]] = []
+    for (size, ways), cell in sorted(result.cells.items()):
+        records.append(
+            {
+                "figure": "6",
+                "cache_kb": size // 1024,
+                "ways": ways,
+                "scheme": "way-memoization",
+                "wpa_kb": "",
+                "icache_energy": round(cell.memoization_energy, 6),
+                "ed_product": round(cell.memoization_ed, 6),
+            }
+        )
+        for wpa in result.wpa_sizes:
+            records.append(
+                {
+                    "figure": "6",
+                    "cache_kb": size // 1024,
+                    "ways": ways,
+                    "scheme": "way-placement",
+                    "wpa_kb": wpa // 1024,
+                    "icache_energy": round(cell.placement_energy[wpa], 6),
+                    "ed_product": round(cell.placement_ed[wpa], 6),
+                }
+            )
+    return records
+
+
+def records_to_csv(records: List[Dict[str, object]]) -> str:
+    """Serialise records to CSV text (columns from the first record)."""
+    if not records:
+        raise ExperimentError("no records to serialise")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def records_to_json(records: List[Dict[str, object]]) -> str:
+    """Serialise records to pretty-printed JSON text."""
+    if not records:
+        raise ExperimentError("no records to serialise")
+    return json.dumps(records, indent=2, sort_keys=True)

@@ -1,0 +1,42 @@
+"""ASCII rendering of experiment results (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table", "format_pct", "format_ratio"]
+
+
+def format_pct(value: float) -> str:
+    """A normalised energy as the paper's percentage axis (e.g. '52.3')."""
+    return f"{100.0 * value:5.1f}"
+
+
+def format_ratio(value: float) -> str:
+    """An ED product with the paper's two-decimal precision."""
+    return f"{value:5.2f}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Fixed-width table with a title rule, ready to print."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths: List[int] = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * len(line(headers))
+    body = "\n".join(line(row) for row in rows)
+    return f"{title}\n{rule}\n{line(headers)}\n{rule}\n{body}\n{rule}"

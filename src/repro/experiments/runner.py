@@ -1,0 +1,232 @@
+"""The experiment runner: memoised pipeline from benchmark name to results.
+
+The pipeline stages and what they depend on (anything not in the key is
+reused across experiments — the big win is that *block traces* are layout-
+and geometry-independent, and *line-event traces* are geometry-independent,
+so sweeping nine cache configurations re-simulates only the cache stage):
+
+========================  =============================================
+stage                      cache key
+========================  =============================================
+workload (synth program)   benchmark
+profile (small input)      benchmark
+layout                     benchmark, policy
+block trace (large input)  benchmark
+line events                benchmark, policy, line size
+simulation report          benchmark, scheme, geometry, wpa, options
+========================  =============================================
+
+Instruction budgets default to 400k evaluated / 100k profiled instructions
+per benchmark and can be overridden by the ``REPRO_EVAL_INSTRUCTIONS`` /
+``REPRO_PROFILE_INSTRUCTIONS`` environment variables (the harness trades
+trace length for wall-clock time; results are stable well below the
+defaults because the workloads are stationary loop nests).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.energy.params import EnergyParams
+from repro.errors import ExperimentError
+from repro.layout.layouts import Layout
+from repro.layout.placement import LayoutPolicy, make_layout
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import dynamic_memory_fraction, profile_block_trace
+from repro.sim.machine import MachineConfig, XSCALE_BASELINE
+from repro.sim.report import NormalisedResult, SimulationReport
+from repro.sim.simulator import Simulator
+from repro.trace.events import LineEventTrace
+from repro.trace.executor import BlockTrace, CfgWalker
+from repro.trace.fetch import line_events_from_block_trace
+from repro.workloads.inputs import LARGE_INPUT, SMALL_INPUT, branch_models_for
+from repro.workloads.mibench import load_benchmark
+from repro.workloads.synth import Workload
+
+__all__ = ["ExperimentRunner"]
+
+_DEFAULT_EVAL_INSTRUCTIONS = 400_000
+_DEFAULT_PROFILE_INSTRUCTIONS = 100_000
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ExperimentError(f"environment variable {name}={value!r} is not an int")
+    if parsed <= 0:
+        raise ExperimentError(f"environment variable {name} must be positive")
+    return parsed
+
+
+class ExperimentRunner:
+    """Memoising driver for everything the benches and figures need."""
+
+    def __init__(
+        self,
+        eval_instructions: Optional[int] = None,
+        profile_instructions: Optional[int] = None,
+        energy_params: EnergyParams = EnergyParams(),
+        organisation: str = "cam",
+        seed: int = 1,
+    ):
+        self.eval_instructions = (
+            eval_instructions
+            if eval_instructions is not None
+            else _env_int("REPRO_EVAL_INSTRUCTIONS", _DEFAULT_EVAL_INSTRUCTIONS)
+        )
+        self.profile_instructions = (
+            profile_instructions
+            if profile_instructions is not None
+            else _env_int("REPRO_PROFILE_INSTRUCTIONS", _DEFAULT_PROFILE_INSTRUCTIONS)
+        )
+        self.energy_params = energy_params
+        self.organisation = organisation
+        self.seed = seed
+
+        self._workloads: Dict[str, Workload] = {}
+        self._profiles: Dict[str, ProfileData] = {}
+        self._layouts: Dict[Tuple[str, LayoutPolicy], Layout] = {}
+        self._block_traces: Dict[str, BlockTrace] = {}
+        self._events: Dict[Tuple[str, LayoutPolicy, int], LineEventTrace] = {}
+        self._mem_fractions: Dict[str, float] = {}
+        self._reports: Dict[tuple, SimulationReport] = {}
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def workload(self, benchmark: str) -> Workload:
+        if benchmark not in self._workloads:
+            self._workloads[benchmark] = load_benchmark(benchmark)
+        return self._workloads[benchmark]
+
+    def profile(self, benchmark: str) -> ProfileData:
+        """Profile on the small (train) input, as the paper does."""
+        if benchmark not in self._profiles:
+            workload = self.workload(benchmark)
+            models = branch_models_for(workload, SMALL_INPUT)
+            walker = CfgWalker(workload.program, models, seed=self.seed)
+            trace = walker.walk(self.profile_instructions)
+            self._profiles[benchmark] = profile_block_trace(
+                workload.program, trace, SMALL_INPUT.name
+            )
+        return self._profiles[benchmark]
+
+    def layout(self, benchmark: str, policy: LayoutPolicy) -> Layout:
+        key = (benchmark, policy)
+        if key not in self._layouts:
+            workload = self.workload(benchmark)
+            block_counts = None
+            if policy in (LayoutPolicy.WAY_PLACEMENT, LayoutPolicy.COLDEST_FIRST):
+                block_counts = self.profile(benchmark).block_counts
+            self._layouts[key] = make_layout(
+                workload.program, policy, block_counts, seed=self.seed
+            )
+        return self._layouts[key]
+
+    def block_trace(self, benchmark: str) -> BlockTrace:
+        """The large-input evaluation trace (layout independent)."""
+        if benchmark not in self._block_traces:
+            workload = self.workload(benchmark)
+            models = branch_models_for(workload, LARGE_INPUT)
+            walker = CfgWalker(workload.program, models, seed=self.seed + 1)
+            self._block_traces[benchmark] = walker.walk(self.eval_instructions)
+        return self._block_traces[benchmark]
+
+    def events(
+        self, benchmark: str, policy: LayoutPolicy, line_size: int
+    ) -> LineEventTrace:
+        key = (benchmark, policy, line_size)
+        if key not in self._events:
+            workload = self.workload(benchmark)
+            self._events[key] = line_events_from_block_trace(
+                self.block_trace(benchmark),
+                workload.program,
+                self.layout(benchmark, policy),
+                line_size,
+            )
+        return self._events[key]
+
+    def mem_fraction(self, benchmark: str) -> float:
+        """Dynamic load/store share of the evaluation trace."""
+        if benchmark not in self._mem_fractions:
+            self._mem_fractions[benchmark] = dynamic_memory_fraction(
+                self.workload(benchmark).program, self.block_trace(benchmark)
+            )
+        return self._mem_fractions[benchmark]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        benchmark: str,
+        scheme: str,
+        machine: MachineConfig = XSCALE_BASELINE,
+        wpa_size: int = 0,
+        layout_policy: Optional[LayoutPolicy] = None,
+        same_line_skip: Optional[bool] = None,
+        l0_size: int = 512,
+    ) -> SimulationReport:
+        """Run (or recall) one simulation.
+
+        The layout defaults to the paper's pairing: the way-placement scheme
+        runs on the profile-chained binary, everything else on the original
+        one.  Pass ``layout_policy`` to break that pairing (ablations).
+        """
+        if layout_policy is None:
+            layout_policy = (
+                LayoutPolicy.WAY_PLACEMENT
+                if scheme == "way-placement"
+                else LayoutPolicy.ORIGINAL
+            )
+        key = (
+            benchmark,
+            scheme,
+            machine.icache,
+            wpa_size,
+            layout_policy,
+            same_line_skip,
+            l0_size if scheme == "filter-cache" else 0,
+            machine.page_size,
+            machine.itlb_entries,
+        )
+        if key not in self._reports:
+            events = self.events(benchmark, layout_policy, machine.icache.line_size)
+            simulator = Simulator(machine, self.energy_params, self.organisation)
+            self._reports[key] = simulator.run_events(
+                events,
+                scheme,
+                benchmark=benchmark,
+                layout_description=self.layout(benchmark, layout_policy).description,
+                wpa_size=wpa_size,
+                same_line_skip=same_line_skip,
+                l0_size=l0_size,
+                mem_fraction=self.mem_fraction(benchmark),
+            )
+        return self._reports[key]
+
+    def normalised(
+        self,
+        benchmark: str,
+        scheme: str,
+        machine: MachineConfig = XSCALE_BASELINE,
+        wpa_size: int = 0,
+        layout_policy: Optional[LayoutPolicy] = None,
+        same_line_skip: Optional[bool] = None,
+    ) -> NormalisedResult:
+        """A scheme's result normalised to the plain baseline on ``machine``."""
+        baseline = self.report(benchmark, "baseline", machine)
+        run = self.report(
+            benchmark,
+            scheme,
+            machine,
+            wpa_size=wpa_size,
+            layout_policy=layout_policy,
+            same_line_skip=same_line_skip,
+        )
+        return run.normalise(baseline)

@@ -1,0 +1,38 @@
+"""A small ARM-like 32-bit RISC ISA.
+
+This is the substrate the layout engine rearranges: fixed-width 4-byte
+instructions, sixteen general-purpose registers, and a compact set of ALU,
+multiply-accumulate, memory, and control-flow operations matching the
+functional units of the XScale-like machine in Table 1 of the paper.
+
+The ISA is deliberately simple — the way-placement technique needs only the
+*addresses* and *control flow* of instructions — but it is fully encodable:
+every instruction round-trips through a 32-bit word, and a tiny assembler /
+disassembler make examples and tests readable.
+"""
+
+from repro.isa.registers import Register, REGISTER_NAMES, register_by_name
+from repro.isa.instructions import (
+    Opcode,
+    Condition,
+    Instruction,
+    INSTRUCTION_SIZE,
+)
+from repro.isa.encoding import encode_instruction, decode_instruction
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, format_instruction
+
+__all__ = [
+    "Register",
+    "REGISTER_NAMES",
+    "register_by_name",
+    "Opcode",
+    "Condition",
+    "Instruction",
+    "INSTRUCTION_SIZE",
+    "encode_instruction",
+    "decode_instruction",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+]

@@ -1,0 +1,177 @@
+"""A small two-pass assembler for the ARM-like ISA.
+
+Accepted syntax, one statement per line::
+
+    loop:                   ; label (';' and '@' start comments)
+        add   r1, r2, r3
+        addlt r1, r2, r3    ; condition suffix on any ALU/branch mnemonic
+        mov   r0, #42
+        lsl   r0, r1, #2
+        ldr   r4, [r5, #8]
+        str   r4, [r5]
+        cmp   r1, r2
+        bne   loop
+        bl    helper
+        ret
+
+:func:`assemble` returns the instruction list with *symbolic* branch targets
+plus the label table (label -> instruction index), which is exactly what the
+program builder needs to carve the stream into basic blocks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import OPERAND_SIGNATURES
+from repro.isa.instructions import Condition, Instruction, Opcode
+from repro.isa.registers import REGISTER_NAMES
+
+__all__ = ["assemble", "AssemblyUnit"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):\s*(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*([A-Za-z][A-Za-z0-9]*)\s*(?:,\s*#(-?\d+)\s*)?\]$"
+)
+
+_CONDITION_SUFFIXES = {c.suffix: c for c in Condition if c is not Condition.AL}
+
+
+@dataclass(frozen=True)
+class AssemblyUnit:
+    """Result of assembling one source text."""
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int]  # label name -> index into ``instructions``
+
+
+def _split_mnemonic(token: str) -> Tuple[Opcode, Condition]:
+    """Resolve a mnemonic with optional condition suffix into (opcode, cond)."""
+    token = token.lower()
+    # Longest-match the bare opcode first so 'ble' parses as B+LE, not BL+E.
+    candidates = []
+    for opcode in Opcode:
+        base = opcode.name.lower()
+        if token == base:
+            candidates.append((opcode, Condition.AL))
+        elif token.startswith(base) and token[len(base):] in _CONDITION_SUFFIXES:
+            candidates.append((opcode, _CONDITION_SUFFIXES[token[len(base):]]))
+    if not candidates:
+        raise AssemblerError(f"unknown mnemonic {token!r}")
+    # Prefer the candidate with the longest base opcode name (bl over b).
+    candidates.sort(key=lambda pair: len(pair[0].name), reverse=True)
+    exact = [c for c in candidates if c[1] is Condition.AL]
+    return exact[0] if exact else candidates[0]
+
+
+def _parse_operand_list(text: str) -> List[str]:
+    """Split an operand string on commas, respecting [] memory brackets."""
+    operands: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    if depth != 0:
+        raise AssemblerError(f"unbalanced brackets in operands {text!r}")
+    return operands
+
+
+def _parse_register(token: str, line_no: int) -> "Register":
+    name = token.strip().lower()
+    if name not in REGISTER_NAMES:
+        raise AssemblerError(f"line {line_no}: expected register, got {token!r}")
+    return REGISTER_NAMES[name]
+
+
+def _parse_immediate(token: str, line_no: int) -> int:
+    token = token.strip()
+    if not token.startswith("#"):
+        raise AssemblerError(f"line {line_no}: expected immediate '#n', got {token!r}")
+    try:
+        return int(token[1:], 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad immediate {token!r}") from None
+
+
+def _assemble_statement(mnemonic: str, operand_text: str, line_no: int) -> Instruction:
+    opcode, condition = _split_mnemonic(mnemonic)
+    operands = _parse_operand_list(operand_text) if operand_text else []
+
+    if opcode in (Opcode.B, Opcode.BL):
+        if len(operands) != 1:
+            raise AssemblerError(f"line {line_no}: {mnemonic} takes one target label")
+        return Instruction(opcode, condition=condition, target=operands[0])
+
+    if opcode in (Opcode.RET, Opcode.NOP):
+        if operands:
+            raise AssemblerError(f"line {line_no}: {mnemonic} takes no operands")
+        return Instruction(opcode, condition=condition)
+
+    if opcode in (Opcode.LDR, Opcode.STR, Opcode.LDRB, Opcode.STRB):
+        if len(operands) != 2:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} needs 'rd, [rn(, #imm)]'"
+            )
+        rd = _parse_register(operands[0], line_no)
+        match = _MEM_RE.match(operands[1])
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: bad memory operand {operands[1]!r}"
+            )
+        rn = _parse_register(match.group(1), line_no)
+        imm = int(match.group(2)) if match.group(2) else 0
+        return Instruction(opcode, rd=rd, rn=rn, imm=imm, condition=condition)
+
+    signature = OPERAND_SIGNATURES[opcode]
+    if len(operands) != len(signature):
+        raise AssemblerError(
+            f"line {line_no}: {mnemonic} expects {len(signature)} operands, "
+            f"got {len(operands)}"
+        )
+    fields = {"rd": None, "rn": None, "rm": None, "imm": 0}
+    for slot, token in zip(signature, operands):
+        if slot == "i":
+            fields["imm"] = _parse_immediate(token, line_no)
+        else:
+            fields["r" + slot] = _parse_register(token, line_no)
+    return Instruction(opcode, condition=condition, **fields)
+
+
+def assemble(source: str) -> AssemblyUnit:
+    """Assemble ``source`` text into instructions and a label table."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        # ';' and '@' start comments ('#' always introduces an immediate).
+        text = raw.split(";")[0].split("@")[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if match:
+                label, text = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+                labels[label] = len(instructions)
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0]
+            operand_text = parts[1] if len(parts) > 1 else ""
+            instructions.append(_assemble_statement(mnemonic, operand_text, line_no))
+            text = ""
+    for label, index in labels.items():
+        if index > len(instructions):
+            raise AssemblerError(f"label {label!r} points past end of program")
+    return AssemblyUnit(tuple(instructions), labels)

@@ -1,0 +1,54 @@
+"""Textual rendering of instructions — the inverse of the assembler."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.encoding import OPERAND_SIGNATURES
+from repro.isa.instructions import Instruction, Opcode
+
+__all__ = ["format_instruction", "disassemble"]
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    mnemonic = instruction.mnemonic
+    opcode = instruction.opcode
+
+    if opcode in (Opcode.B, Opcode.BL):
+        if instruction.target is not None:
+            return f"{mnemonic} {instruction.target}"
+        return f"{mnemonic} .{instruction.imm:+d}"
+
+    if opcode in (Opcode.RET, Opcode.NOP):
+        return mnemonic
+
+    if instruction.is_memory_access:
+        base = instruction.rn.canonical_name
+        if instruction.imm:
+            return f"{mnemonic} {instruction.rd.canonical_name}, [{base}, #{instruction.imm}]"
+        return f"{mnemonic} {instruction.rd.canonical_name}, [{base}]"
+
+    operands: List[str] = []
+    for slot in OPERAND_SIGNATURES[opcode]:
+        if slot == "d":
+            operands.append(instruction.rd.canonical_name)
+        elif slot == "n":
+            operands.append(instruction.rn.canonical_name)
+        elif slot == "m":
+            operands.append(instruction.rm.canonical_name)
+        else:
+            operands.append(f"#{instruction.imm}")
+    if operands:
+        return f"{mnemonic} {', '.join(operands)}"
+    return mnemonic
+
+
+def disassemble(instructions: Iterable[Instruction], base_address: int = 0) -> str:
+    """Render a sequence of instructions with addresses, one per line."""
+    lines = []
+    address = base_address
+    for instruction in instructions:
+        lines.append(f"{address:#010x}:  {format_instruction(instruction)}")
+        address += instruction.size
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Binary encoding of instructions into 32-bit words.
+
+Word layout (bit 31 is the most significant):
+
+* ``[31:27]`` opcode (5 bits)
+* ``[26:24]`` condition code (3 bits)
+
+For register-form instructions:
+
+* ``[23:20]`` rd, ``[19:16]`` rn, ``[15:12]`` rm
+* ``[11:0]``  signed 12-bit immediate
+
+For branches (``b``, ``bl``): ``[23:0]`` is a signed 24-bit PC-relative word
+offset, as on ARM.  Symbolic targets must be resolved to an offset before
+encoding, which is why :func:`encode_instruction` takes the instruction's own
+address and a symbol table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import EncodingError
+from repro.isa.instructions import Condition, Instruction, Opcode, INSTRUCTION_SIZE
+from repro.isa.registers import Register
+from repro.utils.bitops import bit_field, mask
+
+__all__ = ["encode_instruction", "decode_instruction", "OPERAND_SIGNATURES"]
+
+_IMM_BITS = 12
+_BRANCH_BITS = 24
+
+#: Which operand fields each opcode uses, as a string over {d, n, m, i}.
+OPERAND_SIGNATURES: Mapping[Opcode, str] = {
+    Opcode.ADD: "dnm",
+    Opcode.SUB: "dnm",
+    Opcode.AND: "dnm",
+    Opcode.ORR: "dnm",
+    Opcode.EOR: "dnm",
+    Opcode.LSL: "dni",
+    Opcode.LSR: "dni",
+    Opcode.MOV: "di",
+    Opcode.MVN: "dm",
+    Opcode.CMP: "nm",
+    Opcode.MUL: "dnm",
+    Opcode.MLA: "dnm",
+    Opcode.LDR: "dni",
+    Opcode.STR: "dni",
+    Opcode.LDRB: "dni",
+    Opcode.STRB: "dni",
+    Opcode.B: "",
+    Opcode.BL: "",
+    Opcode.RET: "",
+    Opcode.NOP: "",
+}
+
+
+def _signed_to_field(value: int, nbits: int, what: str) -> int:
+    lo = -(1 << (nbits - 1))
+    hi = (1 << (nbits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} out of signed {nbits}-bit range [{lo}, {hi}]")
+    return value & mask(nbits)
+
+
+def _field_to_signed(value: int, nbits: int) -> int:
+    sign_bit = 1 << (nbits - 1)
+    return (value & mask(nbits)) - ((value & sign_bit) << 1)
+
+
+def _reg_field(reg: Optional[Register]) -> int:
+    return 0 if reg is None else int(reg)
+
+
+def encode_instruction(
+    instruction: Instruction,
+    address: int = 0,
+    symbols: Optional[Mapping[str, int]] = None,
+) -> int:
+    """Encode ``instruction`` (placed at ``address``) into a 32-bit word.
+
+    ``symbols`` maps label names to byte addresses and is consulted to
+    resolve the symbolic target of a branch or call.  A branch may instead
+    carry a pre-resolved word offset in ``imm`` (with ``target`` None).
+    """
+    word = (int(instruction.opcode) & mask(5)) << 27
+    word |= (int(instruction.condition) & mask(3)) << 24
+
+    if instruction.opcode in (Opcode.B, Opcode.BL):
+        if instruction.target is not None:
+            if symbols is None or instruction.target not in symbols:
+                raise EncodingError(
+                    f"cannot encode branch to unresolved target {instruction.target!r}"
+                )
+            delta = symbols[instruction.target] - address
+            if delta % INSTRUCTION_SIZE:
+                raise EncodingError(
+                    f"branch target {instruction.target!r} not instruction-aligned"
+                )
+            offset_words = delta // INSTRUCTION_SIZE
+        else:
+            offset_words = instruction.imm
+        word |= _signed_to_field(offset_words, _BRANCH_BITS, "branch offset")
+        return word
+
+    word |= _reg_field(instruction.rd) << 20
+    word |= _reg_field(instruction.rn) << 16
+    word |= _reg_field(instruction.rm) << 12
+    word |= _signed_to_field(instruction.imm, _IMM_BITS, "immediate")
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`.
+
+    Branch targets come back as resolved word offsets in ``imm`` (the
+    symbolic label is not recoverable from machine code).
+    """
+    if not 0 <= word <= mask(32):
+        raise EncodingError(f"instruction word {word:#x} does not fit in 32 bits")
+    try:
+        opcode = Opcode(bit_field(word, 27, 5))
+    except ValueError:
+        raise EncodingError(f"unknown opcode in word {word:#010x}") from None
+    try:
+        condition = Condition(bit_field(word, 24, 3))
+    except ValueError:
+        raise EncodingError(f"unknown condition in word {word:#010x}") from None
+
+    if opcode in (Opcode.B, Opcode.BL):
+        offset = _field_to_signed(bit_field(word, 0, _BRANCH_BITS), _BRANCH_BITS)
+        return Instruction(opcode, condition=condition, imm=offset)
+
+    signature = OPERAND_SIGNATURES[opcode]
+    rd = Register(bit_field(word, 20, 4)) if "d" in signature else None
+    rn = Register(bit_field(word, 16, 4)) if "n" in signature else None
+    rm = Register(bit_field(word, 12, 4)) if "m" in signature else None
+    imm = _field_to_signed(bit_field(word, 0, _IMM_BITS), _IMM_BITS) if "i" in signature else 0
+    return Instruction(opcode, rd=rd, rn=rn, rm=rm, imm=imm, condition=condition)

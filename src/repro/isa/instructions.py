@@ -1,0 +1,125 @@
+"""Instruction definitions for the ARM-like ISA.
+
+An :class:`Instruction` is an immutable record of an opcode, up to three
+register operands, an immediate, an optional condition code, and — for
+control-flow instructions — a symbolic target label.  Targets stay symbolic
+until the layout engine assigns block addresses, mirroring how a link-time
+rewriter like DIABLO works.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.registers import Register
+
+__all__ = ["Opcode", "Condition", "Instruction", "INSTRUCTION_SIZE"]
+
+#: Every instruction occupies four bytes, as on ARM (no Thumb).
+INSTRUCTION_SIZE = 4
+
+
+class Opcode(enum.IntEnum):
+    """Operation codes, grouped by the functional unit that executes them."""
+
+    # ALU
+    ADD = 0
+    SUB = 1
+    AND = 2
+    ORR = 3
+    EOR = 4
+    LSL = 5
+    LSR = 6
+    MOV = 7
+    MVN = 8
+    CMP = 9
+    # Multiply-accumulate unit
+    MUL = 10
+    MLA = 11
+    # Load/store unit
+    LDR = 12
+    STR = 13
+    LDRB = 14
+    STRB = 15
+    # Control flow
+    B = 16
+    BL = 17
+    RET = 18
+    # Misc
+    NOP = 19
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self in (Opcode.B, Opcode.BL, Opcode.RET)
+
+
+class Condition(enum.IntEnum):
+    """Condition codes for predicated branches (subset of ARM's)."""
+
+    AL = 0  # always
+    EQ = 1
+    NE = 2
+    LT = 3
+    GE = 4
+    GT = 5
+    LE = 6
+
+    @property
+    def suffix(self) -> str:
+        """Mnemonic suffix (empty for AL)."""
+        return "" if self is Condition.AL else self.name.lower()
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    ``target`` carries the symbolic destination of a branch or call; it is
+    resolved to a PC-relative offset only when the instruction is encoded at
+    a concrete address.
+    """
+
+    opcode: Opcode
+    rd: Optional[Register] = None
+    rn: Optional[Register] = None
+    rm: Optional[Register] = None
+    imm: int = 0
+    condition: Condition = Condition.AL
+    target: Optional[str] = field(default=None, compare=True)
+
+    @property
+    def size(self) -> int:
+        return INSTRUCTION_SIZE
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any instruction that may redirect the fetch stream."""
+        return self.opcode.is_control_flow
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode is Opcode.BL
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_conditional(self) -> bool:
+        """True when execution of the operation depends on the flags."""
+        return self.condition is not Condition.AL
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.opcode in (Opcode.LDR, Opcode.STR, Opcode.LDRB, Opcode.STRB)
+
+    @property
+    def mnemonic(self) -> str:
+        return self.opcode.name.lower() + self.condition.suffix
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from repro.isa.disassembler import format_instruction
+
+        return format_instruction(self)

@@ -1,0 +1,57 @@
+"""Register file definition for the ARM-like ISA.
+
+Sixteen general-purpose registers.  As on ARM, three of them have
+conventional roles that the assembler accepts as aliases: ``sp`` (r13),
+``lr`` (r14) and ``pc`` (r15).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Register", "REGISTER_NAMES", "register_by_name"]
+
+
+class Register(enum.IntEnum):
+    """General-purpose register numbers."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+    R11 = 11
+    R12 = 12
+    SP = 13
+    LR = 14
+    PC = 15
+
+    @property
+    def canonical_name(self) -> str:
+        """The name the disassembler prints (``r0`` ... ``r12``, ``sp``...)."""
+        if self is Register.SP:
+            return "sp"
+        if self is Register.LR:
+            return "lr"
+        if self is Register.PC:
+            return "pc"
+        return f"r{int(self)}"
+
+
+#: Mapping of every accepted register spelling to its Register value.
+REGISTER_NAMES = {f"r{i}": Register(i) for i in range(16)}
+REGISTER_NAMES.update({"sp": Register.SP, "lr": Register.LR, "pc": Register.PC})
+
+
+def register_by_name(name: str) -> Register:
+    """Look up a register by its textual name (case-insensitive)."""
+    try:
+        return REGISTER_NAMES[name.strip().lower()]
+    except KeyError:
+        raise KeyError(f"unknown register name {name!r}") from None

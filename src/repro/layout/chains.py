@@ -1,0 +1,104 @@
+"""Chain construction — step one of the paper's Section 3 algorithm.
+
+Blocks that have a *predefined ordering we must respect* are linked into
+chains: a block with a fall-through edge (plain fall-through, the not-taken
+path of a conditional branch, or the continuation of a call site) must be
+immediately followed by its successor in memory.  All remaining blocks are
+chains by themselves.
+
+Chains are the atomic units the placement pass reorders; the blocks inside a
+chain never change relative position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import LayoutError
+from repro.program.program import Program
+
+__all__ = ["Chain", "build_chains"]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """An ordered run of block uids that must stay contiguous."""
+
+    uids: Tuple[int, ...]
+
+    @property
+    def head(self) -> int:
+        return self.uids[0]
+
+    def __len__(self) -> int:
+        return len(self.uids)
+
+    def weight(self, instruction_counts: Mapping[int, int]) -> int:
+        """Chain weight = total instructions executed inside the chain.
+
+        This is exactly the paper's metric: "a weight ... equal to the sum
+        of the instruction counts in that chain".
+        """
+        return sum(instruction_counts.get(uid, 0) for uid in self.uids)
+
+
+def _fall_successor_map(program: Program) -> Dict[int, int]:
+    """uid -> uid it must be immediately followed by, for all fall edges."""
+    successors: Dict[int, int] = {}
+    predecessor_of: Dict[int, int] = {}
+    for block in program.blocks():
+        if block.fall_label is None:
+            continue
+        if ":" in block.fall_label:
+            function, _, label = block.fall_label.partition(":")
+        else:
+            function, label = block.function, block.fall_label
+        fall_uid = program.uid_of_label(function, label)
+        if fall_uid in predecessor_of:
+            other = predecessor_of[fall_uid]
+            raise LayoutError(
+                f"block uid {fall_uid} is the fall-through target of both uid "
+                f"{other} and uid {block.uid}; a block can physically follow "
+                f"only one predecessor (insert an explicit jump)"
+            )
+        if fall_uid == block.uid:
+            raise LayoutError(f"block uid {block.uid} falls through to itself")
+        predecessor_of[fall_uid] = block.uid
+        successors[block.uid] = fall_uid
+    return successors
+
+
+def build_chains(program: Program) -> List[Chain]:
+    """Partition the program's blocks into fall-through chains.
+
+    The returned chains appear in *original program order* of their head
+    blocks, which makes downstream sorts deterministic.
+    """
+    successors = _fall_successor_map(program)
+    has_predecessor = set(successors.values())
+
+    original_order = [block.uid for block in program.blocks()]
+    chains: List[Chain] = []
+    placed = set()
+    for uid in original_order:
+        if uid in has_predecessor or uid in placed:
+            continue
+        run: List[int] = []
+        cursor: Optional[int] = uid
+        while cursor is not None:
+            if cursor in placed:
+                raise LayoutError(
+                    f"fall-through edges form a cycle through block uid {cursor}"
+                )
+            run.append(cursor)
+            placed.add(cursor)
+            cursor = successors.get(cursor)
+        chains.append(Chain(tuple(run)))
+
+    if len(placed) != program.num_blocks:
+        missing = [uid for uid in original_order if uid not in placed]
+        raise LayoutError(
+            f"fall-through edges form a cycle; blocks {missing} have no chain head"
+        )
+    return chains

@@ -1,0 +1,121 @@
+"""Concrete code layouts: block uid -> byte address."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import LayoutError
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.program.program import Program
+
+__all__ = ["Layout"]
+
+
+class Layout:
+    """An assignment of every basic block to a start address.
+
+    A layout is valid when blocks are instruction-aligned, non-overlapping,
+    and cover every block of the program exactly once.  The constructor
+    verifies all three so downstream consumers can trust it blindly.
+    """
+
+    def __init__(
+        self,
+        program_name: str,
+        addresses: Mapping[int, int],
+        sizes: Mapping[int, int],
+        description: str = "",
+    ):
+        if set(addresses) != set(sizes):
+            raise LayoutError("layout addresses and sizes cover different blocks")
+        spans: List[Tuple[int, int, int]] = []  # (start, end, uid)
+        for uid, address in addresses.items():
+            if address < 0 or address % INSTRUCTION_SIZE:
+                raise LayoutError(
+                    f"block uid {uid} at unaligned or negative address {address:#x}"
+                )
+            size = sizes[uid]
+            if size <= 0:
+                raise LayoutError(f"block uid {uid} has non-positive size {size}")
+            spans.append((address, address + size, uid))
+        spans.sort()
+        for (s0, e0, u0), (s1, e1, u1) in zip(spans, spans[1:]):
+            if s1 < e0:
+                raise LayoutError(
+                    f"blocks uid {u0} [{s0:#x},{e0:#x}) and uid {u1} "
+                    f"[{s1:#x},{e1:#x}) overlap"
+                )
+        self._program_name = program_name
+        self._addresses: Dict[int, int] = dict(addresses)
+        self._sizes: Dict[int, int] = dict(sizes)
+        self._order: Tuple[int, ...] = tuple(uid for _, _, uid in spans)
+        self._end = spans[-1][1] if spans else 0
+        self.description = description or "unnamed layout"
+
+    @classmethod
+    def from_order(
+        cls,
+        program: Program,
+        order: Iterable[int],
+        base_address: int = 0,
+        description: str = "",
+    ) -> "Layout":
+        """Lay blocks out contiguously in ``order`` starting at ``base_address``."""
+        addresses: Dict[int, int] = {}
+        sizes: Dict[int, int] = {}
+        cursor = base_address
+        for uid in order:
+            block = program.block_by_uid(uid)
+            addresses[uid] = cursor
+            sizes[uid] = block.size_bytes
+            cursor += block.size_bytes
+        if len(addresses) != program.num_blocks:
+            raise LayoutError(
+                f"layout order covers {len(addresses)} blocks but program "
+                f"{program.name!r} has {program.num_blocks}"
+            )
+        return cls(program.name, addresses, sizes, description)
+
+    # ------------------------------------------------------------------
+    @property
+    def program_name(self) -> str:
+        return self._program_name
+
+    @property
+    def block_order(self) -> Tuple[int, ...]:
+        """Block uids in increasing address order."""
+        return self._order
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of code."""
+        return self._end
+
+    def address_of(self, uid: int) -> int:
+        try:
+            return self._addresses[uid]
+        except KeyError:
+            raise LayoutError(f"layout does not place block uid {uid}") from None
+
+    def size_of(self, uid: int) -> int:
+        try:
+            return self._sizes[uid]
+        except KeyError:
+            raise LayoutError(f"layout does not place block uid {uid}") from None
+
+    def blocks_within(self, start: int, end: int) -> List[int]:
+        """Uids of blocks whose first byte lies in ``[start, end)``."""
+        return [uid for uid in self._order if start <= self._addresses[uid] < end]
+
+    def symbol_table(self, program: Program) -> Dict[str, int]:
+        """Label -> address map, usable by the instruction encoder."""
+        table: Dict[str, int] = {}
+        for block in program.blocks():
+            table[f"{block.function}:{block.label}"] = self._addresses[block.uid]
+        return table
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return (
+            f"<layout for {self._program_name!r}: {len(self._addresses)} blocks, "
+            f"{self._end} bytes — {self.description}>"
+        )

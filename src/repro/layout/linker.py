@@ -1,0 +1,51 @@
+"""Address assignment: the final linking step of the layout pipeline."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import LayoutError
+from repro.layout.layouts import Layout
+from repro.program.program import Program
+
+__all__ = ["link_blocks"]
+
+
+def link_blocks(
+    program: Program,
+    order: Sequence[int],
+    base_address: int = 0,
+    description: str = "",
+) -> Layout:
+    """Produce a :class:`Layout` placing blocks contiguously in ``order``.
+
+    Validates that ``order`` is a permutation of the program's blocks and
+    that every fall-through predecessor is immediately followed by its
+    successor — the invariant the paper's hardware relies on (a block that
+    falls through must physically precede its fall-through target).
+    """
+    order = list(order)
+    expected = {block.uid for block in program.blocks()}
+    if set(order) != expected or len(order) != len(expected):
+        raise LayoutError(
+            f"block order is not a permutation of program {program.name!r}'s blocks"
+        )
+
+    position = {uid: index for index, uid in enumerate(order)}
+    for block in program.blocks():
+        if block.fall_label is None:
+            continue
+        function, _, label = (
+            block.fall_label.partition(":")
+            if ":" in block.fall_label
+            else (block.function, None, block.fall_label)
+        )
+        fall_uid = program.uid_of_label(function, label)
+        if position[fall_uid] != position[block.uid] + 1:
+            raise LayoutError(
+                f"layout breaks fall-through adjacency: block "
+                f"{block.function}:{block.label} (uid {block.uid}) must be "
+                f"immediately followed by uid {fall_uid}"
+            )
+
+    return Layout.from_order(program, order, base_address, description)

@@ -1,0 +1,165 @@
+"""Choosing the way-placement area size — the operating system's job.
+
+The paper (Section 4.1): the compiler always puts the best candidates at
+the start of the binary, "enabl[ing] the operating system to choose the
+best sized way-placement area either on a static or per-program basis".
+This module implements that policy concretely: given the profile and the
+layout, estimate each candidate size's fetch energy and pick the minimum.
+
+The estimator mirrors the energy model's structure without running a
+simulation:
+
+* *coverage(W)* — profiled fraction of executed instructions placed below
+  ``W``; these fetch with one tag check instead of ``ways``;
+* *boundary crossings(W)* — profiled control-flow transfers across the
+  area boundary; each flips the way-hint bit, costing one misprediction
+  (an extra all-ways access on the way in);
+* sizes beyond one cache-coverage pay a *self-conflict* penalty: two hot
+  lines a cache-size apart share a mandated (set, way).
+
+Estimates use only information the OS actually has (the profile annotations
+a compiler would embed), so the bench `test_bench_ablation_wpa_select`
+checks the choice against exhaustive simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import LayoutError
+from repro.layout.layouts import Layout
+from repro.program.program import Program
+from repro.utils.bitops import align_up
+
+__all__ = ["WpaChoice", "choose_wpa_size", "estimate_wpa_energy"]
+
+
+@dataclass(frozen=True)
+class WpaChoice:
+    """The selected way-placement area and the estimates that ranked it."""
+
+    wpa_size: int
+    coverage: float  # profiled instruction coverage of the area
+    crossing_rate: float  # boundary transfers per executed instruction
+    estimated_tag_energy: float  # model units; comparable across candidates
+    ranking: Tuple[Tuple[int, float], ...]  # (size, estimate), best first
+
+
+def _instruction_weights(
+    program: Program, block_counts: Mapping[int, int]
+) -> Dict[int, int]:
+    return {
+        block.uid: block_counts.get(block.uid, 0) * block.num_instructions
+        for block in program.blocks()
+    }
+
+
+def estimate_wpa_energy(
+    program: Program,
+    layout: Layout,
+    block_counts: Mapping[int, int],
+    geometry: CacheGeometry,
+    wpa_size: int,
+    edge_counts: Optional[Mapping[Tuple[int, int], int]] = None,
+    mean_fetches_per_check: float = 6.0,
+) -> Tuple[float, float, float]:
+    """Estimated relative tag energy for one candidate size.
+
+    Returns ``(estimate, coverage, crossing_rate)``.  The estimate is in
+    "way-searches per fetch" units — meaningless absolutely, monotone
+    across candidates, which is all a ranking needs.
+    """
+    weights = _instruction_weights(program, block_counts)
+    total = sum(weights.values())
+    if total == 0:
+        raise LayoutError("profile has no executed instructions")
+
+    covered = sum(
+        weight
+        for uid, weight in weights.items()
+        if layout.address_of(uid) < wpa_size
+    )
+    coverage = covered / total
+
+    crossings = 0
+    if edge_counts:
+        for (src, dst), count in edge_counts.items():
+            src_in = layout.address_of(src) < wpa_size
+            dst_in = layout.address_of(dst) < wpa_size
+            if src_in != dst_in:
+                crossings += count
+    crossing_rate = crossings / total
+
+    ways = geometry.ways
+    # tag checks happen once per mean_fetches_per_check fetches
+    per_check = coverage * 1.0 + (1.0 - coverage) * ways
+    estimate = per_check / mean_fetches_per_check
+    # each inbound boundary crossing mispredicts the way-hint bit: one
+    # wasted single-way probe plus a corrective full search
+    estimate += crossing_rate * (1.0 + ways) / 2.0
+    # self-conflict penalty for areas larger than one cache coverage:
+    # covered fetches beyond the first cache-size of the binary collide
+    # with the front of the area
+    if wpa_size > geometry.size_bytes:
+        overflow = sum(
+            weight
+            for uid, weight in weights.items()
+            if geometry.size_bytes <= layout.address_of(uid) < wpa_size
+        )
+        estimate += (overflow / total) * ways * 0.5
+    return estimate, coverage, crossing_rate
+
+
+def choose_wpa_size(
+    program: Program,
+    layout: Layout,
+    block_counts: Mapping[int, int],
+    geometry: CacheGeometry,
+    page_size: int,
+    candidates: Optional[Sequence[int]] = None,
+    edge_counts: Optional[Mapping[Tuple[int, int], int]] = None,
+) -> WpaChoice:
+    """Pick the candidate way-placement area with the best estimate.
+
+    ``candidates`` defaults to the powers of two from one page up to the
+    binary size (rounded up to a page), capped at one cache coverage —
+    matching the paper's evaluated range.
+    """
+    if candidates is None:
+        limit = min(
+            align_up(layout.end_address, page_size), geometry.size_bytes
+        )
+        candidates = []
+        size = page_size
+        while size < limit:
+            candidates.append(size)
+            size *= 2
+        candidates.append(limit)
+    candidates = sorted(set(candidates))
+    if not candidates:
+        raise LayoutError("no candidate way-placement area sizes")
+    for candidate in candidates:
+        if candidate <= 0 or candidate % page_size:
+            raise LayoutError(
+                f"candidate {candidate} is not a positive page multiple"
+            )
+
+    scored: List[Tuple[int, float, float, float]] = []
+    for candidate in candidates:
+        estimate, coverage, crossing_rate = estimate_wpa_energy(
+            program, layout, block_counts, geometry, candidate, edge_counts
+        )
+        scored.append((candidate, estimate, coverage, crossing_rate))
+    # best estimate wins; prefer the smaller area on ties (cheaper I-TLB
+    # bits to maintain, more head-room for other programs)
+    scored.sort(key=lambda item: (item[1], item[0]))
+    best = scored[0]
+    return WpaChoice(
+        wpa_size=best[0],
+        coverage=best[2],
+        crossing_rate=best[3],
+        estimated_tag_energy=best[1],
+        ranking=tuple((size, estimate) for size, estimate, _, _ in scored),
+    )

@@ -1,0 +1,21 @@
+"""Profiling: execution counts that drive the way-placement pass.
+
+The paper profiles each benchmark on its *small* input and evaluates on the
+*large* one; :func:`~repro.profiling.profiler.profile_program` performs the
+profiling walk and returns a :class:`~repro.profiling.profile_data.ProfileData`
+with block and edge execution counts.
+"""
+
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import (
+    profile_program,
+    profile_block_trace,
+    dynamic_memory_fraction,
+)
+
+__all__ = [
+    "ProfileData",
+    "profile_program",
+    "profile_block_trace",
+    "dynamic_memory_fraction",
+]

@@ -1,0 +1,74 @@
+"""Profiling runs: walk a program on a training input and count executions."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.profiling.profile_data import ProfileData
+from repro.program.program import Program
+from repro.trace.branch_model import BranchModelMap
+from repro.trace.executor import BlockTrace, CfgWalker
+
+__all__ = ["profile_program", "profile_block_trace", "dynamic_memory_fraction"]
+
+
+def profile_block_trace(
+    program: Program, trace: BlockTrace, input_name: str
+) -> ProfileData:
+    """Reduce an existing block trace to a :class:`ProfileData`."""
+    max_uid = max(block.uid for block in program.blocks())
+    counts = trace.block_counts(max_uid + 1)
+    block_counts: Dict[int, int] = {
+        block.uid: int(counts[block.uid]) for block in program.blocks()
+    }
+
+    edge_counts: Dict[Tuple[int, int], int] = {}
+    uids = trace.uids
+    if uids.shape[0] > 1:
+        pairs = np.stack([uids[:-1], uids[1:]], axis=1)
+        unique_pairs, pair_counts = np.unique(pairs, axis=0, return_counts=True)
+        edge_counts = {
+            (int(src), int(dst)): int(count)
+            for (src, dst), count in zip(unique_pairs.tolist(), pair_counts.tolist())
+        }
+
+    return ProfileData(
+        program_name=program.name,
+        input_name=input_name,
+        block_counts=block_counts,
+        edge_counts=edge_counts,
+        num_instructions=trace.num_instructions,
+    )
+
+
+def dynamic_memory_fraction(program: Program, trace: BlockTrace) -> float:
+    """Dynamic share of load/store instructions in an executed trace.
+
+    Feeds the processor energy model's per-memory-op activity term.
+    """
+    max_uid = max(block.uid for block in program.blocks())
+    counts = trace.block_counts(max_uid + 1)
+    mem_ops = 0
+    for block in program.blocks():
+        executed = int(counts[block.uid])
+        if executed:
+            per_visit = sum(1 for i in block.instructions if i.is_memory_access)
+            mem_ops += executed * per_visit
+    if trace.num_instructions == 0:
+        return 0.0
+    return mem_ops / trace.num_instructions
+
+
+def profile_program(
+    program: Program,
+    branch_models: BranchModelMap,
+    max_instructions: int,
+    input_name: str = "train",
+    seed: int = 0,
+) -> ProfileData:
+    """Run the profiling walk the paper performs with the small input set."""
+    walker = CfgWalker(program, branch_models, seed=seed)
+    trace = walker.walk(max_instructions)
+    return profile_block_trace(program, trace, input_name)

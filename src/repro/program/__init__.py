@@ -1,0 +1,31 @@
+"""Link-time program representation.
+
+This package plays the role DIABLO plays in the paper: it holds a whole
+program as an interprocedural control-flow graph (ICFG) of basic blocks,
+ready to be profiled, reordered, and laid out at link time.
+
+Construction goes through :class:`~repro.program.builder.ProgramBuilder`,
+which enforces the structural rules (every block belongs to a function, every
+branch target resolves, conditional branches have a fall-through, functions
+have a single entry) and produces an immutable :class:`Program`.
+"""
+
+from repro.program.basic_block import BasicBlock, BlockKind
+from repro.program.cfg import Edge, EdgeKind, ControlFlowGraph
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.program.builder import ProgramBuilder, function_from_assembly
+from repro.program.validate import validate_program
+
+__all__ = [
+    "BasicBlock",
+    "BlockKind",
+    "Edge",
+    "EdgeKind",
+    "ControlFlowGraph",
+    "Function",
+    "Program",
+    "ProgramBuilder",
+    "function_from_assembly",
+    "validate_program",
+]

@@ -1,0 +1,71 @@
+"""Basic blocks: straight-line instruction runs with one control-flow exit."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction, INSTRUCTION_SIZE
+
+__all__ = ["BasicBlock", "BlockKind"]
+
+
+class BlockKind(enum.Enum):
+    """How a block transfers control when it finishes executing.
+
+    The kind is derived from the block's terminating instruction and decides
+    which successor fields are meaningful:
+
+    * ``FALLTHROUGH`` — no terminator; control continues at ``fall_label``.
+    * ``JUMP``        — unconditional branch to ``taken_label``.
+    * ``CONDJUMP``    — conditional branch: ``taken_label`` or ``fall_label``.
+    * ``CALL``        — ``bl``: enters ``callee`` then resumes at ``fall_label``.
+    * ``RETURN``      — ``ret``: pops the dynamic call stack.
+    """
+
+    FALLTHROUGH = "fallthrough"
+    JUMP = "jump"
+    CONDJUMP = "condjump"
+    CALL = "call"
+    RETURN = "return"
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """An immutable basic block within a function.
+
+    ``uid`` is unique across the whole program and is the identity used by
+    profiles, traces, and layouts; labels are only for human consumption and
+    branch resolution.
+    """
+
+    uid: int
+    label: str
+    function: str
+    instructions: Tuple[Instruction, ...]
+    kind: BlockKind
+    taken_label: Optional[str] = None
+    fall_label: Optional[str] = None
+    callee: Optional[str] = None  # callee *function* name for CALL blocks
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.instructions) * INSTRUCTION_SIZE
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The control-flow instruction ending the block, if any."""
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return (
+            f"<block {self.function}:{self.label} uid={self.uid} "
+            f"{self.num_instructions} instrs {self.kind.value}>"
+        )

@@ -1,0 +1,346 @@
+"""Fluent construction of programs.
+
+Two entry points:
+
+* :class:`ProgramBuilder` — programmatic construction, used heavily by the
+  synthetic workload generator.  Blocks are declared in textual order within
+  each function; fall-through successors default to the next declared block,
+  exactly like assembly source.
+* :func:`function_from_assembly` — carve an assembled instruction stream
+  into basic blocks (leaders at labels and after branches) and add it as a
+  function.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.assembler import AssemblyUnit, assemble
+from repro.isa.instructions import Condition, Instruction, Opcode
+from repro.isa.registers import Register
+from repro.program.basic_block import BasicBlock, BlockKind
+from repro.program.function import Function
+from repro.program.program import Program
+
+__all__ = ["ProgramBuilder", "FunctionBuilder", "function_from_assembly", "filler_body"]
+
+#: Rotating pattern of ALU instructions used for synthetic block bodies.
+_ALU_PATTERN: Tuple[Instruction, ...] = (
+    Instruction(Opcode.ADD, rd=Register.R1, rn=Register.R2, rm=Register.R3),
+    Instruction(Opcode.SUB, rd=Register.R2, rn=Register.R1, rm=Register.R4),
+    Instruction(Opcode.MOV, rd=Register.R5, imm=1),
+    Instruction(Opcode.MUL, rd=Register.R6, rn=Register.R5, rm=Register.R2),
+    Instruction(Opcode.ORR, rd=Register.R7, rn=Register.R6, rm=Register.R1),
+    Instruction(Opcode.LSR, rd=Register.R8, rn=Register.R7, imm=2),
+    Instruction(Opcode.EOR, rd=Register.R3, rn=Register.R8, rm=Register.R1),
+    Instruction(Opcode.AND, rd=Register.R9, rn=Register.R3, rm=Register.R7),
+)
+
+#: Alternating loads and stores for the memory share of a block body.
+_MEM_PATTERN: Tuple[Instruction, ...] = (
+    Instruction(Opcode.LDR, rd=Register.R4, rn=Register.SP, imm=8),
+    Instruction(Opcode.STR, rd=Register.R6, rn=Register.SP, imm=12),
+    Instruction(Opcode.LDR, rd=Register.R10, rn=Register.R1, imm=0),
+    Instruction(Opcode.STRB, rd=Register.R7, rn=Register.R2, imm=4),
+)
+
+
+class BodyGenerator:
+    """Stateful generator of block bodies with an exact long-run mix.
+
+    ``mem_density`` sets the fraction of loads/stores, deterministically
+    interleaved — crypto kernels run register-resident (low density), image
+    and dictionary codes stream memory (high density).  The mix feeds the
+    processor energy model's per-instruction activity estimate.  The credit
+    accumulator persists across blocks so even densities far below one
+    instruction per block converge to the requested fraction.
+    """
+
+    def __init__(self, mem_density: float = 0.25):
+        if not 0.0 <= mem_density <= 1.0:
+            raise ProgramError(f"mem_density must be in [0, 1], got {mem_density}")
+        self.mem_density = mem_density
+        self._alu = itertools.cycle(_ALU_PATTERN)
+        self._mem = itertools.cycle(_MEM_PATTERN)
+        self._credit = 0.5  # start mid-window so short programs round fairly
+
+    def body(self, num_instructions: int) -> Tuple[Instruction, ...]:
+        if num_instructions < 0:
+            raise ProgramError(
+                f"block body size must be >= 0, got {num_instructions}"
+            )
+        instructions = []
+        for _ in range(num_instructions):
+            self._credit += self.mem_density
+            if self._credit >= 1.0:
+                self._credit -= 1.0
+                instructions.append(next(self._mem))
+            else:
+                instructions.append(next(self._alu))
+        return tuple(instructions)
+
+
+def filler_body(
+    num_instructions: int, mem_density: float = 0.25
+) -> Tuple[Instruction, ...]:
+    """One-shot convenience over :class:`BodyGenerator`."""
+    return BodyGenerator(mem_density).body(num_instructions)
+
+
+class _PendingBlock:
+    """Mutable block record inside a :class:`FunctionBuilder`."""
+
+    __slots__ = ("label", "instructions", "kind", "taken", "fall", "callee")
+
+    def __init__(
+        self,
+        label: str,
+        instructions: Tuple[Instruction, ...],
+        kind: BlockKind,
+        taken: Optional[str],
+        fall: Optional[str],
+        callee: Optional[str],
+    ):
+        self.label = label
+        self.instructions = instructions
+        self.kind = kind
+        self.taken = taken
+        self.fall = fall
+        self.callee = callee
+
+
+class FunctionBuilder:
+    """Declares blocks of one function in textual order.
+
+    ``mem_density`` is the load/store fraction used for generated block
+    bodies (see :func:`filler_body`).
+    """
+
+    def __init__(
+        self, program_builder: "ProgramBuilder", name: str, mem_density: float = 0.25
+    ):
+        self._program_builder = program_builder
+        self.name = name
+        self.mem_density = mem_density
+        self._body_generator = BodyGenerator(mem_density)
+        self._pending: List[_PendingBlock] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- block declaration -------------------------------------------------
+    def block(
+        self,
+        label: str,
+        size: int = 1,
+        *,
+        jump: Optional[str] = None,
+        branch: Optional[str] = None,
+        condition: Condition = Condition.NE,
+        call: Optional[str] = None,
+        ret: bool = False,
+        fall: Optional[str] = None,
+    ) -> "FunctionBuilder":
+        """Add a block of ``size`` filler instructions plus its terminator.
+
+        Exactly one of ``jump`` (unconditional branch target label),
+        ``branch`` (conditional branch target label), ``call`` (callee
+        function name), or ``ret`` may be given; none means fall-through.
+        ``fall`` overrides the default fall-through (the next declared
+        block) for ``branch``/``call``/plain blocks.
+        """
+        chosen = [x for x in (jump, branch, call, ret or None) if x]
+        if len(chosen) > 1:
+            raise ProgramError(
+                f"block {self.name}:{label}: jump/branch/call/ret are mutually exclusive"
+            )
+        body = self._body_generator.body(size)
+        if jump is not None:
+            instructions = body + (Instruction(Opcode.B, target=jump),)
+            pending = _PendingBlock(label, instructions, BlockKind.JUMP, jump, None, None)
+        elif branch is not None:
+            if condition is Condition.AL:
+                raise ProgramError(
+                    f"block {self.name}:{label}: conditional branch needs a real condition"
+                )
+            instructions = body + (
+                Instruction(Opcode.B, condition=condition, target=branch),
+            )
+            pending = _PendingBlock(label, instructions, BlockKind.CONDJUMP, branch, fall, None)
+        elif call is not None:
+            instructions = body + (Instruction(Opcode.BL, target=call),)
+            pending = _PendingBlock(label, instructions, BlockKind.CALL, None, fall, call)
+        elif ret:
+            instructions = body + (Instruction(Opcode.RET),)
+            pending = _PendingBlock(label, instructions, BlockKind.RETURN, None, None, None)
+        else:
+            if not body:
+                raise ProgramError(
+                    f"block {self.name}:{label}: a fall-through block needs a body"
+                )
+            pending = _PendingBlock(label, body, BlockKind.FALLTHROUGH, None, fall, None)
+        self._append(pending)
+        return self
+
+    def raw_block(
+        self,
+        label: str,
+        instructions: Sequence[Instruction],
+        *,
+        taken: Optional[str] = None,
+        fall: Optional[str] = None,
+        callee: Optional[str] = None,
+    ) -> "FunctionBuilder":
+        """Add a block with explicit instructions; the kind is inferred from
+        the final instruction (used by :func:`function_from_assembly`)."""
+        instructions = tuple(instructions)
+        kind = _infer_kind(self.name, label, instructions)
+        if kind is BlockKind.CALL and callee is None:
+            callee = instructions[-1].target
+        if kind in (BlockKind.JUMP, BlockKind.CONDJUMP) and taken is None:
+            taken = instructions[-1].target
+        pending = _PendingBlock(label, instructions, kind, taken, fall, callee)
+        self._append(pending)
+        return self
+
+    def _append(self, pending: _PendingBlock) -> None:
+        if pending.label in self._labels:
+            raise ProgramError(f"duplicate block label {self.name}:{pending.label}")
+        if not pending.instructions:
+            raise ProgramError(f"block {self.name}:{pending.label} is empty")
+        self._labels[pending.label] = len(self._pending)
+        self._pending.append(pending)
+
+    # -- finalisation --------------------------------------------------------
+    def _finish(self, uid_counter: "itertools.count") -> Function:
+        if not self._pending:
+            raise ProgramError(f"function {self.name!r} has no blocks")
+        blocks: List[BasicBlock] = []
+        for index, pending in enumerate(self._pending):
+            fall = pending.fall
+            needs_fall = pending.kind in (
+                BlockKind.FALLTHROUGH,
+                BlockKind.CONDJUMP,
+                BlockKind.CALL,
+            )
+            if needs_fall and fall is None:
+                if index + 1 >= len(self._pending):
+                    raise ProgramError(
+                        f"block {self.name}:{pending.label} falls through past the "
+                        f"end of function {self.name!r}"
+                    )
+                fall = self._pending[index + 1].label
+            blocks.append(
+                BasicBlock(
+                    uid=next(uid_counter),
+                    label=pending.label,
+                    function=self.name,
+                    instructions=pending.instructions,
+                    kind=pending.kind,
+                    taken_label=pending.taken,
+                    fall_label=fall if needs_fall else None,
+                    callee=pending.callee,
+                )
+            )
+        return Function(self.name, tuple(blocks))
+
+
+class ProgramBuilder:
+    """Builds a validated :class:`Program` out of function declarations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._functions: List[FunctionBuilder] = []
+        self._by_name: Dict[str, FunctionBuilder] = {}
+
+    def function(self, name: str, mem_density: float = 0.25) -> FunctionBuilder:
+        """Open (or reopen) the function called ``name``.
+
+        ``mem_density`` only applies when the function is first created.
+        """
+        if name in self._by_name:
+            return self._by_name[name]
+        builder = FunctionBuilder(self, name, mem_density)
+        self._functions.append(builder)
+        self._by_name[name] = builder
+        return builder
+
+    def build(self, entry: Optional[str] = None) -> Program:
+        """Finalise into an immutable, validated :class:`Program`.
+
+        ``entry`` defaults to the first declared function.
+        """
+        if not self._functions:
+            raise ProgramError(f"program {self.name!r} declares no functions")
+        uid_counter = itertools.count()
+        functions = tuple(fb._finish(uid_counter) for fb in self._functions)
+        entry = entry if entry is not None else functions[0].name
+        program = Program(self.name, functions, entry)
+        from repro.program.validate import validate_program
+
+        validate_program(program)
+        return program
+
+
+def _infer_kind(function: str, label: str, instructions: Tuple[Instruction, ...]) -> BlockKind:
+    last = instructions[-1]
+    for instruction in instructions[:-1]:
+        if instruction.is_branch:
+            raise ProgramError(
+                f"block {function}:{label} has a control-flow instruction "
+                f"before its end"
+            )
+    if last.opcode is Opcode.B:
+        return BlockKind.CONDJUMP if last.is_conditional else BlockKind.JUMP
+    if last.opcode is Opcode.BL:
+        if last.is_conditional:
+            raise ProgramError(f"block {function}:{label}: conditional calls unsupported")
+        return BlockKind.CALL
+    if last.opcode is Opcode.RET:
+        return BlockKind.RETURN
+    return BlockKind.FALLTHROUGH
+
+
+def function_from_assembly(
+    builder: ProgramBuilder, name: str, source: str
+) -> FunctionBuilder:
+    """Assemble ``source`` and add it to ``builder`` as function ``name``.
+
+    Basic-block leaders are: the first instruction, every label target, and
+    every instruction following a branch.  ``bl`` targets are treated as
+    callee *function* names (interprocedural), all other branch targets must
+    be labels defined in the same source text.
+    """
+    unit: AssemblyUnit = assemble(source)
+    if not unit.instructions:
+        raise ProgramError(f"function {name!r}: empty assembly source")
+
+    leaders = {0}
+    for index in unit.labels.values():
+        if index < len(unit.instructions):
+            leaders.add(index)
+    for index, instruction in enumerate(unit.instructions):
+        if instruction.is_branch and index + 1 < len(unit.instructions):
+            leaders.add(index + 1)
+    ordered_leaders = sorted(leaders)
+
+    index_to_label: Dict[int, str] = {}
+    for label, index in unit.labels.items():
+        index_to_label.setdefault(index, label)
+    for serial, leader in enumerate(ordered_leaders):
+        index_to_label.setdefault(leader, f".bb{serial}")
+
+    function_builder = builder.function(name)
+    for pos, leader in enumerate(ordered_leaders):
+        end = ordered_leaders[pos + 1] if pos + 1 < len(ordered_leaders) else len(unit.instructions)
+        instructions = unit.instructions[leader:end]
+        last = instructions[-1]
+        taken = None
+        if last.opcode is Opcode.B:
+            if last.target not in unit.labels:
+                raise ProgramError(
+                    f"function {name!r}: branch to unknown label {last.target!r}"
+                )
+            taken = index_to_label[unit.labels[last.target]]
+        function_builder.raw_block(index_to_label[leader], instructions, taken=taken)
+    return function_builder

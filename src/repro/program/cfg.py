@@ -1,0 +1,133 @@
+"""Interprocedural control-flow graph built over a finished program.
+
+The graph is derived, not stored: blocks carry symbolic successor labels, and
+:class:`ControlFlowGraph` resolves them to block uids once, adding call and
+return-continuation edges so layout passes can treat the whole binary as one
+graph — exactly the ICFG of the paper's Section 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import ProgramError
+from repro.program.basic_block import BasicBlock, BlockKind
+
+__all__ = ["EdgeKind", "Edge", "ControlFlowGraph"]
+
+
+class EdgeKind(enum.Enum):
+    """Classification of ICFG edges.
+
+    ``FALLTHROUGH`` edges are the ones the layout engine must respect when
+    chaining (the source block physically precedes the destination);
+    ``CALL``/``CONTINUATION`` pairs mark call-site ordering constraints.
+    """
+
+    FALLTHROUGH = "fallthrough"
+    TAKEN = "taken"
+    CALL = "call"
+    CONTINUATION = "continuation"  # call site -> the block execution resumes at
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    kind: EdgeKind
+
+
+class ControlFlowGraph:
+    """Resolved ICFG with successor/predecessor queries by block uid."""
+
+    def __init__(self, blocks: Mapping[int, BasicBlock], edges: Iterable[Edge]):
+        self._blocks = dict(blocks)
+        self._edges: Tuple[Edge, ...] = tuple(edges)
+        self._successors: Dict[int, List[Edge]] = {uid: [] for uid in self._blocks}
+        self._predecessors: Dict[int, List[Edge]] = {uid: [] for uid in self._blocks}
+        for edge in self._edges:
+            if edge.src not in self._blocks or edge.dst not in self._blocks:
+                raise ProgramError(f"edge {edge} references unknown block uid")
+            self._successors[edge.src].append(edge)
+            self._predecessors[edge.dst].append(edge)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return self._edges
+
+    def block(self, uid: int) -> BasicBlock:
+        return self._blocks[uid]
+
+    def successors(self, uid: int) -> List[Edge]:
+        return list(self._successors[uid])
+
+    def predecessors(self, uid: int) -> List[Edge]:
+        return list(self._predecessors[uid])
+
+    def fallthrough_successor(self, uid: int) -> int:
+        """Return the uid reached by falling through ``uid``, or -1."""
+        for edge in self._successors[uid]:
+            if edge.kind in (EdgeKind.FALLTHROUGH, EdgeKind.CONTINUATION):
+                return edge.dst
+        return -1
+
+    def reachable_from(self, uid: int) -> List[int]:
+        """All block uids reachable from ``uid`` following any edge kind."""
+        seen = {uid}
+        stack = [uid]
+        while stack:
+            current = stack.pop()
+            for edge in self._successors[current]:
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return sorted(seen)
+
+
+def build_icfg(
+    blocks_by_uid: Mapping[int, BasicBlock],
+    label_to_uid: Mapping[str, int],
+    entry_of_function: Mapping[str, int],
+) -> ControlFlowGraph:
+    """Resolve symbolic successors into a :class:`ControlFlowGraph`.
+
+    ``label_to_uid`` maps fully-qualified block labels (``func:label``) to
+    uids; ``entry_of_function`` maps function names to their entry block uid.
+    """
+    edges: List[Edge] = []
+    for uid, block in blocks_by_uid.items():
+        if block.kind is BlockKind.FALLTHROUGH:
+            edges.append(Edge(uid, _resolve(block, block.fall_label, label_to_uid), EdgeKind.FALLTHROUGH))
+        elif block.kind is BlockKind.JUMP:
+            edges.append(Edge(uid, _resolve(block, block.taken_label, label_to_uid), EdgeKind.TAKEN))
+        elif block.kind is BlockKind.CONDJUMP:
+            edges.append(Edge(uid, _resolve(block, block.taken_label, label_to_uid), EdgeKind.TAKEN))
+            edges.append(Edge(uid, _resolve(block, block.fall_label, label_to_uid), EdgeKind.FALLTHROUGH))
+        elif block.kind is BlockKind.CALL:
+            callee = block.callee
+            if callee not in entry_of_function:
+                raise ProgramError(
+                    f"block {block.function}:{block.label} calls unknown function {callee!r}"
+                )
+            edges.append(Edge(uid, entry_of_function[callee], EdgeKind.CALL))
+            edges.append(Edge(uid, _resolve(block, block.fall_label, label_to_uid), EdgeKind.CONTINUATION))
+        elif block.kind is BlockKind.RETURN:
+            pass  # dynamic successor via the call stack
+        else:  # pragma: no cover - exhaustive over BlockKind
+            raise ProgramError(f"unhandled block kind {block.kind!r}")
+    return ControlFlowGraph(blocks_by_uid, edges)
+
+
+def _resolve(block: BasicBlock, label: str, label_to_uid: Mapping[str, int]) -> int:
+    if label is None:
+        raise ProgramError(
+            f"block {block.function}:{block.label} ({block.kind.value}) lacks a successor label"
+        )
+    qualified = label if ":" in label else f"{block.function}:{label}"
+    if qualified not in label_to_uid:
+        raise ProgramError(
+            f"block {block.function}:{block.label} targets unknown label {label!r}"
+        )
+    return label_to_uid[qualified]

@@ -1,0 +1,37 @@
+"""Functions: named, single-entry groups of basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.program.basic_block import BasicBlock
+
+__all__ = ["Function"]
+
+
+@dataclass(frozen=True)
+class Function:
+    """A function is an ordered tuple of blocks; the first is the entry.
+
+    The block order records the *original* (pre-layout) textual order, which
+    defines fall-through adjacency and is the baseline code layout.
+    """
+
+    name: str
+    blocks: Tuple[BasicBlock, ...]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(block.num_instructions for block in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return f"<function {self.name}: {len(self.blocks)} blocks>"

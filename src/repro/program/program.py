@@ -1,0 +1,125 @@
+"""The whole-program container handed to profiling, layout, and simulation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import ControlFlowGraph, build_icfg
+from repro.program.function import Function
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An immutable linked program: functions, blocks, and their ICFG.
+
+    Instances are produced by :class:`~repro.program.builder.ProgramBuilder`;
+    the constructor validates cross-references and materialises the ICFG.
+    """
+
+    def __init__(self, name: str, functions: Tuple[Function, ...], entry_function: str):
+        if not functions:
+            raise ProgramError(f"program {name!r} has no functions")
+        self._name = name
+        self._functions: Dict[str, Function] = {}
+        for function in functions:
+            if function.name in self._functions:
+                raise ProgramError(f"duplicate function name {function.name!r}")
+            if not function.blocks:
+                raise ProgramError(f"function {function.name!r} has no blocks")
+            self._functions[function.name] = function
+        if entry_function not in self._functions:
+            raise ProgramError(f"entry function {entry_function!r} not defined")
+        self._entry_function = entry_function
+
+        self._blocks_by_uid: Dict[int, BasicBlock] = {}
+        self._label_to_uid: Dict[str, int] = {}
+        for function in functions:
+            for block in function.blocks:
+                if block.uid in self._blocks_by_uid:
+                    raise ProgramError(f"duplicate block uid {block.uid}")
+                self._blocks_by_uid[block.uid] = block
+                qualified = f"{block.function}:{block.label}"
+                if qualified in self._label_to_uid:
+                    raise ProgramError(f"duplicate block label {qualified!r}")
+                self._label_to_uid[qualified] = block.uid
+
+        entry_of_function = {
+            function.name: function.entry.uid for function in functions
+        }
+        self._cfg = build_icfg(self._blocks_by_uid, self._label_to_uid, entry_of_function)
+
+    # ------------------------------------------------------------------
+    # Identity and containers
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def functions(self) -> Mapping[str, Function]:
+        return dict(self._functions)
+
+    @property
+    def entry_function(self) -> Function:
+        return self._functions[self._entry_function]
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.entry_function.entry
+
+    @property
+    def cfg(self) -> ControlFlowGraph:
+        return self._cfg
+
+    # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+    def blocks(self) -> Iterator[BasicBlock]:
+        """All blocks in original (baseline layout) order."""
+        for function in self._functions.values():
+            yield from function.blocks
+
+    def block_by_uid(self, uid: int) -> BasicBlock:
+        try:
+            return self._blocks_by_uid[uid]
+        except KeyError:
+            raise ProgramError(f"no block with uid {uid} in program {self._name!r}") from None
+
+    def block_by_label(self, function: str, label: str) -> BasicBlock:
+        qualified = f"{function}:{label}"
+        try:
+            return self._blocks_by_uid[self._label_to_uid[qualified]]
+        except KeyError:
+            raise ProgramError(f"no block {qualified!r} in program {self._name!r}") from None
+
+    def uid_of_label(self, function: str, label: str) -> int:
+        return self.block_by_label(function, label).uid
+
+    def entry_uid_of(self, function: str) -> int:
+        if function not in self._functions:
+            raise ProgramError(f"no function {function!r} in program {self._name!r}")
+        return self._functions[function].entry.uid
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks_by_uid)
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(block.num_instructions for block in self._blocks_by_uid.values())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self._blocks_by_uid.values())
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return (
+            f"<program {self._name!r}: {len(self._functions)} functions, "
+            f"{self.num_blocks} blocks, {self.size_bytes} bytes>"
+        )

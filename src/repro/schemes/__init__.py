@@ -1,0 +1,37 @@
+"""Instruction-fetch schemes: the designs compared in the paper.
+
+Every scheme consumes a :class:`~repro.trace.events.LineEventTrace` and
+produces :class:`~repro.cache.access.FetchCounters` describing its physical
+activity.  Available schemes:
+
+* ``baseline``        — conventional CAM cache, full search every fetch.
+* ``way-placement``   — the paper's proposal (Sections 3-4).
+* ``way-memoization`` — Ma et al.'s hardware links (the paper's comparator).
+* ``way-prediction``  — Inoue et al.'s MRU predictor (related work).
+* ``filter-cache``    — Kin et al.'s L0 buffer (related work).
+* ``scratchpad``      — Ravindran et al.'s compiler-managed SPM (related work).
+"""
+
+from repro.schemes.base import FetchScheme, make_scheme, SCHEME_NAMES
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from repro.schemes.way_memoization import WayMemoizationScheme
+from repro.schemes.way_prediction import WayPredictionScheme
+from repro.schemes.filter_cache import FilterCacheScheme
+from repro.schemes.scratchpad import ScratchpadScheme, select_spm_contents
+from repro.schemes.adaptive import AdaptiveWpaController, AdaptiveRun
+
+__all__ = [
+    "FetchScheme",
+    "make_scheme",
+    "SCHEME_NAMES",
+    "BaselineScheme",
+    "WayPlacementScheme",
+    "WayMemoizationScheme",
+    "WayPredictionScheme",
+    "FilterCacheScheme",
+    "ScratchpadScheme",
+    "select_spm_contents",
+    "AdaptiveWpaController",
+    "AdaptiveRun",
+]

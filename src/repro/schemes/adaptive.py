@@ -1,0 +1,219 @@
+"""Adaptive way-placement-area sizing during execution.
+
+The paper (Section 4.1): the operating system can pick the way-placement
+area "either on a static or per-program basis, even adjusting it during
+program execution".  This module implements the *during execution* part:
+an OS-level controller that feeds the fetch stream to a way-placement
+scheme in windows, measures each candidate area size during a short trial
+phase, then locks in the best — and keeps monitoring, re-trialling if the
+observed cost drifts (a program phase change).
+
+Resizing the area means rewriting per-page way-placement bits.  Lines
+filled under the *old* mapping may then sit in ways the *new* mapping does
+not expect, which would break the single-tag-check guarantee, so the
+controller flushes the instruction cache on every resize — exactly what an
+OS would do when repartitioning, and the cost (refill misses) is charged
+through the ordinary counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SchemeError
+from repro.schemes.way_placement import WayPlacementScheme
+from repro.trace.events import LineEventTrace
+
+__all__ = ["AdaptiveWpaController", "AdaptiveRun", "WindowRecord"]
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """What the controller saw during one window."""
+
+    wpa_size: int
+    fetches: int
+    score: float  # estimated tag-path cost per fetch (lower is better)
+    phase: str  # 'trial' or 'locked'
+
+
+@dataclass(frozen=True)
+class AdaptiveRun:
+    """Outcome of an adaptive run."""
+
+    counters: FetchCounters
+    chosen_wpa: int
+    history: Tuple[WindowRecord, ...]
+    resizes: int
+
+    @property
+    def trial_windows(self) -> int:
+        return sum(1 for record in self.history if record.phase == "trial")
+
+
+class AdaptiveWpaController:
+    """Trial-then-lock controller over a way-placement scheme."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        candidate_sizes: Sequence[int],
+        page_size: int = 1024,
+        itlb_entries: int = 32,
+        window_events: int = 2048,
+        trial_window_events: Optional[int] = None,
+        miss_weight: Optional[float] = None,
+        retrial_threshold: float = 2.5,
+        retrial_patience: int = 3,
+        trial_rounds: int = 2,
+    ):
+        """``trial_window_events`` (default: an eighth of ``window_events``)
+        keeps the measurement phase short — a bad candidate only has to be
+        endured long enough to score it.  ``trial_rounds`` visits each
+        candidate that many times round-robin, averaging out window noise
+        before committing."""
+        candidates = sorted(set(candidate_sizes))
+        if not candidates:
+            raise SchemeError("adaptive controller needs candidate WPA sizes")
+        for candidate in candidates:
+            if candidate < 0 or candidate % page_size:
+                raise SchemeError(
+                    f"candidate {candidate} is not a non-negative page multiple"
+                )
+        if window_events < 1:
+            raise SchemeError("window_events must be positive")
+        self.geometry = geometry
+        self.candidates = candidates
+        self.window_events = window_events
+        self.trial_window_events = (
+            trial_window_events
+            if trial_window_events is not None
+            else max(128, window_events // 8)
+        )
+        if self.trial_window_events < 1:
+            raise SchemeError("trial_window_events must be positive")
+        if trial_rounds < 1:
+            raise SchemeError("trial_rounds must be at least one")
+        self.trial_rounds = trial_rounds
+        # a miss costs roughly a refill search plus the fill; weigh it like
+        # one full search unless told otherwise
+        self.miss_weight = float(geometry.ways if miss_weight is None else miss_weight)
+        self.retrial_threshold = retrial_threshold
+        if retrial_patience < 1:
+            raise SchemeError("retrial_patience must be at least one window")
+        self.retrial_patience = retrial_patience
+        self.scheme = WayPlacementScheme(
+            geometry,
+            wpa_size=candidates[0],
+            page_size=page_size,
+            itlb_entries=itlb_entries,
+        )
+
+    # ------------------------------------------------------------------
+    def _resize(self, wpa_size: int) -> None:
+        self.scheme.itlb.set_wpa_size(wpa_size)
+        self.scheme.wpa_size = wpa_size
+        # Repartitioning invalidates the mapping of already-resident lines.
+        self.scheme.cache.invalidate_all()
+
+    def _score(self, before: FetchCounters, after: FetchCounters) -> float:
+        fetches = after.fetches - before.fetches
+        if fetches == 0:
+            return 0.0
+        precharged = after.ways_precharged - before.ways_precharged
+        misses = after.misses - before.misses
+        return (precharged + self.miss_weight * misses) / fetches
+
+
+    def run(self, events: LineEventTrace) -> AdaptiveRun:
+        """Process the whole trace, adapting the WPA size between windows."""
+        import copy
+
+        scheme = self.scheme
+        history: List[WindowRecord] = []
+        resizes = 0
+
+        num_events = events.num_events
+        window = self.window_events
+        candidates = self.candidates
+
+        trial_scores = {}
+        trial_queue = list(candidates) * self.trial_rounds
+        locked_size: Optional[int] = None
+        locked_score: Optional[float] = None
+        bad_windows = 0
+
+        position = 0
+        current = candidates[0]
+        self._resize(current)
+        resizes += 1
+
+        while position < num_events:
+            current_window = (
+                self.trial_window_events if locked_size is None else window
+            )
+            segment = events.segment(
+                position, min(position + current_window, num_events)
+            )
+            position += segment.num_events
+            before = copy.copy(scheme.counters)
+            scheme.feed(segment)
+            score = self._score(before, scheme.counters)
+
+            if locked_size is None:
+                trial_scores[current] = trial_scores.get(current, 0.0) + score
+                history.append(
+                    WindowRecord(current, scheme.counters.fetches, score, "trial")
+                )
+                trial_queue.pop(0)
+                if trial_queue:
+                    if trial_queue[0] != current:
+                        current = trial_queue[0]
+                        self._resize(current)
+                        resizes += 1
+                else:
+                    locked_size = min(trial_scores, key=trial_scores.get)
+                    locked_score = trial_scores[locked_size] / self.trial_rounds
+                    if locked_size != current:
+                        current = locked_size
+                        self._resize(current)
+                        resizes += 1
+            else:
+                history.append(
+                    WindowRecord(current, scheme.counters.fetches, score, "locked")
+                )
+                # Track the typical locked-phase cost with an exponential
+                # moving average; trial windows include cold-refill noise,
+                # so the EMA settles well below the trial score.
+                locked_score = (
+                    score
+                    if locked_score is None
+                    else 0.7 * locked_score + 0.3 * score
+                )
+                # phase change: the locked size stopped working — only
+                # re-trial after several consecutive bad windows, since a
+                # re-trial flushes the cache and is itself expensive
+                if locked_score > 0 and score > self.retrial_threshold * locked_score:
+                    bad_windows += 1
+                else:
+                    bad_windows = 0
+                if bad_windows >= self.retrial_patience:
+                    locked_size = None
+                    locked_score = None
+                    bad_windows = 0
+                    trial_scores = {}
+                    trial_queue = list(candidates)
+                    current = trial_queue[0]
+                    self._resize(current)
+                    resizes += 1
+
+        scheme.counters.validate()
+        return AdaptiveRun(
+            counters=scheme.counters,
+            chosen_wpa=locked_size if locked_size is not None else current,
+            history=tuple(history),
+            resizes=resizes,
+        )

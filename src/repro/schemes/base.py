@@ -1,0 +1,89 @@
+"""Fetch-scheme interface and factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SchemeError
+from repro.trace.events import LineEventTrace
+
+__all__ = ["FetchScheme", "make_scheme", "SCHEME_NAMES"]
+
+
+class FetchScheme:
+    """A fetch pipeline front end driving one instruction cache.
+
+    Two driving styles:
+
+    * :meth:`run` — one-shot over a whole trace (the experiment harness);
+      a scheme may only ``run`` once, keeping experiment runs independent.
+    * :meth:`feed` — incremental: segments of a trace may be fed one after
+      another, with cache/predictor state (and counters) carried across
+      segments.  This is what the adaptive-WPA controller uses to change
+      configuration *between* segments, modelling an OS intervening during
+      execution.
+    """
+
+    #: Short machine-readable scheme name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.counters = FetchCounters()
+        self._ran = False
+
+    def feed(self, events: LineEventTrace) -> FetchCounters:
+        """Process one trace segment, accumulating into ``counters``."""
+        if events.line_size != self.geometry.line_size:
+            raise SchemeError(
+                f"trace line size {events.line_size} does not match cache "
+                f"line size {self.geometry.line_size}"
+            )
+        self._process(events)
+        return self.counters
+
+    def run(self, events: LineEventTrace) -> FetchCounters:
+        """Process the whole trace and return the validated counters."""
+        if self._ran:
+            raise SchemeError(
+                f"scheme {self.name!r} already ran; construct a fresh instance"
+            )
+        self._ran = True
+        self.feed(events)
+        self.counters.validate()
+        return self.counters
+
+    def _process(self, events: LineEventTrace) -> None:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Callable[..., FetchScheme]] = {}
+
+
+def register_scheme(name: str):
+    """Class decorator registering a scheme under ``name``."""
+
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_scheme(name: str, geometry: CacheGeometry, **options) -> FetchScheme:
+    """Instantiate a registered scheme by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SchemeError(
+            f"unknown scheme {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(geometry, **options)
+
+
+def SCHEME_NAMES():
+    """Names of all registered schemes."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,91 @@
+"""The unmodified baseline: full CAM search on every instruction fetch.
+
+This is the paper's comparison point ("a baseline with no instruction cache
+modification"): each fetch precharges and searches all ways of its set.  The
+same-line skip belongs to the *proposed* schemes, not the baseline, but an
+option exposes it for the stronger-baseline ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.itlb import InstructionTlb
+from repro.schemes.base import FetchScheme, register_scheme
+from repro.trace.events import LineEventTrace
+
+__all__ = ["BaselineScheme"]
+
+
+@register_scheme("baseline")
+class BaselineScheme(FetchScheme):
+    """Conventional set-associative CAM instruction cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        itlb_entries: int = 32,
+        page_size: int = 1024,
+        same_line_skip: bool = False,
+    ):
+        super().__init__(geometry)
+        self.cache = CamCache(geometry)
+        self.itlb = InstructionTlb(itlb_entries, page_size)
+        self.same_line_skip = same_line_skip
+
+    def _process(self, events: LineEventTrace) -> None:
+        geometry = self.geometry
+        cache = self.cache
+        itlb = self.itlb
+        counters = self.counters
+        itlb_seen = itlb.hits + itlb.misses
+        itlb_miss_seen = itlb.misses
+        ways = geometry.ways
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+        skip = self.same_line_skip
+
+        fetches = line_events = full_searches = ways_precharged = 0
+        hits = misses = fills = evictions = same_line = 0
+
+        find = cache.find
+        fill = cache.fill
+        tlb_access = itlb.access
+
+        for addr, count in zip(events.line_addrs.tolist(), events.counts.tolist()):
+            line_events += 1
+            fetches += count
+            tlb_access(addr)
+
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+            way = find(set_index, tag)
+            if way >= 0:
+                hits += 1
+            else:
+                misses += 1
+                _, evicted = fill(set_index, tag)
+                fills += 1
+                if evicted:
+                    evictions += 1
+            if skip:
+                # Only the transition fetch searches; the rest ride the line.
+                full_searches += 1
+                ways_precharged += ways
+                same_line += count - 1
+            else:
+                full_searches += count
+                ways_precharged += ways * count
+
+        counters.fetches += fetches
+        counters.line_events += line_events
+        counters.same_line_fetches += same_line
+        counters.full_searches += full_searches
+        counters.ways_precharged += ways_precharged
+        counters.hits += hits
+        counters.misses += misses
+        counters.fills += fills
+        counters.evictions += evictions
+        counters.itlb_accesses += itlb.hits + itlb.misses - itlb_seen
+        counters.itlb_misses += itlb.misses - itlb_miss_seen

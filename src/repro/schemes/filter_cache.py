@@ -1,0 +1,114 @@
+"""Filter cache (Kin et al., MICRO'97) — related-work baseline.
+
+A tiny direct-mapped L0 cache sits between the fetch unit and the L1
+instruction cache.  Fetches that hit in the L0 never touch the L1 (cheap,
+small-structure energy); L0 misses pay a one-cycle penalty plus a normal
+full-search L1 access and refill the L0 line.  This is the "additional
+buffer between CPU and instruction cache" family the paper's related-work
+section contrasts against.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.itlb import InstructionTlb
+from repro.errors import SchemeError
+from repro.schemes.base import FetchScheme, register_scheme
+from repro.trace.events import LineEventTrace
+from repro.utils.bitops import is_power_of_two
+
+__all__ = ["FilterCacheScheme"]
+
+
+@register_scheme("filter-cache")
+class FilterCacheScheme(FetchScheme):
+    """Direct-mapped L0 filter cache in front of the CAM L1."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        l0_size: int = 512,
+        itlb_entries: int = 32,
+        page_size: int = 1024,
+    ):
+        super().__init__(geometry)
+        if not is_power_of_two(l0_size) or l0_size < geometry.line_size:
+            raise SchemeError(
+                f"L0 size must be a power of two >= one line, got {l0_size}"
+            )
+        self.cache = CamCache(geometry)
+        self.itlb = InstructionTlb(itlb_entries, page_size)
+        self.l0_size = l0_size
+        self._l0_lines = l0_size // geometry.line_size
+        self._l0_tags = [-1] * self._l0_lines
+
+    def _process(self, events: LineEventTrace) -> None:
+        geometry = self.geometry
+        cache = self.cache
+        itlb = self.itlb
+        counters = self.counters
+        itlb_seen = itlb.hits + itlb.misses
+        itlb_miss_seen = itlb.misses
+        l0_tags = self._l0_tags
+        l0_mask = self._l0_lines - 1
+
+        ways = geometry.ways
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+
+        fetches = line_events = 0
+        full_searches = ways_precharged = 0
+        hits = misses = fills = evictions = 0
+        l0_accesses = l0_hits = l0_misses = extra_cycles = 0
+
+        find = cache.find
+        fill = cache.fill
+        tlb_access = itlb.access
+
+        for addr, count in zip(events.line_addrs.tolist(), events.counts.tolist()):
+            line_events += 1
+            fetches += count
+            l0_accesses += count  # every fetch reads the L0
+            tlb_access(addr)
+
+            line_number = addr >> offset_bits
+            l0_index = line_number & l0_mask
+            if l0_tags[l0_index] == line_number:
+                l0_hits += 1
+                continue
+
+            # L0 miss: one cycle penalty, full L1 access, refill the L0 line.
+            l0_misses += 1
+            extra_cycles += 1
+            full_searches += 1
+            ways_precharged += ways
+
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+            way = find(set_index, tag)
+            if way >= 0:
+                hits += 1
+            else:
+                misses += 1
+                _, evicted = fill(set_index, tag)
+                fills += 1
+                if evicted:
+                    evictions += 1
+            l0_tags[l0_index] = line_number
+
+        counters.fetches += fetches
+        counters.line_events += line_events
+        counters.full_searches += full_searches
+        counters.ways_precharged += ways_precharged
+        counters.hits += hits
+        counters.misses += misses
+        counters.fills += fills
+        counters.evictions += evictions
+        counters.l0_accesses += l0_accesses
+        counters.l0_hits += l0_hits
+        counters.l0_misses += l0_misses
+        counters.extra_access_cycles += extra_cycles
+        counters.itlb_accesses += itlb.hits + itlb.misses - itlb_seen
+        counters.itlb_misses += itlb.misses - itlb_miss_seen

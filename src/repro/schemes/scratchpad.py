@@ -1,0 +1,160 @@
+"""Compiler-managed scratchpad code memory (Ravindran et al., CGO'05).
+
+The related-work alternative the paper calls out: instead of steering cache
+accesses, copy the hottest code into a small scratchpad memory (SPM) whose
+accesses need no tag check at all.  The compiler selects the contents from
+the profile; everything else goes through the normal CAM instruction cache.
+
+This is the *static* variant (contents chosen once per program).  The
+dynamic-reconfiguration machinery of the original — copying code in and out
+at run time — is exactly the overhead the paper's criticism points at
+("requires a scratchpad memory to be provided in the processor and would
+generally only apply to loops"), so the static model is the generous
+rendering of the competing idea.
+
+Selection (:func:`select_spm_contents`) is a greedy knapsack over the
+layout's chains by executed-instruction density, the standard SPM
+allocation heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Set, Tuple
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.itlb import InstructionTlb
+from repro.errors import SchemeError
+from repro.layout.chains import build_chains
+from repro.layout.layouts import Layout
+from repro.program.program import Program
+from repro.schemes.base import FetchScheme, register_scheme
+from repro.trace.events import LineEventTrace
+
+__all__ = ["ScratchpadScheme", "select_spm_contents"]
+
+
+def select_spm_contents(
+    program: Program,
+    layout: Layout,
+    block_counts: Mapping[int, int],
+    spm_size: int,
+    line_size: int = 32,
+) -> Set[int]:
+    """Choose the SPM-resident *line addresses* (greedy density knapsack).
+
+    Chains are the allocation unit (a chain's internal fall-throughs must
+    stay intact when copied); chains are ranked by executed instructions
+    per byte and packed until the scratchpad is full.
+    """
+    if spm_size < 0:
+        raise SchemeError(f"scratchpad size must be >= 0, got {spm_size}")
+    chains = build_chains(program)
+    weights = {
+        block.uid: block_counts.get(block.uid, 0) * block.num_instructions
+        for block in program.blocks()
+    }
+    sizes = {block.uid: block.size_bytes for block in program.blocks()}
+
+    def density(chain) -> float:
+        size = sum(sizes[uid] for uid in chain.uids)
+        return chain.weight(weights) / size if size else 0.0
+
+    ranked = sorted(enumerate(chains), key=lambda ic: (-density(ic[1]), ic[0]))
+    selected_lines: Set[int] = set()
+    budget = spm_size
+    line_mask = ~(line_size - 1)
+    for _, chain in ranked:
+        chain_size = sum(sizes[uid] for uid in chain.uids)
+        if chain_size > budget:
+            continue
+        budget -= chain_size
+        for uid in chain.uids:
+            start = layout.address_of(uid)
+            for offset in range(0, sizes[uid], 4):
+                selected_lines.add((start + offset) & line_mask)
+    return selected_lines
+
+
+@register_scheme("scratchpad")
+class ScratchpadScheme(FetchScheme):
+    """Hot code in a tagless scratchpad, the rest in the CAM cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        spm_lines: Set[int] = frozenset(),
+        itlb_entries: int = 32,
+        page_size: int = 1024,
+        same_line_skip: bool = True,
+    ):
+        super().__init__(geometry)
+        self.cache = CamCache(geometry)
+        self.itlb = InstructionTlb(itlb_entries, page_size)
+        self.spm_lines = frozenset(spm_lines)
+        self.same_line_skip = same_line_skip
+
+    def _process(self, events: LineEventTrace) -> None:
+        geometry = self.geometry
+        cache = self.cache
+        itlb = self.itlb
+        counters = self.counters
+        itlb_seen = itlb.hits + itlb.misses
+        itlb_miss_seen = itlb.misses
+        spm_lines = self.spm_lines
+
+        ways = geometry.ways
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+        skip = self.same_line_skip
+
+        fetches = line_events = 0
+        full_searches = ways_precharged = 0
+        hits = misses = fills = evictions = 0
+        spm_accesses = same_line = 0
+
+        find = cache.find
+        fill = cache.fill
+        tlb_access = itlb.access
+
+        for addr, count in zip(events.line_addrs.tolist(), events.counts.tolist()):
+            line_events += 1
+            fetches += count
+            tlb_access(addr)
+
+            if addr in spm_lines:
+                spm_accesses += count  # tagless fetches, no cache involved
+                continue
+
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+            way = find(set_index, tag)
+            if way >= 0:
+                hits += 1
+            else:
+                misses += 1
+                _, evicted = fill(set_index, tag)
+                fills += 1
+                if evicted:
+                    evictions += 1
+            if skip:
+                full_searches += 1
+                ways_precharged += ways
+                same_line += count - 1
+            else:
+                full_searches += count
+                ways_precharged += ways * count
+
+        counters.fetches += fetches
+        counters.line_events += line_events
+        counters.same_line_fetches += same_line
+        counters.full_searches += full_searches
+        counters.ways_precharged += ways_precharged
+        counters.hits += hits
+        counters.misses += misses
+        counters.fills += fills
+        counters.evictions += evictions
+        counters.spm_accesses += spm_accesses
+        counters.itlb_accesses += itlb.hits + itlb.misses - itlb_seen
+        counters.itlb_misses += itlb.misses - itlb_miss_seen

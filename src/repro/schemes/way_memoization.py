@@ -1,0 +1,193 @@
+"""Way-memoization (Ma et al., WCED'01) — the paper's hardware comparator.
+
+Each cache line is augmented with *links*: one per instruction slot (the way
+of that slot's taken-branch target line) plus one sequential link (the way
+of the next sequential line) — 9 links of 6 bits for a 32-byte line in a
+32-way cache, a 21% overhead on the data array that the energy model prices
+on every fill and read.
+
+When the fetch stream crosses into a new line, the link belonging to the
+crossing (source line, source slot) is consulted: if valid, the target line
+is accessed directly with *no* tag search; otherwise a full search runs and
+the link is written for next time.
+
+Link validity is tracked exactly via line generations: a link is valid iff
+neither endpoint line has been replaced since the link was written *and* the
+memoized target is the line the stream actually wants.  For direct branches
+and sequential flow the target of a given (line, slot) is unique, so the
+last condition only bites for return instructions (whose targets vary by
+call site) — real hardware does not link those, and this model naturally
+degrades to full searches when call sites alternate.  Accesses within the
+same line as the previous fetch skip tag checks, as in the original scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.itlb import InstructionTlb
+from repro.errors import SchemeError
+from repro.schemes.base import FetchScheme, register_scheme
+from repro.trace.events import LineEventTrace, SEQUENTIAL_SLOT
+
+__all__ = ["WayMemoizationScheme", "LINK_BITS"]
+
+#: Bits per link: way index (5 for 32 ways) + valid bit, per the paper's
+#: "each link is 6 bits" on the 32KB 32-way cache.  The energy model derives
+#: the actual width from the geometry; this is the reference constant.
+LINK_BITS = 6
+
+
+@register_scheme("way-memoization")
+class WayMemoizationScheme(FetchScheme):
+    """Tag-check elision through per-line next-way links."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        itlb_entries: int = 32,
+        page_size: int = 1024,
+        same_line_skip: bool = True,
+        invalidation: str = "exact",
+    ):
+        """``invalidation`` selects the link-staleness policy:
+
+        * ``"exact"`` (default) — links go stale only when an endpoint line
+          is actually replaced; the optimistic rendering (it requires
+          reverse pointers real hardware would not have).
+        * ``"flash"`` — any fill clears *every* link; the cheapest
+          implementable hardware policy, pessimistic under miss traffic.
+        """
+        super().__init__(geometry)
+        if invalidation not in ("exact", "flash"):
+            raise SchemeError(
+                f"invalidation must be 'exact' or 'flash', got {invalidation!r}"
+            )
+        self.cache = CamCache(geometry)
+        self.itlb = InstructionTlb(itlb_entries, page_size)
+        self.same_line_skip = same_line_skip
+        self.invalidation = invalidation
+        #: (src_set, src_way, slot_code) ->
+        #:     (src_gen, dst_set, dst_way, dst_gen, dst_tag)
+        self._links: Dict[Tuple[int, int, int], Tuple[int, int, int, int, int]] = {}
+        # Identity of the line the stream is currently fetching from;
+        # persists across feed() segments.
+        self._prev_set = -1
+        self._prev_way = -1
+        self._prev_gen = -1
+
+    @property
+    def links_per_line(self) -> int:
+        """Instruction slots plus the sequential link (9 for 32B lines)."""
+        return self.geometry.instructions_per_line + 1
+
+    def _process(self, events: LineEventTrace) -> None:
+        geometry = self.geometry
+        cache = self.cache
+        itlb = self.itlb
+        counters = self.counters
+        itlb_seen = itlb.hits + itlb.misses
+        itlb_miss_seen = itlb.misses
+        links = self._links
+
+        ways = geometry.ways
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+        seq_code = geometry.instructions_per_line  # slot codes 0..ipl-1 are branches
+        skip = self.same_line_skip
+        flash = self.invalidation == "flash"
+
+        fetches = line_events = 0
+        full_searches = link_followed = ways_precharged = 0
+        hits = misses = fills = evictions = link_writes = same_line = 0
+
+        find = cache.find
+        fill = cache.fill
+        generation = cache.generation
+        tlb_access = itlb.access
+
+        prev_set = self._prev_set
+        prev_way = self._prev_way
+        prev_gen = self._prev_gen
+
+        for addr, count, slot in zip(
+            events.line_addrs.tolist(),
+            events.counts.tolist(),
+            events.slots.tolist(),
+        ):
+            line_events += 1
+            fetches += count
+            tlb_access(addr)
+
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+            slot_code = seq_code if slot == SEQUENTIAL_SLOT else slot
+
+            way = -1
+            linked = False
+            key = None
+            if prev_set >= 0:
+                key = (prev_set, prev_way, slot_code)
+                entry = links.get(key)
+                if entry is not None:
+                    src_gen, dst_set, dst_way, dst_gen, dst_tag = entry
+                    if (
+                        src_gen == prev_gen
+                        and dst_set == set_index
+                        and dst_tag == tag
+                        and generation(dst_set, dst_way) == dst_gen
+                    ):
+                        way = dst_way
+                        linked = True
+
+            if linked:
+                link_followed += 1
+                hits += 1
+            else:
+                full_searches += 1
+                ways_precharged += ways
+                way = find(set_index, tag)
+                if way >= 0:
+                    hits += 1
+                else:
+                    misses += 1
+                    way, evicted = fill(set_index, tag)
+                    fills += 1
+                    if evicted:
+                        evictions += 1
+                    if flash:
+                        links.clear()  # the fill wipes every link
+                if key is not None:
+                    links[key] = (prev_gen, set_index, way, generation(set_index, way), tag)
+                    link_writes += 1
+
+            if skip:
+                same_line += count - 1
+            else:
+                full_searches += count - 1
+                ways_precharged += ways * (count - 1)
+
+            prev_set = set_index
+            prev_way = way
+            prev_gen = generation(set_index, way)
+
+        self._prev_set = prev_set
+        self._prev_way = prev_way
+        self._prev_gen = prev_gen
+
+        counters.fetches += fetches
+        counters.line_events += line_events
+        counters.same_line_fetches += same_line
+        counters.full_searches += full_searches
+        counters.link_followed += link_followed
+        counters.ways_precharged += ways_precharged
+        counters.hits += hits
+        counters.misses += misses
+        counters.fills += fills
+        counters.evictions += evictions
+        counters.link_writes += link_writes
+        counters.itlb_accesses += itlb.hits + itlb.misses - itlb_seen
+        counters.itlb_misses += itlb.misses - itlb_miss_seen

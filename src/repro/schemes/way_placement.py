@@ -1,0 +1,187 @@
+"""The paper's way-placement fetch scheme (Sections 3-4).
+
+Accesses inside the way-placement area (the first ``wpa_size`` bytes of the
+binary) check a single, address-mandated way; everything else performs the
+normal full CAM search.  Because the I-TLB (which holds the per-page
+way-placement bit) is read in parallel with the cache, a single *way-hint
+bit* — "was the previous access in the WPA?" — predicts which access type to
+start; mispredictions are handled exactly as the paper describes:
+
+* hint said non-WPA but the access was WPA: full search anyway; we only
+  lose the energy saving.
+* hint said WPA but the access was not: the one-way probe is useless, so a
+  second all-ways access runs with a one-cycle penalty; both accesses'
+  energy is charged.
+
+Invariant maintained by construction: a WPA line is only ever resident in
+its mandated way (WPA fills are forced there), so the single-way check is
+*correct*, never just a guess.  Fetches to the same line as the previous
+fetch skip tag checks entirely (the Section 4.2 optimisation).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.itlb import InstructionTlb
+from repro.cache.wayhint import WayHintBit
+from repro.errors import SchemeError
+from repro.schemes.base import FetchScheme, register_scheme
+from repro.trace.events import LineEventTrace
+from repro.utils.bitops import mask
+
+__all__ = ["WayPlacementScheme"]
+
+
+@register_scheme("way-placement")
+class WayPlacementScheme(FetchScheme):
+    """Compiler-controlled explicit way placement."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        wpa_size: int = 0,
+        itlb_entries: int = 32,
+        page_size: int = 1024,
+        same_line_skip: bool = True,
+        wpa_base: int = 0,
+        hint_initial: bool = False,
+    ):
+        super().__init__(geometry)
+        if wpa_size < 0:
+            raise SchemeError(f"way-placement area size must be >= 0, got {wpa_size}")
+        if wpa_base != 0:
+            raise SchemeError(
+                "the way-placement area must start at the beginning of the "
+                "binary (address 0 in this model)"
+            )
+        self.cache = CamCache(geometry)
+        self.itlb = InstructionTlb(itlb_entries, page_size, wpa_size=wpa_size)
+        self.hint = WayHintBit(initial=hint_initial)
+        self.wpa_size = wpa_size
+        self.same_line_skip = same_line_skip
+
+    def _process(self, events: LineEventTrace) -> None:
+        geometry = self.geometry
+        cache = self.cache
+        itlb = self.itlb
+        hint = self.hint
+        counters = self.counters
+        itlb_seen = itlb.hits + itlb.misses
+        itlb_miss_seen = itlb.misses
+        fp_seen = hint.false_positives
+        fn_seen = hint.false_negatives
+
+        ways = geometry.ways
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+        way_mask = mask(geometry.way_bits)
+        skip = self.same_line_skip
+
+        fetches = line_events = 0
+        full_searches = single_way = ways_precharged = 0
+        hits = misses = fills = wp_fills = evictions = 0
+        second_accesses = extra_cycles = same_line = 0
+
+        find = cache.find
+        probe_way = cache.probe_way
+        fill = cache.fill
+        tlb_access = itlb.access
+        predict = hint.predict
+        update = hint.update
+
+        for addr, count in zip(events.line_addrs.tolist(), events.counts.tolist()):
+            line_events += 1
+            fetches += count
+
+            actual_wpa = tlb_access(addr)  # the way-placement bit (False if wpa_size == 0)
+            predicted_wpa = predict()
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+
+            if predicted_wpa and actual_wpa:
+                # Correct way-placement access: one way precharged.
+                way = tag & way_mask
+                single_way += 1
+                ways_precharged += 1
+                if probe_way(set_index, way, tag):
+                    hits += 1
+                else:
+                    misses += 1
+                    _, evicted = fill(set_index, tag, way=way)
+                    fills += 1
+                    wp_fills += 1
+                    if evicted:
+                        evictions += 1
+            elif predicted_wpa and not actual_wpa:
+                # False positive: wasted one-way probe, then a second
+                # corrective full access (+1 cycle).
+                single_way += 1
+                ways_precharged += 1
+                second_accesses += 1
+                extra_cycles += 1
+                full_searches += 1
+                ways_precharged += ways
+                way = find(set_index, tag)
+                if way >= 0:
+                    hits += 1
+                else:
+                    misses += 1
+                    _, evicted = fill(set_index, tag)
+                    fills += 1
+                    if evicted:
+                        evictions += 1
+            else:
+                # Hint says (or truth is) non-WPA: full search.  When the
+                # access *was* WPA (false negative) the line, if resident,
+                # is still found — just without the energy saving — and a
+                # miss still fills the mandated way (the way-placement bit
+                # is known by then from the parallel I-TLB read).
+                full_searches += 1
+                ways_precharged += ways
+                way = find(set_index, tag)
+                if way >= 0:
+                    hits += 1
+                else:
+                    misses += 1
+                    if actual_wpa:
+                        _, evicted = fill(set_index, tag, way=tag & way_mask)
+                        wp_fills += 1
+                    else:
+                        _, evicted = fill(set_index, tag)
+                    fills += 1
+                    if evicted:
+                        evictions += 1
+
+            update(actual_wpa)
+
+            if skip:
+                same_line += count - 1
+            elif actual_wpa:
+                # Without the same-line skip, fetches that stay inside a
+                # way-placed line still know their way exactly: each is a
+                # single-way access, not a full search.
+                single_way += count - 1
+                ways_precharged += count - 1
+            else:
+                full_searches += count - 1
+                ways_precharged += ways * (count - 1)
+
+        counters.fetches += fetches
+        counters.line_events += line_events
+        counters.same_line_fetches += same_line
+        counters.full_searches += full_searches
+        counters.single_way_searches += single_way
+        counters.ways_precharged += ways_precharged
+        counters.hits += hits
+        counters.misses += misses
+        counters.fills += fills
+        counters.wp_fills += wp_fills
+        counters.evictions += evictions
+        counters.second_accesses += second_accesses
+        counters.hint_false_positives += hint.false_positives - fp_seen
+        counters.hint_false_negatives += hint.false_negatives - fn_seen
+        counters.extra_access_cycles += extra_cycles
+        counters.itlb_accesses += itlb.hits + itlb.misses - itlb_seen
+        counters.itlb_misses += itlb.misses - itlb_miss_seen

@@ -1,0 +1,114 @@
+"""MRU way prediction (Inoue et al., ISLPED'99) — related-work baseline.
+
+Each set remembers its most-recently-used way.  A fetch first probes only
+that way; on a mispredict a second, all-ways access runs with a one-cycle
+penalty.  Unlike way-placement the first probe is a *guess*, so both the
+misprediction energy and the recovery cycle show up on hot code too.
+Included for the related-work ablation bench (the paper discusses but does
+not plot this scheme).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cam_cache import CamCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.itlb import InstructionTlb
+from repro.schemes.base import FetchScheme, register_scheme
+from repro.trace.events import LineEventTrace
+
+__all__ = ["WayPredictionScheme"]
+
+
+@register_scheme("way-prediction")
+class WayPredictionScheme(FetchScheme):
+    """Predict-first-probe fetch with per-set MRU way prediction."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        itlb_entries: int = 32,
+        page_size: int = 1024,
+        same_line_skip: bool = True,
+    ):
+        super().__init__(geometry)
+        self.cache = CamCache(geometry)
+        self.itlb = InstructionTlb(itlb_entries, page_size)
+        self.same_line_skip = same_line_skip
+        self._mru = [0] * geometry.num_sets
+
+    def _process(self, events: LineEventTrace) -> None:
+        geometry = self.geometry
+        cache = self.cache
+        itlb = self.itlb
+        counters = self.counters
+        itlb_seen = itlb.hits + itlb.misses
+        itlb_miss_seen = itlb.misses
+        mru = self._mru
+
+        ways = geometry.ways
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        tag_shift = offset_bits + geometry.set_bits
+        skip = self.same_line_skip
+
+        fetches = line_events = 0
+        full_searches = single_way = ways_precharged = 0
+        hits = misses = fills = evictions = 0
+        second_accesses = extra_cycles = same_line = 0
+
+        find = cache.find
+        probe_way = cache.probe_way
+        fill = cache.fill
+        tlb_access = itlb.access
+
+        for addr, count in zip(events.line_addrs.tolist(), events.counts.tolist()):
+            line_events += 1
+            fetches += count
+            tlb_access(addr)
+
+            set_index = (addr >> offset_bits) & set_mask
+            tag = addr >> tag_shift
+
+            predicted = mru[set_index]
+            single_way += 1
+            ways_precharged += 1
+            if probe_way(set_index, predicted, tag):
+                hits += 1
+                way = predicted
+            else:
+                # Mispredict: second access searches every way (+1 cycle).
+                second_accesses += 1
+                extra_cycles += 1
+                full_searches += 1
+                ways_precharged += ways
+                way = find(set_index, tag)
+                if way >= 0:
+                    hits += 1
+                else:
+                    misses += 1
+                    way, evicted = fill(set_index, tag)
+                    fills += 1
+                    if evicted:
+                        evictions += 1
+            mru[set_index] = way
+
+            if skip:
+                same_line += count - 1
+            else:
+                single_way += count - 1
+                ways_precharged += count - 1
+
+        counters.fetches += fetches
+        counters.line_events += line_events
+        counters.same_line_fetches += same_line
+        counters.full_searches += full_searches
+        counters.single_way_searches += single_way
+        counters.ways_precharged += ways_precharged
+        counters.hits += hits
+        counters.misses += misses
+        counters.fills += fills
+        counters.evictions += evictions
+        counters.second_accesses += second_accesses
+        counters.extra_access_cycles += extra_cycles
+        counters.itlb_accesses += itlb.hits + itlb.misses - itlb_seen
+        counters.itlb_misses += itlb.misses - itlb_miss_seen

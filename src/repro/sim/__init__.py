@@ -1,0 +1,21 @@
+"""Top-level simulation: machine configuration, timing, and the driver."""
+
+from repro.sim.machine import MachineConfig, XSCALE_BASELINE, table1_rows
+from repro.sim.timing import cycles_for_run
+from repro.sim.report import SimulationReport, NormalisedResult
+from repro.sim.simulator import Simulator, simulate
+from repro.sim.dcache import DcacheResult, simulate_dcache, refined_processor_energy
+
+__all__ = [
+    "MachineConfig",
+    "XSCALE_BASELINE",
+    "table1_rows",
+    "cycles_for_run",
+    "SimulationReport",
+    "NormalisedResult",
+    "Simulator",
+    "simulate",
+    "DcacheResult",
+    "simulate_dcache",
+    "refined_processor_energy",
+]

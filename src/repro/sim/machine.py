@@ -1,0 +1,77 @@
+"""The machine under test: the paper's Table 1, as a configuration object.
+
+Values with dropped digits in the OCR'd paper text are reconstructed from
+the Intel XScale microarchitecture the paper targets (see DESIGN.md §3):
+32KB 32-way 32B-line caches, 32-entry fully-associative TLBs, 50-cycle
+memory latency, single-issue in-order 7/8-stage pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import CacheConfigError
+
+__all__ = ["MachineConfig", "XSCALE_BASELINE", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Microarchitectural parameters of the simulated embedded processor."""
+
+    name: str = "xscale"
+    pipeline_stages: int = 7
+    issue_width: int = 1
+    icache: CacheGeometry = CacheGeometry(32 * 1024, 32, 32)
+    dcache: CacheGeometry = CacheGeometry(32 * 1024, 32, 32)
+    itlb_entries: int = 32
+    dtlb_entries: int = 32
+    page_size: int = 1024
+    memory_bus_bits: int = 32
+    memory_latency_cycles: int = 50
+    itlb_miss_cycles: int = 20
+    hint_mispredict_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pipeline_stages < 1 or self.issue_width < 1:
+            raise CacheConfigError("pipeline stages and issue width must be >= 1")
+        if self.memory_latency_cycles < 1:
+            raise CacheConfigError("memory latency must be at least one cycle")
+        if self.page_size & (self.page_size - 1):
+            raise CacheConfigError(f"page size {self.page_size} not a power of two")
+
+    def with_icache(self, size_bytes: int, ways: int, line_size: int = None) -> "MachineConfig":
+        """A copy with a different instruction cache geometry (Section 6.3)."""
+        line = line_size if line_size is not None else self.icache.line_size
+        return replace(self, icache=CacheGeometry(size_bytes, ways, line))
+
+
+#: The paper's baseline system configuration (Table 1).
+XSCALE_BASELINE = MachineConfig()
+
+
+def table1_rows(config: MachineConfig = XSCALE_BASELINE) -> List[Tuple[str, str]]:
+    """The rows of the paper's Table 1, for the benchmark harness to print."""
+
+    def cache_text(geometry: CacheGeometry) -> str:
+        return (
+            f"{geometry.size_bytes // 1024}KB, {geometry.ways}-Way, "
+            f"{geometry.line_size}B Block"
+        )
+
+    return [
+        ("Pipeline", f"{config.pipeline_stages}/{config.pipeline_stages + 1} Stages"),
+        ("Functional Units", "1 ALU, 1 MAC, 1 Load/Store"),
+        ("Issue", "Single Issue, In-Order"),
+        ("Commit", "Out-of-Order (Scoreboard)"),
+        ("Memory Bus Width", f"{config.memory_bus_bits} Bit"),
+        ("Memory Latency", f"{config.memory_latency_cycles} Cycles"),
+        (
+            "I-TLB, D-TLB",
+            f"{config.itlb_entries}-Entry Fully Associative",
+        ),
+        ("I-Cache, D-Cache", cache_text(config.icache)),
+        ("Data Buffers", "32B Fill Buffer (Read) and 32B Write Buffer"),
+    ]

@@ -1,0 +1,32 @@
+"""Timing model: cycles from fetch counters.
+
+The paper reports "no change in performance" between schemes, because all
+of them serve hits at full speed; cycle counts differ only through
+
+* instruction cache misses (memory latency per line fetch),
+* I-TLB misses (page-walk penalty),
+* corrective second accesses (way-hint false positives, way-prediction
+  mispredicts, filter-cache misses) at one cycle each.
+
+The base pipeline retires one instruction per cycle (single-issue in-order,
+Table 1); a constant per-run pipeline fill is ignored as it vanishes in the
+normalisation.
+"""
+
+from __future__ import annotations
+
+from repro.cache.access import FetchCounters
+from repro.sim.machine import MachineConfig
+
+__all__ = ["cycles_for_run"]
+
+
+def cycles_for_run(counters: FetchCounters, machine: MachineConfig) -> int:
+    """Total cycles for a simulated run on ``machine``."""
+    cycles = counters.fetches  # base CPI of 1
+    cycles += counters.misses * machine.memory_latency_cycles
+    cycles += counters.itlb_misses * machine.itlb_miss_cycles
+    # Schemes record one penalty cycle per corrective access themselves;
+    # scale if the machine charges more than one cycle for it.
+    cycles += counters.extra_access_cycles * machine.hint_mispredict_cycles
+    return cycles

@@ -1,0 +1,48 @@
+"""Execution tracing: the XTREM-substitute that drives every experiment.
+
+The trace pipeline has two levels (DESIGN.md §7.1):
+
+1. :mod:`repro.trace.executor` walks a program's ICFG under a
+   :class:`~repro.trace.branch_model.BranchModelMap`, producing a
+   layout-independent *block trace* (numpy array of block uids).
+2. :mod:`repro.trace.fetch` combines a block trace with a concrete code
+   layout into a compressed *line-event trace*: one event per instruction
+   cache line transition, annotated with the fetch count inside the line and
+   how the line was entered (sequentially or from which branch slot).
+
+Fetch schemes consume line-event traces; they never see individual
+instructions, which keeps simulation fast while remaining exact for tag,
+data, fill, and timing accounting.
+"""
+
+from repro.trace.branch_model import (
+    BernoulliBranch,
+    LoopBranch,
+    TakenBranch,
+    BranchModelMap,
+)
+from repro.trace.executor import BlockTrace, CfgWalker
+from repro.trace.events import LineEventTrace, SEQUENTIAL_SLOT
+from repro.trace.fetch import line_events_from_block_trace
+from repro.trace.io import (
+    load_block_trace,
+    load_events,
+    save_block_trace,
+    save_events,
+)
+
+__all__ = [
+    "BernoulliBranch",
+    "LoopBranch",
+    "TakenBranch",
+    "BranchModelMap",
+    "BlockTrace",
+    "CfgWalker",
+    "LineEventTrace",
+    "SEQUENTIAL_SLOT",
+    "line_events_from_block_trace",
+    "load_block_trace",
+    "load_events",
+    "save_block_trace",
+    "save_events",
+]

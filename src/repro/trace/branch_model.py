@@ -1,0 +1,124 @@
+"""Branch behaviour models: how conditional branches resolve at run time.
+
+A program's CFG says *where* a branch may go; an input determines *how
+often*.  Each conditional-branch block is bound to a model:
+
+* :class:`BernoulliBranch` — taken with fixed probability (data-dependent
+  forward branches).
+* :class:`LoopBranch` — a backward loop branch: on first arrival a trip
+  count is drawn, the branch is then taken ``trips - 1`` times and falls
+  through once, matching the classic loop pattern.
+* :class:`TakenBranch` — always taken (used in tests and for unconditional
+  idioms expressed as conditional branches).
+
+Models are stateful per walk; :meth:`BranchModelMap.fresh` clones the map so
+separate trace generations don't share loop counters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping
+
+from repro.errors import TraceError
+
+__all__ = ["BranchModel", "BernoulliBranch", "LoopBranch", "TakenBranch", "BranchModelMap"]
+
+
+class BranchModel:
+    """Interface: decide whether a conditional branch is taken this time."""
+
+    def take(self, rng: random.Random) -> bool:
+        raise NotImplementedError
+
+    def clone(self) -> "BranchModel":
+        raise NotImplementedError
+
+
+class BernoulliBranch(BranchModel):
+    """Taken with independent probability ``p_taken`` on each execution."""
+
+    __slots__ = ("p_taken",)
+
+    def __init__(self, p_taken: float):
+        if not 0.0 <= p_taken <= 1.0:
+            raise TraceError(f"p_taken must be in [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+
+    def take(self, rng: random.Random) -> bool:
+        return rng.random() < self.p_taken
+
+    def clone(self) -> "BernoulliBranch":
+        return BernoulliBranch(self.p_taken)
+
+    def __repr__(self) -> str:
+        return f"BernoulliBranch(p_taken={self.p_taken})"
+
+
+class TakenBranch(BranchModel):
+    """Always taken."""
+
+    def take(self, rng: random.Random) -> bool:
+        return True
+
+    def clone(self) -> "TakenBranch":
+        return TakenBranch()
+
+    def __repr__(self) -> str:
+        return "TakenBranch()"
+
+
+class LoopBranch(BranchModel):
+    """A backward branch closing a loop.
+
+    On the first execution after loop exit a trip count is drawn uniformly
+    from ``[min_trips, max_trips]``; the branch is taken while iterations
+    remain.  ``take`` is called once per loop-latch execution, so a drawn
+    trip count of ``t`` yields ``t - 1`` taken branches and one fall-through.
+    """
+
+    __slots__ = ("min_trips", "max_trips", "_remaining")
+
+    def __init__(self, min_trips: int, max_trips: int):
+        if min_trips < 1 or max_trips < min_trips:
+            raise TraceError(
+                f"need 1 <= min_trips <= max_trips, got [{min_trips}, {max_trips}]"
+            )
+        self.min_trips = min_trips
+        self.max_trips = max_trips
+        self._remaining = 0
+
+    def take(self, rng: random.Random) -> bool:
+        if self._remaining == 0:
+            self._remaining = rng.randint(self.min_trips, self.max_trips)
+        self._remaining -= 1
+        if self._remaining == 0:
+            return False  # loop exits; next arrival draws a fresh trip count
+        return True
+
+    def clone(self) -> "LoopBranch":
+        return LoopBranch(self.min_trips, self.max_trips)
+
+    def __repr__(self) -> str:
+        return f"LoopBranch(min_trips={self.min_trips}, max_trips={self.max_trips})"
+
+
+class BranchModelMap:
+    """Binds conditional-branch block uids to their behaviour models."""
+
+    def __init__(self, models: Mapping[int, BranchModel], default: BranchModel = None):
+        self._models: Dict[int, BranchModel] = dict(models)
+        self._default = default if default is not None else BernoulliBranch(0.5)
+
+    def model_for(self, uid: int) -> BranchModel:
+        return self._models.get(uid, self._default)
+
+    def fresh(self) -> "BranchModelMap":
+        """Deep-copy so a new walk starts with pristine loop state."""
+        return BranchModelMap(
+            {uid: model.clone() for uid, model in self._models.items()},
+            self._default.clone(),
+        )
+
+    def __len__(self) -> int:
+        return len(self._models)

@@ -1,0 +1,182 @@
+"""The CFG walker: turns a program plus branch behaviour into a block trace.
+
+The walker is the reproduction's stand-in for executing a real binary on
+XTREM.  It follows the ICFG block by block, resolving conditional branches
+through a :class:`~repro.trace.branch_model.BranchModelMap` and calls/returns
+through an explicit call stack.  When the entry function returns, the walk
+restarts from the program entry (modelling repeated invocations of the
+workload) until the instruction budget is reached.
+
+The result, a :class:`BlockTrace`, is *layout independent*: it can be turned
+into fetch streams under any number of code layouts without re-walking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.program.basic_block import BlockKind
+from repro.program.program import Program
+from repro.trace.branch_model import BranchModelMap
+
+__all__ = ["BlockTrace", "CfgWalker"]
+
+_MAX_CALL_DEPTH = 512
+
+
+@dataclass(frozen=True)
+class BlockTrace:
+    """A walked execution: block uids in execution order plus summary data."""
+
+    program_name: str
+    uids: np.ndarray  # int32, one entry per basic-block execution
+    num_instructions: int
+    num_program_runs: int  # how many times the entry function completed
+
+    @property
+    def num_block_executions(self) -> int:
+        return int(self.uids.shape[0])
+
+    def block_counts(self, num_uids: int) -> np.ndarray:
+        """Execution count per block uid (length ``num_uids``)."""
+        return np.bincount(self.uids, minlength=num_uids)
+
+
+class CfgWalker:
+    """Walks a program's ICFG generating block traces.
+
+    Parameters
+    ----------
+    program:
+        The program to execute.
+    branch_models:
+        Behaviour of each conditional branch; cloned per walk via ``fresh()``.
+    seed:
+        Seed for branch-resolution randomness, making walks reproducible.
+    """
+
+    def __init__(self, program: Program, branch_models: BranchModelMap, seed: int = 0):
+        self._program = program
+        self._branch_models = branch_models
+        self._seed = seed
+        # Pre-resolve every block's successor structure into flat arrays so
+        # the hot loop below never touches Program or string labels.
+        cfg = program.cfg
+        max_uid = max(block.uid for block in program.blocks())
+        self._kind: List[Optional[BlockKind]] = [None] * (max_uid + 1)
+        self._size: List[int] = [0] * (max_uid + 1)
+        self._taken: List[int] = [-1] * (max_uid + 1)
+        self._fall: List[int] = [-1] * (max_uid + 1)
+        self._callee_entry: List[int] = [-1] * (max_uid + 1)
+        for block in program.blocks():
+            uid = block.uid
+            self._kind[uid] = block.kind
+            self._size[uid] = block.num_instructions
+            if block.kind is BlockKind.JUMP:
+                self._taken[uid] = program.uid_of_label(
+                    *_split(block.function, block.taken_label)
+                )
+            elif block.kind is BlockKind.CONDJUMP:
+                self._taken[uid] = program.uid_of_label(
+                    *_split(block.function, block.taken_label)
+                )
+                self._fall[uid] = program.uid_of_label(
+                    *_split(block.function, block.fall_label)
+                )
+            elif block.kind is BlockKind.CALL:
+                self._callee_entry[uid] = program.entry_uid_of(block.callee)
+                self._fall[uid] = program.uid_of_label(
+                    *_split(block.function, block.fall_label)
+                )
+            elif block.kind is BlockKind.FALLTHROUGH:
+                self._fall[uid] = program.uid_of_label(
+                    *_split(block.function, block.fall_label)
+                )
+        del cfg
+
+    def walk(self, max_instructions: int, max_block_executions: int = 0) -> BlockTrace:
+        """Generate a trace of at least ``max_instructions`` fetches.
+
+        The walk stops at the first block *boundary* at or past the budget,
+        so the trace always contains whole blocks.  ``max_block_executions``
+        is a secondary safety valve (0 = derived from the budget).
+        """
+        if max_instructions <= 0:
+            raise TraceError(f"instruction budget must be positive, got {max_instructions}")
+        if max_block_executions <= 0:
+            max_block_executions = 4 * max_instructions  # every block >= 1 instr
+
+        rng = random.Random(self._seed)
+        models = self._branch_models.fresh()
+        model_for = models.model_for
+
+        kind = self._kind
+        size = self._size
+        taken = self._taken
+        fall = self._fall
+        callee_entry = self._callee_entry
+        cond = BlockKind.CONDJUMP
+        jump = BlockKind.JUMP
+        call = BlockKind.CALL
+        ret = BlockKind.RETURN
+
+        entry_uid = self._program.entry_block.uid
+        trace: List[int] = []
+        append = trace.append
+        stack: List[int] = []
+        instructions = 0
+        runs = 0
+        current = entry_uid
+
+        while instructions < max_instructions:
+            if len(trace) >= max_block_executions:
+                raise TraceError(
+                    f"block-execution bound {max_block_executions} hit before the "
+                    f"instruction budget; the walk is likely stuck in a zero-progress loop"
+                )
+            append(current)
+            instructions += size[current]
+            block_kind = kind[current]
+            if block_kind is cond:
+                if model_for(current).take(rng):
+                    current = taken[current]
+                else:
+                    current = fall[current]
+            elif block_kind is jump:
+                current = taken[current]
+            elif block_kind is call:
+                if len(stack) >= _MAX_CALL_DEPTH:
+                    raise TraceError(
+                        f"call depth exceeded {_MAX_CALL_DEPTH}; "
+                        f"unbounded recursion in program {self._program.name!r}"
+                    )
+                stack.append(fall[current])
+                current = callee_entry[current]
+            elif block_kind is ret:
+                if stack:
+                    current = stack.pop()
+                else:
+                    runs += 1  # entry function finished; restart the workload
+                    current = entry_uid
+            else:  # FALLTHROUGH
+                current = fall[current]
+
+        return BlockTrace(
+            program_name=self._program.name,
+            uids=np.asarray(trace, dtype=np.int32),
+            num_instructions=instructions,
+            num_program_runs=runs,
+        )
+
+
+def _split(function: str, label: str):
+    """Labels may be ``func:label`` qualified or local to ``function``."""
+    if ":" in label:
+        func, _, local = label.partition(":")
+        return func, local
+    return function, label

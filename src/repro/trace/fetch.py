@@ -1,0 +1,119 @@
+"""Expansion of block traces into line-event traces under a code layout.
+
+This is where a *layout* becomes a *fetch stream*: each executed block emits
+fetches at its assigned addresses, split into cache-line segments, and
+adjacent accesses to the same line are merged into single events.  The same
+block trace expands differently under the baseline layout and the
+way-placement layout — that difference is the entire effect of the paper's
+compiler pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.layout.layouts import Layout
+from repro.program.program import Program
+from repro.trace.events import LineEventTrace, SEQUENTIAL_SLOT
+from repro.trace.executor import BlockTrace
+from repro.utils.bitops import log2_exact
+
+__all__ = ["line_events_from_block_trace", "block_line_segments"]
+
+
+def block_line_segments(
+    start_address: int, num_instructions: int, line_size: int
+) -> List[Tuple[int, int]]:
+    """Split a block at ``start_address`` into ``(line_addr, fetches)`` runs."""
+    if num_instructions <= 0:
+        raise LayoutError("block must contain at least one instruction")
+    segments: List[Tuple[int, int]] = []
+    line_mask = ~(line_size - 1)
+    remaining = num_instructions
+    address = start_address
+    while remaining > 0:
+        line_addr = address & line_mask
+        slots_left = (line_addr + line_size - address) // INSTRUCTION_SIZE
+        run = min(remaining, slots_left)
+        segments.append((line_addr, run))
+        address += run * INSTRUCTION_SIZE
+        remaining -= run
+    return segments
+
+
+def line_events_from_block_trace(
+    block_trace: BlockTrace,
+    program: Program,
+    layout: Layout,
+    line_size: int,
+) -> LineEventTrace:
+    """Expand ``block_trace`` into a :class:`LineEventTrace` under ``layout``."""
+    log2_exact(line_size, "line size")
+    if line_size < INSTRUCTION_SIZE:
+        raise LayoutError(f"line size {line_size} smaller than one instruction")
+
+    # Precompute, per block uid, its line segments and last-fetch address.
+    segments_of: Dict[int, List[Tuple[int, int]]] = {}
+    start_of: Dict[int, int] = {}
+    last_addr_of: Dict[int, int] = {}
+    for block in program.blocks():
+        start = layout.address_of(block.uid)
+        segments_of[block.uid] = block_line_segments(
+            start, block.num_instructions, line_size
+        )
+        start_of[block.uid] = start
+        last_addr_of[block.uid] = start + (block.num_instructions - 1) * INSTRUCTION_SIZE
+
+    line_mask = ~(line_size - 1)
+    offset_mask = line_size - 1
+
+    out_lines: List[int] = []
+    out_counts: List[int] = []
+    out_slots: List[int] = []
+    append_line = out_lines.append
+    append_count = out_counts.append
+    append_slot = out_slots.append
+
+    cur_line = -1
+    cur_count = 0
+    cur_slot = 0  # slot of the event being accumulated
+    prev_addr = -8  # sentinel: first block is a non-sequential entry at slot 0
+
+    for uid in block_trace.uids.tolist():
+        start = start_of[uid]
+        sequential_entry = prev_addr + INSTRUCTION_SIZE == start
+        entry_slot = (
+            SEQUENTIAL_SLOT
+            if sequential_entry
+            else (prev_addr & offset_mask) // INSTRUCTION_SIZE if prev_addr >= 0 else 0
+        )
+        first = True
+        for line_addr, run in segments_of[uid]:
+            if line_addr == cur_line:
+                cur_count += run
+            else:
+                if cur_line >= 0:
+                    append_line(cur_line)
+                    append_count(cur_count)
+                    append_slot(cur_slot)
+                cur_line = line_addr
+                cur_count = run
+                cur_slot = entry_slot if first else SEQUENTIAL_SLOT
+            first = False
+        prev_addr = last_addr_of[uid]
+
+    if cur_line >= 0:
+        append_line(cur_line)
+        append_count(cur_count)
+        append_slot(cur_slot)
+
+    return LineEventTrace(
+        line_size=line_size,
+        line_addrs=np.asarray(out_lines, dtype=np.int64),
+        counts=np.asarray(out_counts, dtype=np.int32),
+        slots=np.asarray(out_slots, dtype=np.int16),
+    )

@@ -1,0 +1,82 @@
+"""Persistence of traces: generate once, replay everywhere.
+
+Block traces and line-event traces are the expensive artefacts of the
+pipeline; saving them as compressed ``.npz`` files lets a user (or a CI
+job) split trace generation from cache simulation, or feed externally
+generated traces into the schemes — the format is just arrays plus a small
+metadata record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import LineEventTrace
+from repro.trace.executor import BlockTrace
+
+__all__ = ["save_events", "load_events", "save_block_trace", "load_block_trace"]
+
+_EVENTS_KIND = "repro-line-events-v1"
+_BLOCKS_KIND = "repro-block-trace-v1"
+
+
+def save_events(events: LineEventTrace, path: Union[str, Path]) -> None:
+    """Write a line-event trace as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        kind=np.array(_EVENTS_KIND),
+        line_size=np.array(events.line_size, dtype=np.int64),
+        line_addrs=events.line_addrs,
+        counts=events.counts,
+        slots=events.slots,
+    )
+
+
+def load_events(path: Union[str, Path]) -> LineEventTrace:
+    """Read a line-event trace written by :func:`save_events`."""
+    try:
+        archive = np.load(Path(path), allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot load events from {path}: {exc}") from exc
+    with archive:
+        if "kind" not in archive or str(archive["kind"]) != _EVENTS_KIND:
+            raise TraceError(f"{path} is not a line-event trace archive")
+        return LineEventTrace(
+            line_size=int(archive["line_size"]),
+            line_addrs=archive["line_addrs"].astype(np.int64),
+            counts=archive["counts"].astype(np.int32),
+            slots=archive["slots"].astype(np.int16),
+        )
+
+
+def save_block_trace(trace: BlockTrace, path: Union[str, Path]) -> None:
+    """Write a block trace as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        kind=np.array(_BLOCKS_KIND),
+        program_name=np.array(trace.program_name),
+        uids=trace.uids,
+        num_instructions=np.array(trace.num_instructions, dtype=np.int64),
+        num_program_runs=np.array(trace.num_program_runs, dtype=np.int64),
+    )
+
+
+def load_block_trace(path: Union[str, Path]) -> BlockTrace:
+    """Read a block trace written by :func:`save_block_trace`."""
+    try:
+        archive = np.load(Path(path), allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot load block trace from {path}: {exc}") from exc
+    with archive:
+        if "kind" not in archive or str(archive["kind"]) != _BLOCKS_KIND:
+            raise TraceError(f"{path} is not a block-trace archive")
+        return BlockTrace(
+            program_name=str(archive["program_name"]),
+            uids=archive["uids"].astype(np.int32),
+            num_instructions=int(archive["num_instructions"]),
+            num_program_runs=int(archive["num_program_runs"]),
+        )

@@ -1,0 +1,26 @@
+"""Shared low-level helpers: bit manipulation, seeded RNG, statistics."""
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit_field,
+    is_power_of_two,
+    log2_exact,
+    mask,
+)
+from repro.utils.rng import stable_seed, make_rng
+from repro.utils.stats import geometric_mean, arithmetic_mean, weighted_mean
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "bit_field",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "stable_seed",
+    "make_rng",
+    "geometric_mean",
+    "arithmetic_mean",
+    "weighted_mean",
+]

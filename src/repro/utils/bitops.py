@@ -1,0 +1,64 @@
+"""Bit-manipulation helpers used by the ISA encoder and cache models.
+
+All helpers operate on non-negative Python integers and are deliberately
+explicit rather than clever: the cache address-slicing code built on top of
+them is the part of the system most likely to hide an off-by-one, so these
+primitives validate their inputs aggressively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CacheConfigError
+
+__all__ = [
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "bit_field",
+    "align_down",
+    "align_up",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, what: str = "value") -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises :class:`CacheConfigError` naming ``what`` otherwise, because the
+    dominant caller is cache-geometry validation.
+    """
+    if not is_power_of_two(value):
+        raise CacheConfigError(f"{what} must be a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def mask(nbits: int) -> int:
+    """Return an integer with the low ``nbits`` bits set."""
+    if nbits < 0:
+        raise ValueError(f"bit count must be non-negative, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def bit_field(value: int, low: int, nbits: int) -> int:
+    """Extract ``nbits`` bits of ``value`` starting at bit ``low``."""
+    if low < 0:
+        raise ValueError(f"low bit index must be non-negative, got {low}")
+    return (value >> low) & mask(nbits)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)

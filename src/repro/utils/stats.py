@@ -1,0 +1,45 @@
+"""Small statistics helpers used by the experiment harness and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["arithmetic_mean", "geometric_mean", "weighted_mean"]
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean; raises ``ValueError`` on an empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Normalised energies and ED products are ratios, for which the geometric
+    mean is the statistically appropriate average; the paper plots arithmetic
+    means of ratios, so the harness exposes both.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; weights must be non-negative, not all zero."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if not values:
+        raise ValueError("weighted mean of empty sequence")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total = float(sum(weights))
+    if total == 0.0:
+        raise ValueError("weights must not all be zero")
+    return sum(v * w for v, w in zip(values, weights)) / total

@@ -1,0 +1,49 @@
+"""Synthetic workloads standing in for the paper's MiBench benchmarks.
+
+Real MiBench ARM binaries (and gcc + DIABLO to produce them) are not
+available offline, so each of the 23 benchmarks the paper plots is
+re-created as a synthetic program whose *structure* — code footprint, loop
+nesting, hot/cold skew, call-graph shape — is chosen per benchmark to mimic
+the published character of the original (tiny hot kernels for ``crc``/
+``sha``/``rawcaudio``, large flat footprints for ``cjpeg``/``ispell``...).
+See DESIGN.md §2 for why this substitution preserves the paper's effects.
+
+Each benchmark has a ``small`` (profiling/train) and a ``large``
+(evaluation) input, differing in loop trip counts and branch biases, so the
+profile-guided layout faces realistic train/test mismatch.
+"""
+
+from repro.workloads.synth import SynthSpec, Workload, BranchRole, generate_workload
+from repro.workloads.mibench import (
+    MIBENCH_BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+)
+from repro.workloads.inputs import (
+    InputModel,
+    SMALL_INPUT,
+    LARGE_INPUT,
+    branch_models_for,
+)
+from repro.workloads.data_model import (
+    DataSpec,
+    data_spec_for,
+    synthesize_data_events,
+)
+
+__all__ = [
+    "SynthSpec",
+    "Workload",
+    "BranchRole",
+    "generate_workload",
+    "MIBENCH_BENCHMARKS",
+    "benchmark_names",
+    "load_benchmark",
+    "InputModel",
+    "SMALL_INPUT",
+    "LARGE_INPUT",
+    "branch_models_for",
+    "DataSpec",
+    "data_spec_for",
+    "synthesize_data_events",
+]

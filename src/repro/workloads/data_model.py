@@ -1,0 +1,209 @@
+"""Synthetic data-access streams: the D-cache side of each benchmark.
+
+The headline experiments fold data-side energy into a calibrated
+per-memory-op constant (see ``EnergyParams.mem_op_extra_pj``).  For the
+D-cache refinement ablation, this module synthesizes an actual data-address
+stream per benchmark so the Table 1 D-cache can be simulated like the
+I-cache: a mixture of
+
+* **streaming** runs — sequential array walks (media/crypto kernels),
+* **random** touches — uniform within the benchmark's data working set
+  (tables, hashes, tries),
+* **stack** accesses — a small, intensely reused region.
+
+The stream is emitted directly in compressed line-event form, so the
+ordinary cache schemes and energy models consume it unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.events import LineEventTrace, SEQUENTIAL_SLOT
+from repro.utils.rng import stable_seed
+
+__all__ = ["DataSpec", "data_spec_for", "synthesize_data_events"]
+
+#: Data segment base: keeps data lines disjoint from code addresses.
+DATA_BASE = 0x4000_0000
+#: Stack segment base.
+STACK_BASE = 0x7FFF_0000
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Shape of one benchmark's data-access behaviour."""
+
+    name: str
+    working_set_kb: float = 64.0  # heap/table region randomly touched
+    streaming_fraction: float = 0.45  # share of accesses in sequential runs
+    random_fraction: float = 0.25  # share touching the working set randomly
+    stack_fraction: float = 0.30  # share hitting the stack region
+    stream_run_bytes: int = 256  # mean sequential run before jumping
+    stack_kb: float = 1.0
+    hot_reuse: float = 0.85  # share of random touches hitting the hot subset
+    hot_subset: float = 0.10  # hot subset as a fraction of the working set
+    touches_per_line: int = 8  # accesses per streamed line (row reuse)
+
+    def __post_init__(self) -> None:
+        total = self.streaming_fraction + self.random_fraction + self.stack_fraction
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError(
+                f"{self.name}: access fractions must sum to 1, got {total}"
+            )
+        if self.working_set_kb <= 0 or self.stack_kb <= 0:
+            raise WorkloadError(f"{self.name}: working set sizes must be positive")
+        if self.stream_run_bytes < 4:
+            raise WorkloadError(f"{self.name}: stream runs must cover >= one word")
+        if not 0.0 <= self.hot_reuse <= 1.0 or not 0.0 < self.hot_subset <= 1.0:
+            raise WorkloadError(f"{self.name}: bad reuse-skew parameters")
+        if self.touches_per_line < 1:
+            raise WorkloadError(f"{self.name}: touches_per_line must be >= 1")
+
+
+#: Benchmark-class presets (keyed by the same names as MIBENCH_BENCHMARKS).
+_CLASS_PRESETS = {
+    "streaming": DataSpec(
+        "streaming",
+        working_set_kb=128.0,
+        streaming_fraction=0.70,
+        random_fraction=0.05,
+        stack_fraction=0.25,
+        stream_run_bytes=512,
+        touches_per_line=12,
+        hot_reuse=0.90,
+        hot_subset=0.05,
+    ),
+    "table": DataSpec(
+        "table",
+        working_set_kb=48.0,
+        streaming_fraction=0.25,
+        random_fraction=0.45,
+        stack_fraction=0.30,
+        touches_per_line=10,
+        hot_reuse=0.95,
+        hot_subset=0.08,
+    ),
+    "compact": DataSpec(
+        "compact",
+        working_set_kb=8.0,
+        streaming_fraction=0.40,
+        random_fraction=0.25,
+        stack_fraction=0.35,
+    ),
+}
+
+_BENCHMARK_CLASSES = {
+    # media / tiff / jpeg: large streaming frames
+    "cjpeg": "streaming",
+    "djpeg": "streaming",
+    "tiff2bw": "streaming",
+    "tiff2rgba": "streaming",
+    "tiffdither": "streaming",
+    "tiffmedian": "streaming",
+    "susan_c": "streaming",
+    "susan_e": "streaming",
+    "susan_s": "streaming",
+    "rawcaudio": "streaming",
+    "rawdaudio": "streaming",
+    # dictionary / pointer codes: random table walks
+    "patricia": "table",
+    "ispell": "table",
+    "rsynth": "table",
+    "rijndael_d": "table",
+    "rijndael_e": "table",
+    "blowfish_d": "table",
+    "blowfish_e": "table",
+    # register-resident kernels: small data footprints
+    "bitcount": "compact",
+    "sha": "compact",
+    "crc": "compact",
+    "fft": "compact",
+    "fft_i": "compact",
+}
+
+
+def data_spec_for(benchmark: str) -> DataSpec:
+    """The data-access preset for a named benchmark (default: table)."""
+    import dataclasses
+
+    preset = _CLASS_PRESETS[_BENCHMARK_CLASSES.get(benchmark, "table")]
+    return dataclasses.replace(preset, name=benchmark)
+
+
+def synthesize_data_events(
+    spec: DataSpec,
+    num_accesses: int,
+    line_size: int = 32,
+    seed_salt: str = "",
+) -> LineEventTrace:
+    """Generate ``num_accesses`` data accesses as a line-event trace."""
+    if num_accesses < 0:
+        raise WorkloadError("num_accesses must be non-negative")
+    rng = random.Random(stable_seed("data", spec.name, seed_salt))
+    ws_lines = max(1, int(spec.working_set_kb * 1024) // line_size)
+    stack_lines = max(1, int(spec.stack_kb * 1024) // line_size)
+    mean_run_lines = max(1, spec.stream_run_bytes // line_size)
+
+    addrs: List[int] = []
+    counts: List[int] = []
+    remaining = num_accesses
+    previous_line = -1
+    stream_cursor = 0
+
+    while remaining > 0:
+        roll = rng.random()
+        if roll < spec.streaming_fraction:
+            # a sequential run of lines, several word accesses per line
+            run = rng.randint(1, 2 * mean_run_lines)
+            per_line = max(1, spec.touches_per_line)
+            for _ in range(run):
+                if remaining <= 0:
+                    break
+                line = DATA_BASE + (stream_cursor % ws_lines) * line_size
+                stream_cursor += 1
+                touches = min(per_line, remaining)
+                if line == previous_line:
+                    counts[-1] += touches
+                else:
+                    addrs.append(line)
+                    counts.append(touches)
+                previous_line = line
+                remaining -= touches
+        elif roll < spec.streaming_fraction + spec.random_fraction:
+            # table lookups reuse a hot subset heavily (the 80/20 shape of
+            # real hash/trie traffic), with a cold tail over the full set
+            hot_lines = max(1, int(ws_lines * spec.hot_subset))
+            if rng.random() < spec.hot_reuse:
+                line = DATA_BASE + rng.randrange(hot_lines) * line_size
+            else:
+                line = DATA_BASE + rng.randrange(ws_lines) * line_size
+            if line == previous_line:
+                counts[-1] += 1
+            else:
+                addrs.append(line)
+                counts.append(1)
+            previous_line = line
+            remaining -= 1
+        else:
+            line = STACK_BASE + rng.randrange(stack_lines) * line_size
+            touches = min(rng.randint(1, 4), remaining)
+            if line == previous_line:
+                counts[-1] += touches
+            else:
+                addrs.append(line)
+                counts.append(touches)
+            previous_line = line
+            remaining -= touches
+
+    return LineEventTrace(
+        line_size=line_size,
+        line_addrs=np.asarray(addrs, dtype=np.int64),
+        counts=np.asarray(counts, dtype=np.int32),
+        slots=np.full(len(addrs), SEQUENTIAL_SLOT, dtype=np.int16),
+    )

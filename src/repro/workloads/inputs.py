@@ -1,0 +1,89 @@
+"""Input models: turning branch roles into concrete branch behaviour.
+
+The paper profiles on MiBench's *small* inputs and evaluates on the *large*
+ones.  Here an input scales loop trip counts (small inputs iterate less) and
+jitters branch probabilities per (benchmark, input) — so the profile the
+layout pass sees is *representative but not identical* to the evaluation
+run, reproducing the train/test methodology rather than an oracle profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import WorkloadError
+from repro.trace.branch_model import (
+    BernoulliBranch,
+    BranchModel,
+    BranchModelMap,
+    LoopBranch,
+)
+from repro.utils.rng import make_rng
+from repro.workloads.synth import BranchRole, Workload
+
+__all__ = ["InputModel", "SMALL_INPUT", "LARGE_INPUT", "branch_models_for"]
+
+
+@dataclass(frozen=True)
+class InputModel:
+    """One named input: scaling and jitter applied to branch roles."""
+
+    name: str
+    trip_scale: float = 1.0  # multiplies loop trip counts
+    trip_jitter: float = 0.2  # +/- fraction applied per loop, seeded
+    prob_jitter: float = 0.06  # +/- absolute shift on branch probabilities
+    seed_salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trip_scale <= 0:
+            raise WorkloadError(f"input {self.name!r}: trip_scale must be positive")
+        if not 0.0 <= self.trip_jitter < 1.0:
+            raise WorkloadError(f"input {self.name!r}: trip_jitter must be in [0, 1)")
+        if not 0.0 <= self.prob_jitter <= 0.5:
+            raise WorkloadError(f"input {self.name!r}: prob_jitter must be in [0, 0.5]")
+
+
+#: The paper's two input sets (Section 5): small for profiling, large for
+#: evaluation.  The small input runs shorter loops and slightly different
+#: branch biases.
+SMALL_INPUT = InputModel(name="small", trip_scale=0.25, prob_jitter=0.08)
+LARGE_INPUT = InputModel(name="large", trip_scale=1.0, prob_jitter=0.0)
+
+
+def _loop_model(role: BranchRole, model: InputModel, rng) -> LoopBranch:
+    scale = model.trip_scale
+    if model.trip_jitter:
+        scale *= 1.0 + rng.uniform(-model.trip_jitter, model.trip_jitter)
+    lo = max(1, round(role.trips[0] * scale))
+    hi = max(lo, round(role.trips[1] * scale))
+    return LoopBranch(lo, hi)
+
+
+def _cond_model(role: BranchRole, model: InputModel, rng) -> BernoulliBranch:
+    p = role.taken_prob
+    if model.prob_jitter:
+        p += rng.uniform(-model.prob_jitter, model.prob_jitter)
+    # Cold guards stay cold across inputs; clamp asymmetrically so a jitter
+    # cannot turn error handling into hot code.
+    if role.cold_guard:
+        p = min(max(p, 0.0), 0.15)
+    else:
+        p = min(max(p, 0.02), 0.98)
+    return BernoulliBranch(p)
+
+
+def branch_models_for(workload: Workload, input_model: InputModel) -> BranchModelMap:
+    """Concrete :class:`BranchModelMap` for a workload under one input."""
+    rng = make_rng(
+        "input", workload.name, input_model.name, input_model.seed_salt
+    )
+    models: Dict[int, BranchModel] = {}
+    for uid, role in sorted(workload.roles.items()):
+        if role.kind == "loop":
+            models[uid] = _loop_model(role, input_model, rng)
+        elif role.kind == "cond":
+            models[uid] = _cond_model(role, input_model, rng)
+        else:
+            raise WorkloadError(f"unknown branch role kind {role.kind!r}")
+    return BranchModelMap(models)

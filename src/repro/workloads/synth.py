@@ -1,0 +1,343 @@
+"""Synthetic program generator: structured CFGs with controlled locality.
+
+The generator builds a program as a call DAG of functions.  Function bodies
+are recursive compositions of four region kinds:
+
+* plain straight-line blocks,
+* if/else diamonds (forward conditional branch + join),
+* loops (fall-through body closed by a backward conditional latch),
+* call sites (always to a *higher-indexed* function, so the call graph is
+  acyclic and trace generation needs no recursion guard).
+
+Every conditional branch gets a :class:`BranchRole` describing how inputs
+should drive it (loop trip ranges, taken probabilities, hot/cold), which
+:mod:`repro.workloads.inputs` later turns into concrete branch models.
+
+Hot/cold skew — the property way-placement exploits — comes from two knobs:
+
+* the last ``kernel_functions`` functions of the DAG are *kernels*: small,
+  tightly looping, high-trip-count bodies reachable from everywhere (the
+  ``crc``/``sha`` inner loops of the world);
+* with probability ``cold_prob`` a region is guarded by a mostly-taken
+  forward branch that jumps over it — rarely executed error/option handling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.program.builder import FunctionBuilder, ProgramBuilder
+from repro.program.program import Program
+from repro.utils.rng import stable_seed
+
+__all__ = ["SynthSpec", "BranchRole", "Workload", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """Shape parameters for one synthetic benchmark."""
+
+    name: str
+    code_kb: float = 24.0  # approximate static code size target
+    num_functions: int = 12  # functions besides main
+    kernel_functions: int = 2  # hot innermost kernels at the DAG bottom
+    block_size: Tuple[int, int] = (2, 7)  # instructions per block (body)
+    mem_density: float = 0.25  # load/store fraction of generated bodies
+    loop_prob: float = 0.25  # P(region is a loop), shrinking per nest level
+    call_prob: float = 0.15  # P(region is a call site)
+    calls_in_loops: bool = True  # allow call sites inside loop bodies
+    cold_prob: float = 0.15  # P(region is cold-guarded)
+    diamond_prob: float = 0.25  # P(region is an if/else diamond)
+    max_loop_depth: int = 3
+    kernel_body_items: Tuple[int, int] = (1, 2)  # region items per kernel loop body
+    kernel_share: float = 0.35  # kernels' share weight of static code
+    kernel_trips: Tuple[int, int] = (30, 120)  # kernel loop trips (large input)
+    normal_trips: Tuple[int, int] = (3, 12)  # other loops (large input)
+    driver_trips: int = 200  # main's outer driver loop (large input)
+    small_input_scale: float = 0.25  # trip scaling for the small/train input
+    taken_prob_range: Tuple[float, float] = (0.2, 0.8)  # if/else biases
+    cold_taken_prob: float = 0.97  # how reliably cold code is skipped
+
+    def __post_init__(self) -> None:
+        if self.num_functions < 1:
+            raise WorkloadError(f"{self.name}: need at least one function")
+        if not 0 < self.kernel_functions <= self.num_functions:
+            raise WorkloadError(f"{self.name}: kernel_functions out of range")
+        if self.block_size[0] < 1 or self.block_size[1] < self.block_size[0]:
+            raise WorkloadError(f"{self.name}: bad block size range {self.block_size}")
+        if self.code_kb <= 0:
+            raise WorkloadError(f"{self.name}: code size target must be positive")
+        if not 0.0 < self.small_input_scale <= 1.0:
+            raise WorkloadError(f"{self.name}: small_input_scale must be in (0, 1]")
+        if self.kernel_trips[0] < 1 or self.kernel_trips[1] < self.kernel_trips[0]:
+            raise WorkloadError(f"{self.name}: bad kernel trip range")
+        if self.normal_trips[0] < 1 or self.normal_trips[1] < self.normal_trips[0]:
+            raise WorkloadError(f"{self.name}: bad normal trip range")
+        if self.driver_trips < 1:
+            raise WorkloadError(f"{self.name}: driver_trips must be >= 1")
+        if self.kernel_body_items[0] < 1 or self.kernel_body_items[1] < self.kernel_body_items[0]:
+            raise WorkloadError(f"{self.name}: bad kernel_body_items range")
+        if self.kernel_share <= 0:
+            raise WorkloadError(f"{self.name}: kernel_share must be positive")
+        if not 0.0 <= self.mem_density <= 1.0:
+            raise WorkloadError(f"{self.name}: mem_density must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class BranchRole:
+    """How the inputs should drive one conditional branch."""
+
+    kind: str  # 'loop' or 'cond'
+    trips: Tuple[int, int] = (1, 1)  # loops: trip-count range on the LARGE input
+    taken_prob: float = 0.5  # conds: P(branch taken) on the LARGE input
+    cold_guard: bool = False  # taken jumps over rarely-executed code
+    kernel: bool = False  # belongs to a hot kernel function
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated benchmark: the program plus its branch roles."""
+
+    program: Program
+    roles: Dict[int, BranchRole]
+    spec: SynthSpec
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+class _FunctionGenerator:
+    """Emits one function's blocks into a :class:`FunctionBuilder`."""
+
+    def __init__(
+        self,
+        generator: "_WorkloadGenerator",
+        fb: FunctionBuilder,
+        function_index: int,
+        instruction_budget: int,
+        is_kernel: bool,
+    ):
+        self.gen = generator
+        self.fb = fb
+        self.index = function_index
+        self.budget = instruction_budget
+        self.is_kernel = is_kernel
+        self._label_serial = 0
+        #: (local label, role) — resolved to uids after the program is built
+        self.pending_roles: List[Tuple[str, BranchRole]] = []
+        #: deferred out-of-line cold regions: (cold entry label, resume label)
+        self._deferred_cold: List[Tuple[str, str]] = []
+
+    # -- helpers -------------------------------------------------------------
+    def _label(self, stem: str) -> str:
+        self._label_serial += 1
+        return f"{stem}{self._label_serial}"
+
+    def _body_size(self) -> int:
+        lo, hi = self.gen.spec.block_size
+        size = self.gen.rng.randint(lo, hi)
+        self.budget -= size + 1  # +1 approximates the terminator
+        return size
+
+    # -- emission --------------------------------------------------------------
+    def emit(self) -> None:
+        self.fb.block(self._label("entry"), self._body_size())
+        self._region(depth=0)
+        self.fb.block(self._label("ret"), max(1, self.gen.spec.block_size[0]), ret=True)
+        # Out-of-line cold regions live past the return, like the error
+        # handling gcc moves to the end of a function.
+        for cold_entry, resume in self._deferred_cold:
+            self.fb.block(cold_entry, self._body_size())
+            for _ in range(self.gen.rng.randint(1, 4)):
+                self.fb.block(self._label("cold"), self._body_size())
+            self.fb.block(self._label("cold_end"), self._body_size(), jump=resume)
+
+    def _region(self, depth: int, max_items: Optional[int] = None) -> None:
+        """Emit region items until the budget (or item bound) is spent."""
+        spec = self.gen.spec
+        rng = self.gen.rng
+        items = 0
+        while self.budget > 0 and (max_items is None or items < max_items):
+            items += 1
+            roll = rng.random()
+            loop_p = spec.loop_prob / (depth + 1)
+            if depth < spec.max_loop_depth and roll < loop_p:
+                self._loop(depth)
+                continue
+            roll -= loop_p
+            calls_allowed = spec.calls_in_loops or depth == 0
+            if (
+                roll < spec.call_prob
+                and calls_allowed
+                and self.gen.callable_targets(self.index)
+            ):
+                # Call sites inside loop bodies cascade heat down the call
+                # DAG (a callee inherits its caller's trip product); flat-
+                # profile benchmarks disable that to spread execution mass.
+                self._call()
+                continue
+            roll -= spec.call_prob
+            if roll < spec.cold_prob:
+                self._cold_region()
+                continue
+            roll -= spec.cold_prob
+            if roll < spec.diamond_prob:
+                self._diamond()
+                continue
+            self.fb.block(self._label("b"), self._body_size())
+
+    def _loop(self, depth: int) -> None:
+        spec = self.gen.spec
+        head = self._label("loop_head")
+        self.fb.block(head, self._body_size())
+        # Kernel loop-body size controls the hot working set: tight 1-2 item
+        # bodies give crypto/DSP-style sub-KB kernels, larger ranges spread
+        # the hot footprint over tens of KB (image/compression codes).
+        if self.is_kernel:
+            body_items = self.gen.rng.randint(*spec.kernel_body_items)
+        else:
+            body_items = self.gen.rng.randint(1, 3)
+        self._region(depth + 1, max_items=body_items)
+        latch = self._label("latch")
+        self.fb.block(latch, self._body_size(), branch=head)
+        trips = spec.kernel_trips if self.is_kernel else spec.normal_trips
+        self.pending_roles.append(
+            (latch, BranchRole(kind="loop", trips=trips, kernel=self.is_kernel))
+        )
+
+    def _call(self) -> None:
+        callee = self.gen.pick_callee(self.index)
+        self.fb.block(self._label("call"), self._body_size(), call=callee)
+
+    def _diamond(self) -> None:
+        """if/else: cond falls into the then-part, taken goes to the else."""
+        spec = self.gen.spec
+        rng = self.gen.rng
+        cond_lbl = self._label("cond")
+        else_lbl = self._label("else")
+        join_lbl = self._label("join")
+        self.fb.block(cond_lbl, self._body_size(), branch=else_lbl)
+        for _ in range(rng.randint(0, 1)):
+            self.fb.block(self._label("then"), self._body_size())
+        self.fb.block(self._label("then_end"), self._body_size(), jump=join_lbl)
+        self.fb.block(else_lbl, self._body_size())
+        for _ in range(rng.randint(0, 1)):
+            self.fb.block(self._label("elseb"), self._body_size())
+        self.fb.block(join_lbl, self._body_size())
+        p = rng.uniform(*spec.taken_prob_range)
+        self.pending_roles.append(
+            (cond_lbl, BranchRole(kind="cond", taken_prob=p, kernel=self.is_kernel))
+        )
+
+    def _cold_region(self) -> None:
+        """A rarely-taken guard branching to out-of-line cold code.
+
+        The hot path falls straight through (``guard`` -> ``resume``); the
+        cold blocks are emitted past the function's return and jump back to
+        ``resume`` — the shape a compiler gives inline error handling.
+        """
+        spec = self.gen.spec
+        guard_lbl = self._label("guard")
+        cold_lbl = self._label("cold_entry")
+        resume_lbl = self._label("resume")
+        self.fb.block(guard_lbl, self._body_size(), branch=cold_lbl)
+        self.fb.block(resume_lbl, self._body_size())
+        self._deferred_cold.append((cold_lbl, resume_lbl))
+        self.pending_roles.append(
+            (
+                guard_lbl,
+                BranchRole(
+                    kind="cond",
+                    taken_prob=1.0 - spec.cold_taken_prob,
+                    cold_guard=True,
+                ),
+            )
+        )
+
+
+class _WorkloadGenerator:
+    """Drives function generation for one benchmark spec."""
+
+    def __init__(self, spec: SynthSpec, seed_salt: str = ""):
+        self.spec = spec
+        self.rng = random.Random(stable_seed("workload", spec.name, seed_salt))
+        self._function_names = [f"f{i}" for i in range(spec.num_functions)]
+        self._kernel_names = set(self._function_names[-spec.kernel_functions :])
+        self.called: set = set()
+
+    def callable_targets(self, caller_index: int) -> List[str]:
+        """Functions a given function may call (strictly higher index)."""
+        return self._function_names[caller_index + 1 :]
+
+    def pick_callee(self, caller_index: int) -> str:
+        targets = self.callable_targets(caller_index)
+        # Bias toward the kernels at the DAG bottom: shared hot code.
+        weights = [4.0 if t in self._kernel_names else 1.0 for t in targets]
+        callee = self.rng.choices(targets, weights=weights, k=1)[0]
+        self.called.add(callee)
+        return callee
+
+    def generate(self) -> Workload:
+        spec = self.spec
+        builder = ProgramBuilder(spec.name)
+
+        total_instructions = int(spec.code_kb * 1024 / 4)
+        main_share = max(24, total_instructions // 20)
+        remaining = max(total_instructions - main_share, spec.num_functions * 16)
+        weights = [
+            spec.kernel_share
+            if index >= spec.num_functions - spec.kernel_functions
+            else 1.0
+            for index in range(spec.num_functions)
+        ]
+        weight_sum = sum(weights)
+        shares = [max(16, int(remaining * w / weight_sum)) for w in weights]
+
+        # Declare main first so it heads the original layout, but fill it in
+        # only after the other functions exist: its driver loop must call
+        # every function nothing else calls, keeping the whole DAG live.
+        main_fb = builder.function("main", mem_density=spec.mem_density)
+
+        generators: List[_FunctionGenerator] = []
+        for index, name in enumerate(self._function_names):
+            fb = builder.function(name, mem_density=spec.mem_density)
+            is_kernel = index >= spec.num_functions - spec.kernel_functions
+            fgen = _FunctionGenerator(self, fb, index, shares[index], is_kernel)
+            fgen.emit()
+            generators.append(fgen)
+
+        top_level = set(self._function_names[: max(1, spec.num_functions // 3)])
+        top_level.update(
+            name for name in self._function_names if name not in self.called
+        )
+        main_fb.block("entry", 3)
+        main_fb.block("driver_head", 2)
+        for i, callee in enumerate(sorted(top_level, key=self._function_names.index)):
+            main_fb.block(f"drive{i}", self.rng.randint(1, 3), call=callee)
+        main_fb.block("driver_latch", 2, branch="driver_head")
+        main_fb.block("fin", 1, ret=True)
+
+        program = builder.build(entry="main")
+
+        roles: Dict[int, BranchRole] = {}
+        driver_uid = program.uid_of_label("main", "driver_latch")
+        roles[driver_uid] = BranchRole(
+            kind="loop", trips=(spec.driver_trips, spec.driver_trips)
+        )
+        for fgen in generators:
+            for label, role in fgen.pending_roles:
+                roles[program.uid_of_label(fgen.fb.name, label)] = role
+        return Workload(program=program, roles=roles, spec=spec)
+
+
+def generate_workload(spec: SynthSpec, seed_salt: str = "") -> Workload:
+    """Generate the synthetic benchmark described by ``spec``.
+
+    The same spec and salt always produce the identical program (stable
+    seeded RNG), so traces and layouts are reproducible across runs.
+    """
+    return _WorkloadGenerator(spec, seed_salt).generate()

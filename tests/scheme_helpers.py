@@ -1,0 +1,42 @@
+"""Helpers for driving fetch schemes with hand-written event streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.trace.events import LineEventTrace, SEQUENTIAL_SLOT
+
+__all__ = ["events_from", "TINY_GEOMETRY", "line_of"]
+
+#: 4 sets x 4 ways x 16B lines = 256B — small enough to reason by hand.
+TINY_GEOMETRY = CacheGeometry(256, 4, 16)
+
+EventSpec = Union[int, Tuple[int, int], Tuple[int, int, int]]
+
+
+def events_from(specs: Iterable[EventSpec], line_size: int = 16) -> LineEventTrace:
+    """Build a LineEventTrace from (line_addr[, count[, slot]]) specs."""
+    addrs, counts, slots = [], [], []
+    for spec in specs:
+        if isinstance(spec, int):
+            spec = (spec,)
+        addr = spec[0]
+        count = spec[1] if len(spec) > 1 else 1
+        slot = spec[2] if len(spec) > 2 else SEQUENTIAL_SLOT
+        addrs.append(addr)
+        counts.append(count)
+        slots.append(slot)
+    return LineEventTrace(
+        line_size=line_size,
+        line_addrs=np.asarray(addrs, dtype=np.int64),
+        counts=np.asarray(counts, dtype=np.int32),
+        slots=np.asarray(slots, dtype=np.int16),
+    )
+
+
+def line_of(geometry: CacheGeometry, set_index: int, tag: int) -> int:
+    """Line address that maps to (set_index, tag) under ``geometry``."""
+    return geometry.reconstruct_address(tag, set_index)

@@ -1,0 +1,138 @@
+"""Tests for binary image emission — the proof that ISA, layout, and CFG
+agree: every branch in the emitted bytes must land on the address the
+layout assigned to its target block, under *both* layouts."""
+
+import pytest
+
+from repro.binary import BinaryImage, emit_image, load_image
+from repro.errors import LayoutError
+from repro.isa.instructions import INSTRUCTION_SIZE, Opcode
+from repro.layout import original_layout, way_placement_layout
+from repro.profiling import profile_program
+from repro.program.basic_block import BlockKind
+from repro.workloads import SMALL_INPUT, branch_models_for, load_benchmark
+from tests.conftest import build_toy_program
+
+
+def _branch_targets_resolve(program, layout, image):
+    """Check every branch/call word jumps to its block's laid-out target."""
+    checked = 0
+    for function in program.functions.values():
+        for block in function.blocks:
+            terminator = block.terminator
+            if terminator is None or terminator.opcode not in (Opcode.B, Opcode.BL):
+                continue
+            address = (
+                layout.address_of(block.uid)
+                + (block.num_instructions - 1) * INSTRUCTION_SIZE
+            )
+            decoded = load_image(
+                image.data[
+                    address - image.base_address : address - image.base_address + 4
+                ]
+            )[0]
+            target_address = address + decoded.imm * INSTRUCTION_SIZE
+            if terminator.opcode is Opcode.BL:
+                expected = layout.address_of(
+                    program.functions[block.callee].entry.uid
+                )
+            else:
+                expected = layout.address_of(
+                    program.block_by_label(block.function, block.taken_label).uid
+                )
+            assert target_address == expected, (
+                f"{block.function}:{block.label} branch lands at "
+                f"{target_address:#x}, expected {expected:#x}"
+            )
+            checked += 1
+    return checked
+
+
+class TestToyProgram:
+    def test_image_size_matches_layout(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        image = emit_image(program, layout)
+        assert image.size_bytes == layout.end_address
+        assert image.num_words == program.num_instructions
+
+    def test_branches_resolve_original_layout(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        image = emit_image(program, layout)
+        assert _branch_targets_resolve(program, layout, image) >= 3
+
+    def test_branches_resolve_after_reordering(self):
+        """The crucial property: reordering blocks re-links every branch."""
+        program = build_toy_program()
+        counts = {b.uid: b.uid * 7 + 1 for b in program.blocks()}  # arbitrary
+        layout = way_placement_layout(program, counts)
+        image = emit_image(program, layout)
+        assert _branch_targets_resolve(program, layout, image) >= 3
+
+    def test_roundtrip_preserves_non_branch_instructions(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        image = emit_image(program, layout)
+        decoded = load_image(image.data, image.base_address)
+        for block in program.blocks():
+            start = (layout.address_of(block.uid) - image.base_address) // 4
+            for offset, instruction in enumerate(block.instructions):
+                if not instruction.is_branch:
+                    assert decoded[start + offset] == instruction
+
+    def test_word_at(self):
+        import struct
+
+        program = build_toy_program()
+        layout = original_layout(program)
+        image = emit_image(program, layout)
+        first_word = struct.unpack_from("<I", image.data, 0)[0]
+        assert image.word_at(image.base_address) == first_word
+        with pytest.raises(LayoutError):
+            image.word_at(image.base_address + 2)  # unaligned
+
+
+class TestWorkloadImages:
+    @pytest.mark.parametrize("bench", ["crc", "patricia"])
+    def test_full_benchmark_emits_and_relinks(self, bench):
+        workload = load_benchmark(bench)
+        program = workload.program
+        profile = profile_program(
+            program, branch_models_for(workload, SMALL_INPUT), 30_000
+        )
+        for layout in (
+            original_layout(program),
+            way_placement_layout(program, profile.block_counts),
+        ):
+            image = emit_image(program, layout)
+            assert image.size_bytes == program.size_bytes
+            checked = _branch_targets_resolve(program, layout, image)
+            assert checked > 20  # plenty of branches in a real workload
+
+    def test_symbol_table_included(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        image = emit_image(program, layout)
+        assert image.symbols["main:entry"] == layout.address_of(
+            program.uid_of_label("main", "entry")
+        )
+
+
+class TestErrors:
+    def test_ragged_image_rejected(self):
+        with pytest.raises(LayoutError):
+            load_image(b"\x00\x01\x02")
+
+    def test_word_at_out_of_range(self):
+        program = build_toy_program()
+        image = emit_image(program, original_layout(program))
+        with pytest.raises(LayoutError):
+            image.word_at(image.base_address + image.size_bytes)
+
+    def test_disassemble_smoke(self):
+        program = build_toy_program()
+        image = emit_image(program, original_layout(program))
+        text = image.disassemble()
+        assert text.count("\n") + 1 == image.num_words
+        assert "bl" in text

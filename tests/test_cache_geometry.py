@@ -1,0 +1,113 @@
+"""Unit and property tests for cache geometry and the way mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import CacheConfigError
+
+
+XSCALE = CacheGeometry(32 * 1024, 32, 32)
+
+
+class TestDerivedQuantities:
+    def test_xscale_geometry(self):
+        assert XSCALE.num_lines == 1024
+        assert XSCALE.num_sets == 32
+        assert XSCALE.offset_bits == 5
+        assert XSCALE.set_bits == 5
+        assert XSCALE.way_bits == 5
+        assert XSCALE.tag_bits == 22
+        assert XSCALE.instructions_per_line == 8
+
+    def test_describe_mentions_size_and_ways(self):
+        text = XSCALE.describe()
+        assert "32KB" in text and "32-way" in text
+
+    @pytest.mark.parametrize(
+        "size_kb,ways", [(16, 8), (16, 16), (16, 32), (32, 8), (64, 32)]
+    )
+    def test_figure6_geometries_valid(self, size_kb, ways):
+        geometry = CacheGeometry(size_kb * 1024, ways, 32)
+        assert geometry.num_sets * geometry.ways * geometry.line_size == size_kb * 1024
+
+
+class TestValidation:
+    def test_non_power_of_two_size(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(3000, 4, 32)
+
+    def test_non_power_of_two_ways(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(4096, 3, 32)
+
+    def test_line_too_small(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(4096, 4, 2)
+
+    def test_too_many_ways_for_size(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(128, 8, 32)
+
+
+class TestAddressSlicing:
+    def test_line_address(self):
+        assert XSCALE.line_address(0x1234) == 0x1220
+
+    def test_set_and_tag(self):
+        address = 0x0008_1234
+        assert XSCALE.set_index(address) == (address >> 5) & 31
+        assert XSCALE.tag(address) == address >> 10
+
+    def test_reconstruct_inverse(self):
+        address = 0x0008_1220
+        tag = XSCALE.tag(address)
+        set_index = XSCALE.set_index(address)
+        assert XSCALE.reconstruct_address(tag, set_index) == address
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100)
+    def test_slicing_partitions_address(self, address):
+        line = XSCALE.line_address(address)
+        reconstructed = XSCALE.reconstruct_address(
+            XSCALE.tag(address), XSCALE.set_index(address)
+        )
+        assert reconstructed == line
+
+
+class TestWayPlacementMapping:
+    def test_paper_mapping_lower_tag_bits(self):
+        # "a 32-way cache uses the lower 5 bits from the tag"
+        address = 0b1_10101_00000_00000  # tag LSBs = 10101
+        assert XSCALE.mandated_way(address) == XSCALE.tag(address) & 31
+
+    def test_one_cache_size_covers_every_slot_exactly_once(self):
+        # The defining property of the mapping: a contiguous cache-sized
+        # region starting at 0 maps onto each (set, way) exactly once.
+        slots = set()
+        for line in range(0, XSCALE.size_bytes, XSCALE.line_size):
+            slots.add((XSCALE.set_index(line), XSCALE.mandated_way(line)))
+        assert len(slots) == XSCALE.num_lines
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=100)
+    def test_addresses_one_cache_apart_share_slot(self, address):
+        other = address + XSCALE.size_bytes
+        assert XSCALE.set_index(address) == XSCALE.set_index(other)
+        assert XSCALE.mandated_way(address) == XSCALE.mandated_way(other)
+
+    @pytest.mark.parametrize("size_kb,ways", [(16, 8), (32, 16), (64, 32)])
+    def test_mapping_bijection_other_geometries(self, size_kb, ways):
+        geometry = CacheGeometry(size_kb * 1024, ways, 32)
+        slots = {
+            (geometry.set_index(line), geometry.mandated_way(line))
+            for line in range(0, geometry.size_bytes, geometry.line_size)
+        }
+        assert len(slots) == geometry.num_lines
+
+    def test_wpa_smaller_than_cache_restricts_ways(self):
+        # an 8KB prefix of a 32KB/32-way cache touches only ways 0..7
+        ways_used = {
+            XSCALE.mandated_way(line) for line in range(0, 8 * 1024, 32)
+        }
+        assert ways_used == set(range(8))

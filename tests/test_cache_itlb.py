@@ -1,0 +1,68 @@
+"""Unit tests for the I-TLB with way-placement bits."""
+
+import pytest
+
+from repro.cache.itlb import InstructionTlb
+from repro.errors import CacheConfigError
+
+
+class TestTranslation:
+    def test_miss_then_hit(self):
+        tlb = InstructionTlb(4, 1024)
+        tlb.access(0x1234)
+        assert (tlb.hits, tlb.misses) == (0, 1)
+        tlb.access(0x1238)  # same page
+        assert (tlb.hits, tlb.misses) == (1, 1)
+
+    def test_capacity_eviction_round_robin(self):
+        tlb = InstructionTlb(2, 1024)
+        tlb.access(0 * 1024)
+        tlb.access(1 * 1024)
+        tlb.access(2 * 1024)  # evicts page 0
+        tlb.access(0 * 1024)
+        assert tlb.misses == 4
+
+    def test_resident_pages(self):
+        tlb = InstructionTlb(4, 1024)
+        tlb.access(5 * 1024)
+        assert 5 in tlb.resident()
+
+
+class TestWayPlacementBit:
+    def test_bit_set_inside_wpa(self):
+        tlb = InstructionTlb(8, 1024, wpa_size=4 * 1024)
+        assert tlb.access(0) is True
+        assert tlb.access(3 * 1024) is True
+        assert tlb.access(4 * 1024) is False
+
+    def test_ground_truth_helper(self):
+        tlb = InstructionTlb(8, 1024, wpa_size=2 * 1024)
+        assert tlb.is_way_placed(2047)
+        assert not tlb.is_way_placed(2048)
+
+    def test_resize_rewrites_resident_entries(self):
+        tlb = InstructionTlb(8, 1024, wpa_size=4 * 1024)
+        tlb.access(3 * 1024)
+        assert tlb.resident()[3] is True
+        tlb.set_wpa_size(2 * 1024)  # the OS shrinks the area at runtime
+        assert tlb.resident()[3] is False
+        assert tlb.access(3 * 1024) is False  # and it was a hit
+        assert tlb.hits == 1
+
+    def test_wpa_must_be_page_multiple(self):
+        with pytest.raises(CacheConfigError, match="multiple"):
+            InstructionTlb(8, 1024, wpa_size=1536)
+
+    def test_zero_wpa_all_false(self):
+        tlb = InstructionTlb(8, 1024, wpa_size=0)
+        assert tlb.access(0) is False
+
+
+class TestValidation:
+    def test_entries_positive(self):
+        with pytest.raises(CacheConfigError):
+            InstructionTlb(0, 1024)
+
+    def test_page_size_power_of_two(self):
+        with pytest.raises(CacheConfigError):
+            InstructionTlb(4, 1000)

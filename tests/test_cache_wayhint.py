@@ -1,0 +1,54 @@
+"""Unit tests for the way-hint bit."""
+
+from repro.cache.wayhint import WayHintBit
+
+
+class TestPrediction:
+    def test_initially_false(self):
+        assert WayHintBit().predict() is False
+
+    def test_tracks_last_value(self):
+        hint = WayHintBit()
+        hint.predict()
+        hint.update(True)
+        assert hint.predict() is True
+        hint.update(False)
+        assert hint.predict() is False
+
+    def test_false_positive_counted(self):
+        hint = WayHintBit(initial=True)
+        hint.predict()
+        hint.update(False)
+        assert hint.false_positives == 1
+        assert hint.false_negatives == 0
+
+    def test_false_negative_counted(self):
+        hint = WayHintBit()
+        hint.predict()
+        hint.update(True)
+        assert hint.false_negatives == 1
+        assert hint.false_positives == 0
+
+    def test_accuracy(self):
+        hint = WayHintBit()
+        sequence = [True, True, True, False, False, True]
+        for actual in sequence:
+            hint.predict()
+            hint.update(actual)
+        # mispredictions happen at each value change plus the first True
+        wrong = hint.false_positives + hint.false_negatives
+        assert wrong == 3
+        assert hint.accuracy == 1 - 3 / len(sequence)
+
+    def test_accuracy_with_no_predictions(self):
+        assert WayHintBit().accuracy == 1.0
+
+    def test_long_runs_are_accurate(self):
+        # the paper's argument: the stream rarely switches between WPA and
+        # non-WPA code, so a last-value predictor is nearly perfect
+        hint = WayHintBit()
+        stream = [True] * 500 + [False] * 500 + [True] * 500
+        for actual in stream:
+            hint.predict()
+            hint.update(actual)
+        assert hint.accuracy >= 0.99

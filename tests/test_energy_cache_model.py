@@ -1,0 +1,105 @@
+"""Unit tests for the cache energy model."""
+
+import pytest
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.energy.cache_model import CacheEnergyModel, EnergyBreakdown
+from repro.energy.params import EnergyParams
+from repro.errors import EnergyModelError
+
+XSCALE = CacheGeometry(32 * 1024, 32, 32)
+PARAMS = EnergyParams()
+
+
+class TestPerEventEnergies:
+    def test_full_search_is_ways_times_one_way(self):
+        model = CacheEnergyModel(XSCALE, PARAMS)
+        assert model.full_search_pj == pytest.approx(32 * model.tag_way_pj)
+
+    def test_tag_energy_grows_with_cache_size(self):
+        small = CacheEnergyModel(CacheGeometry(16 * 1024, 32, 32), PARAMS)
+        large = CacheEnergyModel(CacheGeometry(64 * 1024, 32, 32), PARAMS)
+        assert large.tag_way_pj > small.tag_way_pj
+
+    def test_memo_links_widen_reads_and_fills(self):
+        plain = CacheEnergyModel(XSCALE, PARAMS)
+        memo = CacheEnergyModel(XSCALE, PARAMS, memo_links=True)
+        assert memo.data_read_pj == pytest.approx(
+            plain.data_read_pj * (1 + PARAMS.link_data_overhead)
+        )
+        assert memo.line_fill_pj == pytest.approx(
+            plain.line_fill_pj * (1 + PARAMS.link_fill_overhead)
+        )
+
+    def test_memory_energy_per_line(self):
+        model = CacheEnergyModel(XSCALE, PARAMS)
+        assert model.memory_line_pj == pytest.approx(
+            PARAMS.memory_pj_per_bit * 32 * 8
+        )
+
+    def test_bad_organisation_rejected(self):
+        with pytest.raises(EnergyModelError):
+            CacheEnergyModel(XSCALE, PARAMS, organisation="dram")
+
+
+class TestPricing:
+    def counters(self, **kwargs):
+        base = dict(
+            fetches=100,
+            line_events=20,
+            full_searches=20,
+            ways_precharged=20 * 32,
+            hits=19,
+            misses=1,
+            fills=1,
+            itlb_accesses=20,
+            itlb_misses=1,
+        )
+        base.update(kwargs)
+        return FetchCounters(**base)
+
+    def test_tag_energy_prices_precharges(self):
+        model = CacheEnergyModel(XSCALE, PARAMS)
+        breakdown = model.energy(self.counters())
+        assert breakdown.tag_pj == pytest.approx(20 * 32 * model.tag_way_pj)
+
+    def test_data_energy_per_fetch(self):
+        model = CacheEnergyModel(XSCALE, PARAMS)
+        breakdown = model.energy(self.counters())
+        assert breakdown.data_pj == pytest.approx(100 * model.data_read_pj)
+
+    def test_hint_energy_only_when_enabled(self):
+        plain = CacheEnergyModel(XSCALE, PARAMS).energy(self.counters())
+        hinted = CacheEnergyModel(XSCALE, PARAMS, wayhint=True).energy(
+            self.counters()
+        )
+        assert plain.hint_pj == 0.0
+        assert hinted.hint_pj == pytest.approx(20 * PARAMS.wayhint_pj)
+
+    def test_link_writes_priced(self):
+        model = CacheEnergyModel(XSCALE, PARAMS, memo_links=True)
+        breakdown = model.energy(self.counters(link_writes=5))
+        assert breakdown.link_pj == pytest.approx(5 * PARAMS.link_write_pj)
+
+    def test_icache_total_excludes_memory_and_tlb(self):
+        model = CacheEnergyModel(XSCALE, PARAMS)
+        breakdown = model.energy(self.counters())
+        assert breakdown.icache_pj == pytest.approx(
+            breakdown.tag_pj + breakdown.data_pj + breakdown.fill_pj
+        )
+        assert breakdown.fetch_path_pj == pytest.approx(
+            breakdown.icache_pj + breakdown.itlb_pj + breakdown.memory_pj
+        )
+
+    def test_ram_organisation_reads_all_ways_on_full_access(self):
+        cam = CacheEnergyModel(XSCALE, PARAMS, organisation="cam")
+        ram = CacheEnergyModel(XSCALE, PARAMS, organisation="ram")
+        counters = self.counters()
+        assert ram.energy(counters).data_pj > cam.energy(counters).data_pj
+
+    def test_zero_counters_zero_energy(self):
+        model = CacheEnergyModel(XSCALE, PARAMS)
+        breakdown = model.energy(FetchCounters())
+        assert breakdown.icache_pj == 0.0
+        assert breakdown.fetch_path_pj == 0.0

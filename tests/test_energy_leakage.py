@@ -1,0 +1,81 @@
+"""Unit tests for the drowsy-leakage extension."""
+
+import pytest
+
+from repro.energy.leakage import DrowsyModel, DrowsyStats, LeakageParams
+from repro.errors import EnergyModelError
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        LeakageParams()
+
+    def test_validation(self):
+        with pytest.raises(EnergyModelError):
+            LeakageParams(leak_pj_per_line_cycle=-1)
+        with pytest.raises(EnergyModelError):
+            LeakageParams(drowsy_factor=2.0)
+        with pytest.raises(EnergyModelError):
+            LeakageParams(decay_window_cycles=0)
+
+
+class TestDrowsyModel:
+    def test_line_cycle_conservation(self):
+        model = DrowsyModel(TINY_GEOMETRY, LeakageParams(decay_window_cycles=8))
+        stats = model.run(events_from([(0x00, 4), (0x10, 4), (0x00, 4)]))
+        assert (
+            stats.active_line_cycles + stats.drowsy_line_cycles
+            == stats.num_lines * stats.total_cycles
+        )
+
+    def test_hot_line_stays_active(self):
+        model = DrowsyModel(TINY_GEOMETRY, LeakageParams(decay_window_cycles=100))
+        stats = model.run(events_from([(0x00, 50), (0x10, 1), (0x00, 50)]))
+        # untouched slots are drowsy for the whole run; of the two touched
+        # slots, only 0x10's pre-first-access cold period (50 cycles) is
+        # drowsy — the continuously fetched line 0x00 never goes drowsy.
+        expected_drowsy = (stats.num_lines - 2) * stats.total_cycles + 50
+        assert stats.drowsy_line_cycles == expected_drowsy
+
+    def test_idle_line_goes_drowsy(self):
+        window = 10
+        model = DrowsyModel(TINY_GEOMETRY, LeakageParams(decay_window_cycles=window))
+        # line 0 fetched, then 100 cycles elsewhere, then refetched
+        stats = model.run(events_from([(0x00, 1), (0x10, 100), (0x00, 1)]))
+        assert stats.wakes >= 1
+        assert stats.drowsy_line_cycles > 0
+
+    def test_mostly_idle_cache_saves_most_leakage(self):
+        params = LeakageParams(decay_window_cycles=16)
+        model = DrowsyModel(TINY_GEOMETRY, params)
+        stats = model.run(events_from([(0x00, 2000)]))
+        # one hot line out of 16: ~15/16 of leakage is drowsy-rated
+        assert stats.drowsy_fraction > 0.9
+        assert stats.leakage_saving(params) > 0.8
+
+    def test_zero_window_effects_bounded(self):
+        params = LeakageParams(decay_window_cycles=1)
+        model = DrowsyModel(TINY_GEOMETRY, params)
+        stats = model.run(events_from([(0x00, 3), (0x10, 3), (0x00, 3)]))
+        assert stats.leakage_pj(params) <= stats.always_on_leakage_pj(params)
+
+    def test_wake_penalty_accounted(self):
+        params = LeakageParams(decay_window_cycles=5, wake_cycles=2)
+        model = DrowsyModel(TINY_GEOMETRY, params)
+        stats = model.run(events_from([(0x00, 1), (0x10, 50), (0x00, 1)]))
+        assert stats.wake_penalty_cycles == 2 * stats.wakes
+
+
+class TestStats:
+    def test_empty_stats(self):
+        stats = DrowsyStats(
+            total_cycles=0,
+            num_lines=16,
+            active_line_cycles=0,
+            drowsy_line_cycles=0,
+            wakes=0,
+            wake_penalty_cycles=0,
+        )
+        assert stats.drowsy_fraction == 0.0
+        assert stats.leakage_saving(LeakageParams()) == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for energy parameters."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy.params import EnergyParams, REFERENCE_SIZE_BYTES
+from repro.errors import EnergyModelError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        EnergyParams()  # no exception
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "cam_pj_per_way_bit",
+            "data_read_pj",
+            "fill_pj_per_bit",
+            "memory_pj_per_bit",
+            "itlb_search_pj",
+            "link_write_pj",
+            "core_pj_per_instruction",
+            "mem_op_extra_pj",
+        ],
+    )
+    def test_negative_rejected(self, field):
+        with pytest.raises(EnergyModelError):
+            EnergyParams(**{field: -1.0})
+
+    def test_overhead_fraction_range(self):
+        with pytest.raises(EnergyModelError):
+            EnergyParams(link_data_overhead=1.5)
+        with pytest.raises(EnergyModelError):
+            EnergyParams(link_fill_overhead=-0.1)
+
+    def test_exponent_range(self):
+        with pytest.raises(EnergyModelError):
+            EnergyParams(tag_size_exponent=3.0)
+
+
+class TestSizeScale:
+    def test_reference_point_is_unity(self):
+        params = EnergyParams()
+        assert params.size_scale(REFERENCE_SIZE_BYTES, 0.7) == pytest.approx(1.0)
+
+    def test_monotone_in_size(self):
+        params = EnergyParams()
+        assert params.size_scale(64 * 1024, 0.7) > 1.0 > params.size_scale(
+            16 * 1024, 0.7
+        )
+
+    def test_zero_exponent_flat(self):
+        params = EnergyParams()
+        assert params.size_scale(1024, 0.0) == 1.0
+
+
+class TestCalibrationRatios:
+    """Pin the ratios that drive the paper-shape results (see DESIGN.md)."""
+
+    def test_tag_search_comparable_to_data_read_at_reference(self):
+        params = EnergyParams()
+        full_search = params.cam_pj_per_way_bit * 22 * 32  # 32KB/32-way tags
+        assert 0.8 <= full_search / params.data_read_pj <= 1.2
+
+    def test_memo_read_overhead_exceeds_storage_overhead(self):
+        params = EnergyParams()
+        assert params.link_data_overhead >= params.link_fill_overhead
+
+    def test_is_frozen(self):
+        params = EnergyParams()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.data_read_pj = 1.0

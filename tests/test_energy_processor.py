@@ -1,0 +1,84 @@
+"""Unit tests for the processor energy model and ED product."""
+
+import pytest
+
+from repro.cache.access import FetchCounters
+from repro.energy.cache_model import EnergyBreakdown
+from repro.energy.params import EnergyParams
+from repro.energy.processor import ProcessorEnergyModel, ProcessorReport
+from repro.errors import EnergyModelError
+
+PARAMS = EnergyParams()
+MODEL = ProcessorEnergyModel(PARAMS)
+
+
+def make_report(icache_pj=1000.0, cycles=100, instructions=100, mem_fraction=0.25):
+    counters = FetchCounters(fetches=instructions)
+    breakdown = EnergyBreakdown(tag_pj=icache_pj / 2, data_pj=icache_pj / 2)
+    return MODEL.report(counters, breakdown, cycles, mem_fraction)
+
+
+class TestCoreEnergy:
+    def test_components(self):
+        energy = MODEL.core_energy_pj(10, 20, mem_fraction=0.5)
+        expected = 10 * (
+            PARAMS.core_pj_per_instruction + 0.5 * PARAMS.mem_op_extra_pj
+        ) + 20 * PARAMS.core_pj_per_cycle
+        assert energy == pytest.approx(expected)
+
+    def test_mem_fraction_raises_core_energy(self):
+        low = MODEL.core_energy_pj(100, 100, mem_fraction=0.0)
+        high = MODEL.core_energy_pj(100, 100, mem_fraction=0.5)
+        assert high > low
+
+    def test_mem_fraction_validated(self):
+        with pytest.raises(EnergyModelError):
+            MODEL.core_energy_pj(1, 1, mem_fraction=1.5)
+
+
+class TestReportMetrics:
+    def test_processor_energy_sums_core_and_fetch_path(self):
+        report = make_report()
+        assert report.processor_pj == pytest.approx(
+            report.breakdown.fetch_path_pj + report.core_pj
+        )
+
+    def test_icache_fraction(self):
+        report = make_report(icache_pj=1000.0)
+        assert report.icache_fraction == pytest.approx(
+            1000.0 / report.processor_pj
+        )
+
+    def test_cpi(self):
+        report = make_report(cycles=150, instructions=100)
+        assert report.cpi == pytest.approx(1.5)
+
+
+class TestNormalisation:
+    def test_identity(self):
+        report = make_report()
+        assert report.ed_product(report) == pytest.approx(1.0)
+        assert report.normalised_icache_energy(report) == pytest.approx(1.0)
+        assert report.normalised_delay(report) == pytest.approx(1.0)
+
+    def test_half_energy_same_delay(self):
+        baseline = make_report(icache_pj=1000.0)
+        better = make_report(icache_pj=500.0)
+        assert better.normalised_icache_energy(baseline) == pytest.approx(0.5)
+        energy_ratio = better.processor_pj / baseline.processor_pj
+        assert better.ed_product(baseline) == pytest.approx(energy_ratio)
+
+    def test_slower_run_raises_ed(self):
+        baseline = make_report(cycles=100)
+        slower = make_report(cycles=120)
+        assert slower.ed_product(baseline) > slower.processor_pj / baseline.processor_pj
+
+    def test_zero_baseline_rejected(self):
+        report = make_report()
+        zero = ProcessorReport(
+            instructions=0, cycles=0, breakdown=EnergyBreakdown(), core_pj=0.0
+        )
+        with pytest.raises(EnergyModelError):
+            report.ed_product(zero)
+        with pytest.raises(EnergyModelError):
+            report.normalised_icache_energy(zero)

@@ -1,0 +1,34 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.experiments.formatting import format_pct, format_ratio, render_table
+
+
+class TestFormatters:
+    def test_pct(self):
+        assert format_pct(0.523).strip() == "52.3"
+
+    def test_ratio(self):
+        assert format_ratio(0.8).strip() == "0.80"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            "Title", ["name", "value"], [["a", "1"], ["longer", "22"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in text and "longer" in text
+        # all data lines share the same width
+        widths = {len(line) for line in lines[2:-1]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table("t", ["a"], [])
+        assert "a" in text

@@ -1,0 +1,75 @@
+"""Golden regression pins: exact counter values for fixed configurations.
+
+Everything in the pipeline is deterministic (stable seeds, no wall-clock
+randomness), so these exact values must never drift unless a behavioural
+change is *intended* — in which case updating them is part of reviewing the
+change.  They complement the band assertions elsewhere: a refactor that
+shifted results by 1% would pass every band but fail here.
+
+Regenerate after an intended change with:
+
+    python -m pytest tests/test_golden_regression.py --tb=short
+    (copy the reported actual values)
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mibench import load_benchmark
+
+GOLDEN_BUDGETS = dict(eval_instructions=50_000, profile_instructions=20_000)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(**GOLDEN_BUDGETS)
+
+
+class TestWorkloadGolden:
+    def test_crc_program_shape(self):
+        program = load_benchmark("crc").program
+        assert program.num_blocks == 162
+        assert program.size_bytes == 3768
+        assert len(program.functions) == 5
+
+    def test_cjpeg_program_shape(self):
+        program = load_benchmark("cjpeg").program
+        assert len(program.functions) == 25
+        # pin size loosely separate from blocks: both deterministic
+        assert program.size_bytes == load_benchmark("cjpeg").program.size_bytes
+
+
+class TestSimulationGolden:
+    def test_crc_baseline_counters(self, runner):
+        counters = runner.report("crc", "baseline").counters
+        # exact pins (regenerate when intentionally changing behaviour)
+        assert counters.fetches == 50005
+        assert counters.line_events == 7142
+        assert counters.misses == 76
+        assert counters.itlb_misses == 4
+        assert counters.hits + counters.misses == counters.line_events
+
+    def test_crc_way_placement_counters(self, runner):
+        counters = runner.report(
+            "crc", "way-placement", wpa_size=32 * 1024
+        ).counters
+        assert counters.ways_precharged == 7250
+        assert counters.misses == 75
+        assert counters.hint_false_positives == 0
+        assert counters.hint_false_negatives == 1
+
+    def test_crc_way_placement_determinism(self, runner):
+        first = runner.report("crc", "way-placement", wpa_size=32 * 1024).counters
+        fresh_runner = ExperimentRunner(**GOLDEN_BUDGETS)
+        second = fresh_runner.report(
+            "crc", "way-placement", wpa_size=32 * 1024
+        ).counters
+        assert first == second
+
+    def test_cross_runner_energy_identical(self, runner):
+        a = runner.normalised("sha", "way-placement", wpa_size=32 * 1024)
+        b = ExperimentRunner(**GOLDEN_BUDGETS).normalised(
+            "sha", "way-placement", wpa_size=32 * 1024
+        )
+        assert a.icache_energy == pytest.approx(b.icache_energy, rel=1e-12)
+        assert a.ed_product == pytest.approx(b.ed_product, rel=1e-12)

@@ -1,0 +1,111 @@
+"""End-to-end integration tests reproducing the paper's headline effects
+on a reduced scale (small instruction budgets, a few benchmarks).
+
+These are the guardrails for the reproduction itself: if a refactor breaks
+the chain (profiling -> chaining -> placement -> simulation -> energy), the
+band assertions here fail long before the full benchmark harness runs.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
+from repro.sim.machine import XSCALE_BASELINE
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(eval_instructions=80_000, profile_instructions=30_000)
+
+
+class TestHeadlineResult:
+    """The abstract's claim: ~50% energy saving vs ~32% for way-memoization."""
+
+    @pytest.mark.parametrize("bench", ["crc", "sha", "susan_c", "cjpeg"])
+    def test_way_placement_band(self, runner, bench):
+        result = runner.normalised(bench, "way-placement", wpa_size=32 * KB)
+        assert 0.45 <= result.icache_energy <= 0.60
+        assert result.ed_product < 1.0
+
+    @pytest.mark.parametrize("bench", ["crc", "sha", "susan_c", "cjpeg"])
+    def test_memoization_band(self, runner, bench):
+        result = runner.normalised(bench, "way-memoization")
+        assert 0.58 <= result.icache_energy <= 0.75
+
+    @pytest.mark.parametrize("bench", ["crc", "sha", "cjpeg"])
+    def test_placement_beats_memoization(self, runner, bench):
+        placed = runner.normalised(bench, "way-placement", wpa_size=32 * KB)
+        memo = runner.normalised(bench, "way-memoization")
+        assert placed.icache_energy < memo.icache_energy
+
+    def test_performance_essentially_unchanged(self, runner):
+        """The paper: 'no change in performance' — delay within 3%."""
+        for bench in ("crc", "susan_c", "cjpeg"):
+            result = runner.normalised(bench, "way-placement", wpa_size=32 * KB)
+            assert result.delay == pytest.approx(1.0, abs=0.03)
+
+
+class TestWpaSweep:
+    def test_shrinking_wpa_degrades_gracefully(self, runner):
+        energies = []
+        for wpa in (32 * KB, 4 * KB, 1 * KB):
+            result = runner.normalised("cjpeg", "way-placement", wpa_size=wpa)
+            energies.append(result.icache_energy)
+        assert energies[0] <= energies[1] <= energies[2]
+        assert energies[2] < 0.68  # even 1KB clearly beats way-memoization
+
+
+class TestCacheConfigTrends:
+    def test_savings_grow_with_associativity(self, runner):
+        savings = {}
+        for ways in (8, 32):
+            machine = XSCALE_BASELINE.with_icache(32 * KB, ways)
+            result = runner.normalised(
+                "sha", "way-placement", machine, wpa_size=8 * KB
+            )
+            savings[ways] = 1 - result.icache_energy
+        assert savings[32] > savings[8]
+
+    def test_memoization_backfires_on_small_low_assoc_cache(self, runner):
+        machine = XSCALE_BASELINE.with_icache(16 * KB, 8)
+        result = runner.normalised("sha", "way-memoization", machine)
+        assert result.icache_energy > 1.0
+
+    def test_best_config_is_large_highly_associative(self, runner):
+        machine = XSCALE_BASELINE.with_icache(64 * KB, 32)
+        result = runner.normalised("sha", "way-placement", machine, wpa_size=16 * KB)
+        assert result.icache_energy < 0.48
+        assert result.ed_product < 0.93
+
+
+class TestLayoutMatters:
+    def test_chained_layout_beats_original_for_small_wpa(self, runner):
+        """The compiler pass is what makes a small WPA effective."""
+        chained = runner.normalised("cjpeg", "way-placement", wpa_size=4 * KB)
+        unchained = runner.normalised(
+            "cjpeg",
+            "way-placement",
+            wpa_size=4 * KB,
+            layout_policy=LayoutPolicy.ORIGINAL,
+        )
+        assert chained.icache_energy < unchained.icache_energy
+
+    def test_coldest_first_is_adversarial(self, runner):
+        placed = runner.normalised("crc", "way-placement", wpa_size=2 * KB)
+        adversarial = runner.normalised(
+            "crc",
+            "way-placement",
+            wpa_size=2 * KB,
+            layout_policy=LayoutPolicy.COLDEST_FIRST,
+        )
+        assert placed.icache_energy < adversarial.icache_energy
+
+
+class TestProfileTransfer:
+    def test_small_input_profile_transfers_to_large_input(self, runner):
+        """Train on small, evaluate on large (the paper's methodology) —
+        the saving must survive the input change."""
+        result = runner.normalised("susan_e", "way-placement", wpa_size=8 * KB)
+        assert result.icache_energy < 0.60

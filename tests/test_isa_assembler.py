@@ -1,0 +1,143 @@
+"""Unit tests for the assembler and disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.instructions import Condition, Opcode
+from repro.isa.registers import Register
+
+
+class TestBasicParsing:
+    def test_alu_three_operand(self):
+        unit = assemble("add r1, r2, r3")
+        (ins,) = unit.instructions
+        assert ins.opcode is Opcode.ADD
+        assert (ins.rd, ins.rn, ins.rm) == (Register.R1, Register.R2, Register.R3)
+
+    def test_mov_immediate(self):
+        (ins,) = assemble("mov r0, #42").instructions
+        assert ins.opcode is Opcode.MOV and ins.imm == 42
+
+    def test_negative_and_hex_immediates(self):
+        (a, b) = assemble("mov r0, #-7\nmov r1, #0x10").instructions
+        assert a.imm == -7 and b.imm == 16
+
+    def test_shift_immediate(self):
+        (ins,) = assemble("lsl r0, r1, #3").instructions
+        assert ins.opcode is Opcode.LSL and ins.imm == 3
+
+    def test_memory_operands(self):
+        (a, b) = assemble("ldr r4, [sp, #8]\nstr r4, [r5]").instructions
+        assert a.opcode is Opcode.LDR and a.rn is Register.SP and a.imm == 8
+        assert b.opcode is Opcode.STR and b.rn is Register.R5 and b.imm == 0
+
+    def test_register_aliases(self):
+        (ins,) = assemble("mvn r0, lr").instructions
+        assert ins.rm is Register.LR
+
+
+class TestControlFlow:
+    def test_unconditional_branch_target(self):
+        unit = assemble("top:\n  b top")
+        (ins,) = unit.instructions
+        assert ins.opcode is Opcode.B and ins.target == "top"
+        assert unit.labels == {"top": 0}
+
+    def test_condition_suffixes(self):
+        source = "bne x\nblt x\nbge x\nbgt x\nble x\nbeq x\nx: nop"
+        conditions = [i.condition for i in assemble(source).instructions[:-1]]
+        assert conditions == [
+            Condition.NE,
+            Condition.LT,
+            Condition.GE,
+            Condition.GT,
+            Condition.LE,
+            Condition.EQ,
+        ]
+
+    def test_ble_is_branch_le_not_bl(self):
+        (ins, _) = assemble("ble out\nout: nop").instructions
+        assert ins.opcode is Opcode.B and ins.condition is Condition.LE
+
+    def test_bl_is_call(self):
+        (ins,) = assemble("bl helper").instructions
+        assert ins.opcode is Opcode.BL and ins.is_call
+
+    def test_ret(self):
+        (ins,) = assemble("ret").instructions
+        assert ins.is_return
+
+
+class TestLabelsAndComments:
+    def test_label_on_own_line(self):
+        unit = assemble("start:\n  nop")
+        assert unit.labels["start"] == 0
+
+    def test_label_with_instruction(self):
+        unit = assemble("go: add r1, r2, r3")
+        assert unit.labels["go"] == 0
+        assert len(unit.instructions) == 1
+
+    def test_semicolon_comment(self):
+        unit = assemble("nop ; this is a comment")
+        assert len(unit.instructions) == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble("add r1, r2, r99")
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(AssemblerError, match="unbalanced brackets"):
+            assemble("ldr r1, [r2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("ldr r1, [r2, r3]")
+
+    def test_branch_needs_one_target(self):
+        with pytest.raises(AssemblerError, match="one target"):
+            assemble("b a, b")
+
+
+class TestDisassemblerRoundTrip:
+    SOURCE = "\n".join(
+        [
+            "start:",
+            "  mov r0, #10",
+            "loop:",
+            "  sub r0, r0, r5",
+            "  ldr r4, [sp, #8]",
+            "  str r4, [r5]",
+            "  cmp r0, r1",
+            "  bne loop",
+            "  bl start",
+            "  ret",
+        ]
+    )
+
+    def test_format_reassembles_identically(self):
+        unit = assemble(self.SOURCE)
+        retext = "\n".join(format_instruction(i) for i in unit.instructions)
+        reunit = assemble(retext)
+        assert reunit.instructions == unit.instructions
+
+    def test_disassemble_has_addresses(self):
+        unit = assemble("nop\nnop")
+        text = disassemble(unit.instructions, base_address=0x100)
+        assert "0x00000100" in text and "0x00000104" in text

@@ -1,0 +1,103 @@
+"""Unit and property tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import OPERAND_SIGNATURES, decode_instruction, encode_instruction
+from repro.isa.instructions import Condition, Instruction, Opcode
+from repro.isa.registers import Register
+
+
+def make_instruction(opcode, condition, rd, rn, rm, imm):
+    """Build an instruction consistent with its opcode's operand signature."""
+    signature = OPERAND_SIGNATURES[opcode]
+    return Instruction(
+        opcode,
+        rd=rd if "d" in signature else None,
+        rn=rn if "n" in signature else None,
+        rm=rm if "m" in signature else None,
+        imm=imm if "i" in signature else 0,
+        condition=condition,
+    )
+
+
+_NON_BRANCH = [op for op in Opcode if op not in (Opcode.B, Opcode.BL)]
+
+
+class TestRoundTrip:
+    @given(
+        opcode=st.sampled_from(_NON_BRANCH),
+        condition=st.sampled_from(list(Condition)),
+        rd=st.sampled_from(list(Register)),
+        rn=st.sampled_from(list(Register)),
+        rm=st.sampled_from(list(Register)),
+        imm=st.integers(min_value=-2048, max_value=2047),
+    )
+    def test_non_branch_roundtrip(self, opcode, condition, rd, rn, rm, imm):
+        instruction = make_instruction(opcode, condition, rd, rn, rm, imm)
+        word = encode_instruction(instruction)
+        assert 0 <= word < 2**32
+        assert decode_instruction(word) == instruction
+
+    @given(
+        offset=st.integers(min_value=-(2**23), max_value=2**23 - 1),
+        opcode=st.sampled_from([Opcode.B, Opcode.BL]),
+        condition=st.sampled_from(list(Condition)),
+    )
+    def test_branch_offset_roundtrip(self, offset, opcode, condition):
+        instruction = Instruction(opcode, condition=condition, imm=offset)
+        decoded = decode_instruction(encode_instruction(instruction))
+        assert decoded.opcode is opcode
+        assert decoded.condition is condition
+        assert decoded.imm == offset
+
+
+class TestBranchResolution:
+    def test_symbolic_target_resolved_via_symbols(self):
+        branch = Instruction(Opcode.B, target="dest")
+        word = encode_instruction(branch, address=0x100, symbols={"dest": 0x80})
+        decoded = decode_instruction(word)
+        assert decoded.imm == (0x80 - 0x100) // 4
+
+    def test_unresolved_target_raises(self):
+        branch = Instruction(Opcode.BL, target="nowhere")
+        with pytest.raises(EncodingError, match="unresolved"):
+            encode_instruction(branch, address=0, symbols={})
+
+    def test_unaligned_target_raises(self):
+        branch = Instruction(Opcode.B, target="dest")
+        with pytest.raises(EncodingError, match="aligned"):
+            encode_instruction(branch, address=0, symbols={"dest": 0x7})
+
+    def test_offset_out_of_range(self):
+        branch = Instruction(Opcode.B, imm=2**23)
+        with pytest.raises(EncodingError, match="out of signed"):
+            encode_instruction(branch)
+
+
+class TestDecodeErrors:
+    def test_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(2**32)
+
+    def test_rejects_unknown_opcode(self):
+        word = 0b11111 << 27  # opcode 31 is undefined
+        with pytest.raises(EncodingError, match="unknown opcode"):
+            decode_instruction(word)
+
+    def test_immediate_out_of_range_on_encode(self):
+        instruction = Instruction(Opcode.MOV, rd=Register.R0, imm=5000)
+        with pytest.raises(EncodingError, match="immediate"):
+            encode_instruction(instruction)
+
+
+class TestSignatures:
+    def test_every_opcode_has_signature(self):
+        for opcode in Opcode:
+            assert opcode in OPERAND_SIGNATURES
+
+    def test_unused_fields_decode_to_none(self):
+        word = encode_instruction(Instruction(Opcode.NOP))
+        decoded = decode_instruction(word)
+        assert decoded.rd is None and decoded.rn is None and decoded.rm is None

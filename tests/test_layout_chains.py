@@ -1,0 +1,66 @@
+"""Unit tests for chain construction (the Section 3 must-link step)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.chains import build_chains
+from repro.program import ProgramBuilder
+from tests.conftest import build_toy_program
+
+
+class TestChainStructure:
+    def test_every_block_in_exactly_one_chain(self):
+        program = build_toy_program()
+        chains = build_chains(program)
+        seen = [uid for chain in chains for uid in chain.uids]
+        assert sorted(seen) == sorted(b.uid for b in program.blocks())
+
+    def test_fall_edges_respected_within_chains(self):
+        program = build_toy_program()
+        chains = build_chains(program)
+        position = {}
+        for chain in chains:
+            for index, uid in enumerate(chain.uids):
+                position[uid] = (id(chain), index)
+        for block in program.blocks():
+            if block.fall_label is None:
+                continue
+            fall_uid = program.uid_of_label(block.function, block.fall_label)
+            chain_id, index = position[block.uid]
+            fall_chain, fall_index = position[fall_uid]
+            assert chain_id == fall_chain
+            assert fall_index == index + 1
+
+    def test_jump_breaks_chain(self):
+        builder = ProgramBuilder("p")
+        fn = builder.function("main")
+        fn.block("a", 1, jump="c")
+        fn.block("b", 1, jump="c")  # entered only by... nothing; unreachable ok?
+        fn.block("c", 1, ret=True)
+        # 'b' is unreachable -> validation failure; build chains directly
+        # from a reachable variant instead:
+        builder = ProgramBuilder("p2")
+        fn = builder.function("main")
+        fn.block("a", 1, branch="c")
+        fn.block("b", 1, jump="c")
+        fn.block("c", 1, ret=True)
+        program = builder.build()
+        chains = build_chains(program)
+        # a falls to b (one chain); c entered by jumps only (own chain)
+        assert sorted(len(c) for c in chains) == [1, 2]
+
+    def test_weight_sums_instruction_counts(self):
+        program = build_toy_program()
+        chains = build_chains(program)
+        counts = {b.uid: 10 for b in program.blocks()}
+        sizes = {b.uid: b.num_instructions for b in program.blocks()}
+        for chain in chains:
+            expected = sum(counts[u] * sizes[u] for u in chain.uids)
+            weights = {u: counts[u] * sizes[u] for u in chain.uids}
+            assert chain.weight(weights) == expected
+
+    def test_chains_deterministic_order(self):
+        program = build_toy_program()
+        assert [c.uids for c in build_chains(program)] == [
+            c.uids for c in build_chains(program)
+        ]

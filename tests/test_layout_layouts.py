@@ -1,0 +1,74 @@
+"""Unit tests for Layout and the linker."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import Layout, link_blocks, original_layout
+from tests.conftest import build_toy_program
+
+
+class TestLayoutValidation:
+    def test_from_order_contiguous(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        cursor = 0
+        for uid in layout.block_order:
+            assert layout.address_of(uid) == cursor
+            cursor += layout.size_of(uid)
+        assert layout.end_address == cursor == program.size_bytes
+
+    def test_overlap_rejected(self):
+        program = build_toy_program()
+        addresses = {b.uid: 0 for b in program.blocks()}
+        sizes = {b.uid: b.size_bytes for b in program.blocks()}
+        with pytest.raises(LayoutError, match="overlap"):
+            Layout(program.name, addresses, sizes)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(LayoutError, match="unaligned"):
+            Layout("p", {0: 2}, {0: 4})
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(LayoutError, match="unaligned or negative"):
+            Layout("p", {0: -4}, {0: 4})
+
+    def test_missing_block_lookup(self):
+        layout = Layout("p", {0: 0}, {0: 8})
+        with pytest.raises(LayoutError):
+            layout.address_of(42)
+
+    def test_blocks_within(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        first_two = layout.blocks_within(0, layout.address_of(layout.block_order[2]))
+        assert first_two == list(layout.block_order[:2])
+
+
+class TestLinker:
+    def test_rejects_non_permutation(self):
+        program = build_toy_program()
+        order = [b.uid for b in program.blocks()][:-1]
+        with pytest.raises(LayoutError, match="permutation"):
+            link_blocks(program, order)
+
+    def test_rejects_broken_fall_adjacency(self):
+        program = build_toy_program()
+        order = [b.uid for b in program.blocks()]
+        order[0], order[1] = order[1], order[0]  # entry no longer before loop_head
+        with pytest.raises(LayoutError, match="fall-through adjacency"):
+            link_blocks(program, order)
+
+    def test_base_address(self):
+        program = build_toy_program()
+        order = [b.uid for b in program.blocks()]
+        layout = link_blocks(program, order, base_address=0x1000)
+        assert layout.address_of(order[0]) == 0x1000
+
+    def test_symbol_table_matches_addresses(self):
+        program = build_toy_program()
+        layout = original_layout(program)
+        table = layout.symbol_table(program)
+        for block in program.blocks():
+            assert table[f"{block.function}:{block.label}"] == layout.address_of(
+                block.uid
+            )

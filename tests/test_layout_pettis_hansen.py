@@ -1,0 +1,91 @@
+"""Unit tests for the Pettis-Hansen procedure-ordering comparator."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.pettis_hansen import function_affinities, pettis_hansen_layout
+from repro.profiling import ProfileData, profile_program
+from repro.workloads import SMALL_INPUT, branch_models_for, load_benchmark
+from tests.conftest import build_toy_program
+
+
+@pytest.fixture(scope="module")
+def profiled_crc():
+    workload = load_benchmark("crc")
+    profile = profile_program(
+        workload.program, branch_models_for(workload, SMALL_INPUT), 40_000
+    )
+    return workload.program, profile
+
+
+class TestAffinities:
+    def test_call_edges_counted(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        weights = function_affinities(toy_program, profile.edge_counts)
+        assert ("helper", "main") in weights
+        assert weights[("helper", "main")] > 0
+
+    def test_intra_function_edges_ignored(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        weights = function_affinities(toy_program, profile.edge_counts)
+        for a, b in weights:
+            assert a != b
+
+
+class TestLayout:
+    def test_valid_permutation(self, profiled_crc):
+        program, profile = profiled_crc
+        layout = pettis_hansen_layout(program, profile)
+        assert layout.end_address == program.size_bytes
+
+    def test_functions_stay_contiguous(self, profiled_crc):
+        program, profile = profiled_crc
+        layout = pettis_hansen_layout(program, profile)
+        for function in program.functions.values():
+            addresses = sorted(
+                layout.address_of(block.uid) for block in function.blocks
+            )
+            span = addresses[-1] - addresses[0] + function.blocks[-1].size_bytes
+            # allow for the last block not being the highest-addressed one
+            assert span <= function.size_bytes + max(
+                b.size_bytes for b in function.blocks
+            )
+
+    def test_blocks_keep_original_order_within_function(self, profiled_crc):
+        program, profile = profiled_crc
+        layout = pettis_hansen_layout(program, profile)
+        for function in program.functions.values():
+            addresses = [layout.address_of(b.uid) for b in function.blocks]
+            assert addresses == sorted(addresses)
+
+    def test_affine_functions_adjacent(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        layout = pettis_hansen_layout(toy_program, profile)
+        # main and helper call each other constantly: the two functions
+        # must be placed back to back
+        main_span = [
+            layout.address_of(b.uid) for b in toy_program.functions["main"].blocks
+        ]
+        helper_span = [
+            layout.address_of(b.uid)
+            for b in toy_program.functions["helper"].blocks
+        ]
+        gap = min(
+            abs(min(helper_span) - (max(main_span) + 4)),
+            abs(min(main_span) - (max(helper_span) + 4)),
+        )
+        assert gap <= max(
+            b.size_bytes for b in toy_program.blocks()
+        )
+
+    def test_deterministic(self, profiled_crc):
+        program, profile = profiled_crc
+        a = pettis_hansen_layout(program, profile)
+        b = pettis_hansen_layout(program, profile)
+        assert a.block_order == b.block_order
+
+    def test_requires_edge_counts(self):
+        program = build_toy_program()
+        empty = ProfileData("toy", "none", {b.uid: 1 for b in program.blocks()})
+        with pytest.raises(LayoutError, match="edge counts"):
+            pettis_hansen_layout(program, empty)

@@ -1,0 +1,106 @@
+"""Unit tests for the way-placement layout pass (the paper's Section 3)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    LayoutPolicy,
+    build_chains,
+    coldest_first_layout,
+    make_layout,
+    original_layout,
+    random_layout,
+    way_placement_layout,
+)
+from repro.profiling import profile_program
+from tests.conftest import build_toy_program
+
+
+@pytest.fixture()
+def toy_profile(toy_program, toy_models):
+    return profile_program(toy_program, toy_models, 2000)
+
+
+class TestWayPlacementLayout:
+    def test_heaviest_chain_first(self, toy_program, toy_profile):
+        layout = way_placement_layout(toy_program, toy_profile.block_counts)
+        chains = build_chains(toy_program)
+        weights = {
+            b.uid: toy_profile.count_of(b.uid) * b.num_instructions
+            for b in toy_program.blocks()
+        }
+        first_chain = next(
+            c for c in chains if c.head == layout.block_order[0]
+        )
+        for chain in chains:
+            assert chain.weight(weights) <= first_chain.weight(weights)
+
+    def test_hot_loop_starts_the_binary(self, toy_program, toy_profile):
+        layout = way_placement_layout(toy_program, toy_profile.block_counts)
+        # the loop chain (entry..latch) is the hottest; its head must be at 0
+        first = toy_program.block_by_uid(layout.block_order[0])
+        assert first.label in ("entry", "loop_head", "h0")
+        # and the rarely-executed taken_path must come later than the loop
+        hot = toy_program.uid_of_label("main", "latch")
+        assert layout.address_of(hot) < layout.end_address / 2
+
+    def test_addresses_weighted_by_execution(self, toy_program, toy_profile):
+        """Average fetch address must drop versus the original layout."""
+        original = original_layout(toy_program)
+        placed = way_placement_layout(toy_program, toy_profile.block_counts)
+
+        def mean_fetch_address(layout):
+            total = weight = 0
+            for block in toy_program.blocks():
+                executed = toy_profile.count_of(block.uid) * block.num_instructions
+                total += executed * layout.address_of(block.uid)
+                weight += executed
+            return total / weight
+
+        assert mean_fetch_address(placed) <= mean_fetch_address(original)
+
+    def test_respects_fall_edges(self, toy_program, toy_profile):
+        # link_blocks validates adjacency internally; just ensure it builds
+        layout = way_placement_layout(toy_program, toy_profile.block_counts)
+        assert layout.end_address == toy_program.size_bytes
+
+    def test_deterministic(self, toy_program, toy_profile):
+        a = way_placement_layout(toy_program, toy_profile.block_counts)
+        b = way_placement_layout(toy_program, toy_profile.block_counts)
+        assert a.block_order == b.block_order
+
+    def test_empty_profile_degenerates_to_chain_order(self, toy_program):
+        layout = way_placement_layout(toy_program, {})
+        chains = build_chains(toy_program)
+        expected = [uid for chain in chains for uid in chain.uids]
+        assert list(layout.block_order) == expected
+
+
+class TestOtherPolicies:
+    def test_original_matches_declaration_order(self, toy_program):
+        layout = original_layout(toy_program)
+        assert list(layout.block_order) == [b.uid for b in toy_program.blocks()]
+
+    def test_random_layout_seed_dependent(self, toy_program):
+        a = random_layout(toy_program, seed=1)
+        b = random_layout(toy_program, seed=2)
+        c = random_layout(toy_program, seed=1)
+        assert a.block_order == c.block_order
+        assert a.block_order != b.block_order or len(build_chains(toy_program)) <= 2
+
+    def test_coldest_first_reverses_preference(self, toy_program, toy_profile):
+        hot_first = way_placement_layout(toy_program, toy_profile.block_counts)
+        cold_first = coldest_first_layout(toy_program, toy_profile.block_counts)
+        hot_uid = toy_program.uid_of_label("main", "latch")
+        assert cold_first.address_of(hot_uid) >= hot_first.address_of(hot_uid)
+
+    def test_make_layout_dispatch(self, toy_program, toy_profile):
+        for policy in LayoutPolicy:
+            layout = make_layout(
+                toy_program, policy, toy_profile.block_counts, seed=3
+            )
+            assert layout.end_address == toy_program.size_bytes
+
+    def test_make_layout_requires_profile(self, toy_program):
+        with pytest.raises(LayoutError, match="profile"):
+            make_layout(toy_program, LayoutPolicy.WAY_PLACEMENT)

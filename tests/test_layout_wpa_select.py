@@ -1,0 +1,135 @@
+"""Unit tests for the OS's way-placement-area size selection."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import LayoutError
+from repro.layout import way_placement_layout
+from repro.layout.wpa_select import choose_wpa_size, estimate_wpa_energy
+from repro.profiling import profile_program
+from repro.workloads import SMALL_INPUT, branch_models_for, load_benchmark
+
+KB = 1024
+XSCALE = CacheGeometry(32 * KB, 32, 32)
+
+
+@pytest.fixture(scope="module")
+def placed_crc():
+    workload = load_benchmark("crc")
+    profile = profile_program(
+        workload.program, branch_models_for(workload, SMALL_INPUT), 40_000
+    )
+    layout = way_placement_layout(workload.program, profile.block_counts)
+    return workload.program, layout, profile
+
+
+class TestEstimator:
+    def test_coverage_monotone_in_size(self, placed_crc):
+        program, layout, profile = placed_crc
+        coverages = []
+        for size in (1 * KB, 2 * KB, 4 * KB):
+            _, coverage, _ = estimate_wpa_energy(
+                program, layout, profile.block_counts, XSCALE, size
+            )
+            coverages.append(coverage)
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)  # crc fits in 4KB
+
+    def test_full_coverage_minimises_tag_term(self, placed_crc):
+        program, layout, profile = placed_crc
+        small, _, _ = estimate_wpa_energy(
+            program, layout, profile.block_counts, XSCALE, 1 * KB,
+            profile.edge_counts,
+        )
+        full, _, _ = estimate_wpa_energy(
+            program, layout, profile.block_counts, XSCALE, 4 * KB,
+            profile.edge_counts,
+        )
+        assert full <= small
+
+    def test_empty_profile_rejected(self, placed_crc):
+        program, layout, _ = placed_crc
+        with pytest.raises(LayoutError):
+            estimate_wpa_energy(program, layout, {}, XSCALE, 1 * KB)
+
+
+class TestChoice:
+    def test_choice_covers_the_hot_code(self, placed_crc):
+        program, layout, profile = placed_crc
+        choice = choose_wpa_size(
+            program,
+            layout,
+            profile.block_counts,
+            XSCALE,
+            page_size=1 * KB,
+            edge_counts=profile.edge_counts,
+        )
+        assert choice.coverage >= 0.95
+        assert choice.wpa_size % KB == 0
+        # crc is ~4KB: nothing beyond the binary size should be chosen
+        assert choice.wpa_size <= 4 * KB
+
+    def test_ranking_sorted_best_first(self, placed_crc):
+        program, layout, profile = placed_crc
+        choice = choose_wpa_size(
+            program, layout, profile.block_counts, XSCALE, page_size=1 * KB
+        )
+        estimates = [estimate for _, estimate in choice.ranking]
+        assert estimates == sorted(estimates)
+        assert choice.ranking[0][0] == choice.wpa_size
+
+    def test_explicit_candidates(self, placed_crc):
+        program, layout, profile = placed_crc
+        choice = choose_wpa_size(
+            program,
+            layout,
+            profile.block_counts,
+            XSCALE,
+            page_size=1 * KB,
+            candidates=[1 * KB, 2 * KB],
+        )
+        assert choice.wpa_size in (1 * KB, 2 * KB)
+
+    def test_bad_candidate_rejected(self, placed_crc):
+        program, layout, profile = placed_crc
+        with pytest.raises(LayoutError, match="page multiple"):
+            choose_wpa_size(
+                program,
+                layout,
+                profile.block_counts,
+                XSCALE,
+                page_size=1 * KB,
+                candidates=[1536],
+            )
+
+    def test_selection_matches_simulation_ranking(self):
+        """The estimator's winner must be within a point of the simulated
+        best — the property that makes the OS policy useful."""
+        from repro.experiments.runner import ExperimentRunner
+        from repro.layout.placement import LayoutPolicy
+
+        runner = ExperimentRunner(
+            eval_instructions=60_000, profile_instructions=25_000
+        )
+        bench = "susan_e"
+        program = runner.workload(bench).program
+        layout = runner.layout(bench, LayoutPolicy.WAY_PLACEMENT)
+        profile = runner.profile(bench)
+        candidates = [1 * KB, 4 * KB, 16 * KB, 32 * KB]
+        choice = choose_wpa_size(
+            program,
+            layout,
+            profile.block_counts,
+            XSCALE,
+            page_size=1 * KB,
+            candidates=candidates,
+            edge_counts=profile.edge_counts,
+        )
+        simulated = {
+            size: runner.normalised(
+                bench, "way-placement", wpa_size=size
+            ).icache_energy
+            for size in candidates
+        }
+        best_simulated = min(simulated.values())
+        assert simulated[choice.wpa_size] <= best_simulated + 0.01

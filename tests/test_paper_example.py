@@ -1,0 +1,58 @@
+"""The paper's Figure 1 worked example, end to end.
+
+Three instructions (add, br, mul) fetched from a two-set, four-way cache:
+a conventional CAM cache performs 12 tag comparisons, way-placement only 3
+— "a saving of 75%".
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.isa import assemble
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from tests.scheme_helpers import events_from
+
+#: Two sets, four ways, one instruction per line — the figure's cache.
+FIGURE1_CACHE = CacheGeometry(32, 4, 4)
+
+#: The three fetches of Figure 1(a): add @ 0x04, br @ 0x08, mul @ 0x20.
+FIGURE1_FETCHES = [(0x04, 1), (0x08, 1), (0x20, 1)]
+
+
+def figure1_events():
+    return events_from(FIGURE1_FETCHES, line_size=4)
+
+
+class TestFigure1:
+    def test_instructions_assemble(self):
+        unit = assemble("add r1, r2, r3\nb out\nout: mul r1, r2, r3")
+        assert len(unit.instructions) == 3
+
+    def test_sets_match_figure(self):
+        # add goes to one set, br and mul to the other
+        set_add = FIGURE1_CACHE.set_index(0x04)
+        set_br = FIGURE1_CACHE.set_index(0x08)
+        set_mul = FIGURE1_CACHE.set_index(0x20)
+        assert set_br == set_mul
+        assert set_add != set_br
+
+    def test_baseline_twelve_comparisons(self):
+        scheme = BaselineScheme(FIGURE1_CACHE, page_size=16)
+        counters = scheme.run(figure1_events())
+        assert counters.ways_precharged == 12
+
+    def test_way_placement_three_comparisons(self):
+        scheme = WayPlacementScheme(
+            FIGURE1_CACHE, wpa_size=48, page_size=16, hint_initial=True
+        )
+        counters = scheme.run(figure1_events())
+        assert counters.ways_precharged == 3
+
+    def test_saving_is_75_percent(self):
+        baseline = BaselineScheme(FIGURE1_CACHE, page_size=16).run(figure1_events())
+        placed = WayPlacementScheme(
+            FIGURE1_CACHE, wpa_size=48, page_size=16, hint_initial=True
+        ).run(figure1_events())
+        saving = 1 - placed.ways_precharged / baseline.ways_precharged
+        assert saving == pytest.approx(0.75)

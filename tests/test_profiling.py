@@ -1,0 +1,81 @@
+"""Unit tests for profiling."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling import (
+    ProfileData,
+    dynamic_memory_fraction,
+    profile_block_trace,
+    profile_program,
+)
+from repro.trace.executor import CfgWalker
+
+
+class TestProfileProgram:
+    def test_counts_sum_to_block_executions(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 600, "train")
+        trace = CfgWalker(toy_program, toy_models, seed=0).walk(600)
+        assert sum(profile.block_counts.values()) == trace.num_block_executions
+
+    def test_loop_blocks_hotter_than_entry(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        latch = toy_program.uid_of_label("main", "latch")
+        entry = toy_program.uid_of_label("main", "entry")
+        assert profile.count_of(latch) > profile.count_of(entry)
+
+    def test_edge_counts_consistent(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 600)
+        # every edge endpoint must be a known block, and traversal counts
+        # cannot exceed the source block's execution count
+        for (src, dst), count in profile.edge_counts.items():
+            assert count <= profile.count_of(src)
+
+    def test_hottest_blocks_sorted(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        hottest = profile.hottest_blocks(5)
+        counts = [c for _, c in hottest]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_coverage(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        assert 0.5 < profile.coverage <= 1.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 600, "train")
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        loaded = ProfileData.load(path)
+        assert loaded.block_counts == profile.block_counts
+        assert loaded.edge_counts == profile.edge_counts
+        assert loaded.num_instructions == profile.num_instructions
+        assert loaded.program_name == profile.program_name
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ProfileError):
+            ProfileData.load(tmp_path / "nope.json")
+
+    def test_load_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"program\": \"x\"}")
+        with pytest.raises(ProfileError):
+            ProfileData.load(path)
+
+
+class TestMemoryFraction:
+    def test_fraction_in_unit_interval(self, toy_program, toy_models):
+        trace = CfgWalker(toy_program, toy_models, seed=0).walk(600)
+        fraction = dynamic_memory_fraction(toy_program, trace)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_fraction_matches_hand_count(self, toy_program, toy_models):
+        trace = CfgWalker(toy_program, toy_models, seed=0).walk(600)
+        counts = trace.block_counts(toy_program.num_blocks)
+        expected_mem = sum(
+            int(counts[b.uid]) * sum(1 for i in b.instructions if i.is_memory_access)
+            for b in toy_program.blocks()
+        )
+        fraction = dynamic_memory_fraction(toy_program, trace)
+        assert fraction == pytest.approx(expected_mem / trace.num_instructions)

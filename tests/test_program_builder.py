@@ -1,0 +1,197 @@
+"""Unit tests for program construction (builder, blocks, functions)."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Opcode
+from repro.program import BlockKind, ProgramBuilder, function_from_assembly
+from repro.program.builder import BodyGenerator, filler_body
+from tests.conftest import build_toy_program
+
+
+class TestFillerBody:
+    def test_length(self):
+        assert len(filler_body(7)) == 7
+
+    def test_no_branches(self):
+        assert not any(i.is_branch for i in filler_body(50))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProgramError):
+            filler_body(-1)
+
+    def test_mem_density_zero(self):
+        body = filler_body(100, mem_density=0.0)
+        assert not any(i.is_memory_access for i in body)
+
+    def test_mem_density_one(self):
+        body = filler_body(16, mem_density=1.0)
+        assert all(i.is_memory_access for i in body)
+
+    def test_mem_density_long_run_average(self):
+        generator = BodyGenerator(mem_density=0.1)
+        total = mem = 0
+        for _ in range(200):
+            body = generator.body(5)
+            total += len(body)
+            mem += sum(1 for i in body if i.is_memory_access)
+        assert mem / total == pytest.approx(0.1, abs=0.01)
+
+    def test_mem_density_out_of_range(self):
+        with pytest.raises(ProgramError):
+            filler_body(4, mem_density=1.5)
+
+
+class TestBlockKinds:
+    def test_toy_program_kinds(self):
+        program = build_toy_program()
+        kinds = {
+            block.label: block.kind for block in program.functions["main"].blocks
+        }
+        assert kinds["entry"] is BlockKind.FALLTHROUGH
+        assert kinds["body"] is BlockKind.CALL
+        assert kinds["latch"] is BlockKind.CONDJUMP
+        assert kinds["fin"] is BlockKind.RETURN
+
+    def test_fall_defaults_to_next_block(self):
+        program = build_toy_program()
+        entry = program.block_by_label("main", "entry")
+        assert entry.fall_label == "loop_head"
+
+    def test_terminator_detection(self):
+        program = build_toy_program()
+        latch = program.block_by_label("main", "latch")
+        assert latch.terminator is not None
+        assert latch.terminator.opcode is Opcode.B
+        entry = program.block_by_label("main", "entry")
+        assert entry.terminator is None
+
+    def test_sizes(self):
+        program = build_toy_program()
+        body = program.block_by_label("main", "body")
+        assert body.num_instructions == 5  # 4 filler + bl
+        assert body.size_bytes == 20
+
+
+class TestBuilderErrors:
+    def test_duplicate_label(self):
+        builder = ProgramBuilder("p")
+        fn = builder.function("f")
+        fn.block("a", 1, ret=True)
+        with pytest.raises(ProgramError, match="duplicate"):
+            fn.block("a", 1, ret=True)
+
+    def test_fall_off_function_end(self):
+        builder = ProgramBuilder("p")
+        builder.function("f").block("a", 2)
+        with pytest.raises(ProgramError, match="falls through past"):
+            builder.build()
+
+    def test_mutually_exclusive_terminators(self):
+        builder = ProgramBuilder("p")
+        fn = builder.function("f")
+        with pytest.raises(ProgramError, match="mutually exclusive"):
+            fn.block("a", 1, jump="x", ret=True)
+
+    def test_empty_program(self):
+        with pytest.raises(ProgramError, match="no functions"):
+            ProgramBuilder("p").build()
+
+    def test_unknown_entry(self):
+        builder = ProgramBuilder("p")
+        builder.function("f").block("a", 1, ret=True)
+        with pytest.raises(ProgramError, match="entry function"):
+            builder.build(entry="missing")
+
+    def test_unknown_branch_target(self):
+        builder = ProgramBuilder("p")
+        builder.function("f").block("a", 1, jump="nowhere")
+        with pytest.raises(ProgramError, match="unknown label"):
+            builder.build()
+
+    def test_unknown_callee(self):
+        builder = ProgramBuilder("p")
+        fn = builder.function("f")
+        fn.block("a", 1, call="ghost")
+        fn.block("b", 1, ret=True)
+        with pytest.raises(ProgramError, match="unknown function"):
+            builder.build()
+
+
+class TestProgramQueries:
+    def test_uids_unique_and_dense(self):
+        program = build_toy_program()
+        uids = [block.uid for block in program.blocks()]
+        assert len(uids) == len(set(uids)) == program.num_blocks
+
+    def test_block_lookup(self):
+        program = build_toy_program()
+        block = program.block_by_label("helper", "h0")
+        assert program.block_by_uid(block.uid) is block
+
+    def test_missing_lookup_raises(self):
+        program = build_toy_program()
+        with pytest.raises(ProgramError):
+            program.block_by_label("main", "nope")
+        with pytest.raises(ProgramError):
+            program.block_by_uid(10_000)
+
+    def test_totals(self):
+        program = build_toy_program()
+        assert program.num_instructions == sum(
+            b.num_instructions for b in program.blocks()
+        )
+        assert program.size_bytes == 4 * program.num_instructions
+
+
+class TestFunctionFromAssembly:
+    SOURCE = """
+    start:
+        mov r0, #10
+    loop:
+        sub r0, r0, r5
+        cmp r0, r1
+        bne loop
+        bl callee
+        ret
+    """
+
+    def build(self):
+        builder = ProgramBuilder("asm")
+        function_from_assembly(builder, "main", self.SOURCE)
+        callee = builder.function("callee")
+        callee.block("c0", 2, ret=True)
+        return builder.build(entry="main")
+
+    def test_blocks_carved_at_leaders(self):
+        program = self.build()
+        labels = [b.label for b in program.functions["main"].blocks]
+        # leaders: start, loop, after bne, after bl
+        assert labels[0] == "start"
+        assert "loop" in labels
+        assert len(labels) == 4
+
+    def test_branch_becomes_condjump(self):
+        program = self.build()
+        loop = program.block_by_label("main", "loop")
+        assert loop.kind is BlockKind.CONDJUMP
+        assert loop.taken_label == "loop"
+
+    def test_call_block_kind(self):
+        program = self.build()
+        call_blocks = [
+            b for b in program.functions["main"].blocks if b.kind is BlockKind.CALL
+        ]
+        assert len(call_blocks) == 1
+        assert call_blocks[0].callee == "callee"
+
+    def test_interior_branch_rejected(self):
+        builder = ProgramBuilder("bad")
+        fn = builder.function("f")
+        with pytest.raises(ProgramError, match="unknown"):
+            function_from_assembly(builder, "g", "b missing_label\nnop")
+
+    def test_empty_source_rejected(self):
+        builder = ProgramBuilder("bad")
+        with pytest.raises(ProgramError, match="empty"):
+            function_from_assembly(builder, "g", "  ; only a comment")

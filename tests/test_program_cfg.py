@@ -1,0 +1,51 @@
+"""Unit tests for the interprocedural CFG."""
+
+import pytest
+
+from repro.program.cfg import EdgeKind
+from tests.conftest import build_toy_program
+
+
+class TestEdges:
+    def setup_method(self):
+        self.program = build_toy_program()
+        self.cfg = self.program.cfg
+
+    def uid(self, function, label):
+        return self.program.uid_of_label(function, label)
+
+    def test_fallthrough_edge(self):
+        edges = self.cfg.successors(self.uid("main", "entry"))
+        assert [(e.kind, e.dst) for e in edges] == [
+            (EdgeKind.FALLTHROUGH, self.uid("main", "loop_head"))
+        ]
+
+    def test_condjump_has_two_successors(self):
+        edges = self.cfg.successors(self.uid("main", "latch"))
+        kinds = {e.kind for e in edges}
+        assert kinds == {EdgeKind.TAKEN, EdgeKind.FALLTHROUGH}
+
+    def test_call_block_has_call_and_continuation(self):
+        edges = self.cfg.successors(self.uid("main", "body"))
+        by_kind = {e.kind: e.dst for e in edges}
+        assert by_kind[EdgeKind.CALL] == self.uid("helper", "h0")
+        assert by_kind[EdgeKind.CONTINUATION] == self.uid("main", "latch")
+
+    def test_return_has_no_static_successors(self):
+        assert self.cfg.successors(self.uid("main", "fin")) == []
+        assert self.cfg.successors(self.uid("helper", "h1")) == []
+
+    def test_predecessors_inverse_of_successors(self):
+        for block in self.program.blocks():
+            for edge in self.cfg.successors(block.uid):
+                assert edge in self.cfg.predecessors(edge.dst)
+
+    def test_fallthrough_successor_helper(self):
+        assert self.cfg.fallthrough_successor(
+            self.uid("main", "entry")
+        ) == self.uid("main", "loop_head")
+        assert self.cfg.fallthrough_successor(self.uid("main", "fin")) == -1
+
+    def test_reachability_covers_whole_toy_program(self):
+        reachable = set(self.cfg.reachable_from(self.program.entry_block.uid))
+        assert reachable == {b.uid for b in self.program.blocks()}

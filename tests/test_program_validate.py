@@ -1,0 +1,59 @@
+"""Unit tests for program validation rules."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program import ProgramBuilder
+
+
+def test_unreachable_function_rejected():
+    builder = ProgramBuilder("p")
+    builder.function("main").block("a", 1, ret=True)
+    builder.function("dead").block("d", 1, ret=True)
+    with pytest.raises(ProgramError, match="unreachable"):
+        builder.build(entry="main")
+
+
+def test_function_without_exit_rejected():
+    builder = ProgramBuilder("p")
+    fn = builder.function("main")
+    fn.block("a", 2, branch="a", fall="b")
+    fn.block("b", 1, jump="a")
+    # 'main' has a jump so it passes the no-exit rule; now build one without.
+    builder2 = ProgramBuilder("q")
+    f2 = builder2.function("main")
+    f2.block("x", 2, branch="x", fall="x2")
+    f2.block("x2", 1, branch="x", fall="x")
+    with pytest.raises(ProgramError, match="no return and no jump"):
+        builder2.build()
+
+
+def test_duplicate_fall_in_rejected():
+    builder = ProgramBuilder("p")
+    fn = builder.function("main")
+    # both 'a' and 'c' fall through to 'join'
+    fn.block("a", 1, fall="join")
+    fn.block("c", 1, fall="join")
+    fn.block("join", 1, ret=True)
+    with pytest.raises(ProgramError, match="fall-through target of both"):
+        builder.build()
+
+
+def test_valid_program_passes():
+    builder = ProgramBuilder("ok")
+    fn = builder.function("main")
+    fn.block("a", 2)
+    fn.block("b", 1, ret=True)
+    program = builder.build()
+    assert program.num_blocks == 2
+
+
+def test_validation_reports_multiple_problems_at_once():
+    builder = ProgramBuilder("p")
+    builder.function("main").block("a", 1, ret=True)
+    builder.function("dead1").block("d", 1, ret=True)
+    builder.function("dead2").block("e", 1, ret=True)
+    with pytest.raises(ProgramError) as excinfo:
+        builder.build(entry="main")
+    message = str(excinfo.value)
+    assert "dead1" in message and "dead2" in message

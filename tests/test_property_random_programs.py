@@ -1,0 +1,186 @@
+"""End-to-end property tests over randomly generated programs.
+
+A hypothesis strategy builds small but structurally diverse programs
+(loops, diamonds, calls, cold paths) through the same ProgramBuilder API the
+workload generator uses; every property then exercises the full pipeline:
+validation, chaining, layout, tracing, fetch expansion, scheme replay, and
+image emission.  These are the tests that catch cross-module disagreements
+no unit test can see.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.binary import emit_image
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.layout import build_chains, original_layout, way_placement_layout
+from repro.profiling import profile_program
+from repro.program import ProgramBuilder
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from repro.sim.machine import XSCALE_BASELINE
+from repro.trace.branch_model import BernoulliBranch, BranchModelMap, LoopBranch
+from repro.trace.executor import CfgWalker
+from repro.trace.fetch import line_events_from_block_trace
+
+
+@st.composite
+def random_programs(draw):
+    """A random multi-function program plus matching branch models."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = random.Random(seed)
+    num_functions = draw(st.integers(1, 4))
+    builder = ProgramBuilder(f"prop-{seed}")
+    models = {}
+    label_serial = [0]
+
+    def fresh(stem):
+        label_serial[0] += 1
+        return f"{stem}{label_serial[0]}"
+
+    names = [f"f{i}" for i in range(num_functions)]
+    for index, name in enumerate(names):
+        fb = builder.function(name, mem_density=rng.uniform(0.0, 0.5))
+        fb.block(fresh("entry"), rng.randint(1, 6))
+        for _ in range(rng.randint(0, 4)):
+            kind = rng.choice(["plain", "loop", "diamond", "call"])
+            if kind == "plain":
+                fb.block(fresh("b"), rng.randint(1, 8))
+            elif kind == "loop":
+                head = fresh("head")
+                latch = fresh("latch")
+                fb.block(head, rng.randint(1, 5))
+                fb.block(latch, rng.randint(1, 4), branch=head)
+                models[(name, latch)] = LoopBranch(1, rng.randint(1, 9))
+            elif kind == "diamond":
+                cond = fresh("cond")
+                els = fresh("else")
+                join = fresh("join")
+                fb.block(cond, rng.randint(1, 4), branch=els)
+                fb.block(fresh("then"), rng.randint(1, 4))
+                fb.block(fresh("tend"), rng.randint(1, 3), jump=join)
+                fb.block(els, rng.randint(1, 4))
+                fb.block(join, rng.randint(1, 3))
+                models[(name, cond)] = BernoulliBranch(rng.random())
+            else:  # call a later function, if any
+                targets = names[index + 1 :]
+                if targets:
+                    fb.block(fresh("call"), rng.randint(1, 3), call=rng.choice(targets))
+                else:
+                    fb.block(fresh("b"), rng.randint(1, 4))
+        fb.block(fresh("ret"), rng.randint(1, 3), ret=True)
+
+    # main drives every function so nothing is unreachable
+    main = builder.function("main")
+    main.block("entry", 2)
+    main.block("dh", 1)
+    for i, name in enumerate(names):
+        main.block(f"drive{i}", 1, call=name)
+    main.block("latch", 1, branch="dh")
+    main.block("fin", 1, ret=True)
+
+    program = builder.build(entry="main")
+    model_map = {
+        program.uid_of_label(func, label): model
+        for (func, label), model in models.items()
+    }
+    model_map[program.uid_of_label("main", "latch")] = LoopBranch(3, 8)
+    return program, BranchModelMap(model_map), seed
+
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(random_programs())
+@SETTINGS
+def test_chains_partition_blocks(data):
+    program, _, _ = data
+    chains = build_chains(program)
+    uids = sorted(uid for chain in chains for uid in chain.uids)
+    assert uids == sorted(b.uid for b in program.blocks())
+
+
+@given(random_programs())
+@SETTINGS
+def test_trace_conserves_instructions(data):
+    program, models, seed = data
+    trace = CfgWalker(program, models, seed=seed).walk(2000)
+    for layout in (original_layout(program),):
+        events = line_events_from_block_trace(trace, program, layout, 32)
+        assert events.num_fetches == trace.num_instructions
+
+
+@given(random_programs())
+@SETTINGS
+def test_way_placement_layout_valid_and_hot_first(data):
+    program, models, seed = data
+    profile = profile_program(program, models, 1500, seed=seed)
+    layout = way_placement_layout(program, profile.block_counts)
+    assert layout.end_address == program.size_bytes
+    # first block belongs to the heaviest chain
+    chains = build_chains(program)
+    weights = {
+        b.uid: profile.count_of(b.uid) * b.num_instructions
+        for b in program.blocks()
+    }
+    first_chain = next(c for c in chains if c.uids[0] == layout.block_order[0])
+    assert all(
+        c.weight(weights) <= first_chain.weight(weights) for c in chains
+    )
+
+
+@given(random_programs())
+@SETTINGS
+def test_schemes_agree_on_stream_shape(data):
+    program, models, seed = data
+    profile = profile_program(program, models, 1500, seed=seed)
+    layout = way_placement_layout(program, profile.block_counts)
+    trace = CfgWalker(program, models, seed=seed + 1).walk(2000)
+    events = line_events_from_block_trace(trace, program, layout, 32)
+    geometry = XSCALE_BASELINE.icache
+    base = BaselineScheme(geometry).run(events)
+    placed_scheme = WayPlacementScheme(geometry, wpa_size=32 * 1024)
+    placed = placed_scheme.run(events)
+    assert base.fetches == placed.fetches == events.num_fetches
+    assert placed.ways_precharged <= base.ways_precharged
+    # WPA invariant on arbitrary programs
+    for set_index, way, tag in placed_scheme.cache.resident_lines()[:64]:
+        address = geometry.reconstruct_address(tag, set_index)
+        if address < 32 * 1024:
+            assert way == geometry.mandated_way(address)
+
+
+@given(random_programs())
+@SETTINGS
+def test_emitted_branches_land_on_layout_targets(data):
+    program, models, seed = data
+    profile = profile_program(program, models, 800, seed=seed)
+    layout = way_placement_layout(program, profile.block_counts)
+    image = emit_image(program, layout)
+    from repro.binary import load_image
+    from repro.isa.instructions import Opcode
+
+    decoded = load_image(image.data, image.base_address)
+    for block in program.blocks():
+        terminator = block.terminator
+        if terminator is None or terminator.opcode not in (Opcode.B, Opcode.BL):
+            continue
+        address = (
+            layout.address_of(block.uid)
+            + (block.num_instructions - 1) * INSTRUCTION_SIZE
+        )
+        word = decoded[(address - image.base_address) // 4]
+        target = address + word.imm * INSTRUCTION_SIZE
+        if terminator.opcode is Opcode.BL:
+            expected = layout.address_of(program.functions[block.callee].entry.uid)
+        else:
+            expected = layout.address_of(
+                program.block_by_label(block.function, block.taken_label).uid
+            )
+        assert target == expected

@@ -1,0 +1,72 @@
+"""Unit tests for the baseline (full CAM search every fetch) scheme."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.schemes.baseline import BaselineScheme
+from tests.scheme_helpers import TINY_GEOMETRY, events_from, line_of
+
+
+class TestBaselineActivity:
+    def test_every_fetch_searches_all_ways(self):
+        scheme = BaselineScheme(TINY_GEOMETRY)
+        counters = scheme.run(events_from([(0x00, 3), (0x10, 2)]))
+        assert counters.fetches == 5
+        assert counters.full_searches == 5
+        assert counters.ways_precharged == 5 * 4
+        assert counters.same_line_fetches == 0
+
+    def test_figure1_example_twelve_comparisons(self):
+        # Paper Figure 1: three instructions, 2-set 4-way cache, 12 checks.
+        from repro.cache.geometry import CacheGeometry
+
+        geometry = CacheGeometry(32, 4, 4)  # 2 sets x 4 ways x 4B lines
+        scheme = BaselineScheme(geometry, page_size=16)
+        counters = scheme.run(events_from([(0x04, 1), (0x08, 1), (0x20, 1)], 4))
+        assert counters.ways_precharged == 12
+
+    def test_cold_misses_and_fills(self):
+        scheme = BaselineScheme(TINY_GEOMETRY)
+        counters = scheme.run(events_from([0x00, 0x10, 0x20, 0x00]))
+        # 0x00 and 0x10 share set 0; 0x20 set 2... line 0x00->set0, 0x10->set1
+        assert counters.misses == 3
+        assert counters.hits == 1
+        assert counters.fills == 3
+
+    def test_conflict_eviction_in_one_set(self):
+        scheme = BaselineScheme(TINY_GEOMETRY)
+        set0_lines = [line_of(TINY_GEOMETRY, 0, tag) for tag in range(5)]
+        counters = scheme.run(events_from(set0_lines + [set0_lines[0]]))
+        # 5 distinct tags in a 4-way set: tag 0 evicted (round robin), re-missed
+        assert counters.misses == 6
+        assert counters.evictions == 2  # fills 5 and 6 displace valid lines
+
+    def test_same_line_skip_option(self):
+        scheme = BaselineScheme(TINY_GEOMETRY, same_line_skip=True)
+        counters = scheme.run(events_from([(0x00, 4), (0x10, 4)]))
+        assert counters.full_searches == 2
+        assert counters.same_line_fetches == 6
+        assert counters.ways_precharged == 2 * 4
+
+    def test_itlb_accounted(self):
+        scheme = BaselineScheme(TINY_GEOMETRY, itlb_entries=2, page_size=1024)
+        counters = scheme.run(events_from([0x0000, 0x0400, 0x0800, 0x0000]))
+        assert counters.itlb_accesses == 4
+        assert counters.itlb_misses == 4  # 3 cold + 1 capacity (RR evicted)
+
+    def test_single_use(self):
+        scheme = BaselineScheme(TINY_GEOMETRY)
+        scheme.run(events_from([0x00]))
+        with pytest.raises(SchemeError, match="already ran"):
+            scheme.run(events_from([0x00]))
+
+    def test_line_size_mismatch_rejected(self):
+        scheme = BaselineScheme(TINY_GEOMETRY)
+        with pytest.raises(SchemeError, match="line size"):
+            scheme.run(events_from([0x00], line_size=32))
+
+    def test_counters_validate(self):
+        scheme = BaselineScheme(TINY_GEOMETRY)
+        counters = scheme.run(events_from([(0x00, 2), (0x40, 1)]))
+        counters.validate()  # no exception
+        assert counters.hits + counters.misses == counters.line_events

@@ -1,0 +1,156 @@
+"""Cross-scheme property tests: invariants that must hold for any stream.
+
+These drive every scheme with randomly generated (but structurally valid)
+event streams and check the accounting identities the energy and timing
+models rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.filter_cache import FilterCacheScheme
+from repro.schemes.way_memoization import WayMemoizationScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from repro.schemes.way_prediction import WayPredictionScheme
+from repro.trace.events import SEQUENTIAL_SLOT
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+
+
+@st.composite
+def event_streams(draw):
+    """Random event streams over a handful of lines, no adjacent repeats."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    lines = draw(
+        st.lists(st.integers(0, 40), min_size=n, max_size=n)
+    )
+    specs = []
+    previous = None
+    for index, line_number in enumerate(lines):
+        if line_number == previous:
+            line_number = (line_number + 1) % 41
+        previous = line_number
+        count = draw(st.integers(1, 4))
+        slot = draw(st.sampled_from([SEQUENTIAL_SLOT, 0, 1, 2, 3]))
+        specs.append((line_number * 16, count, slot))
+    return specs
+
+
+def make_all_schemes():
+    return [
+        BaselineScheme(TINY_GEOMETRY, page_size=16),
+        WayPlacementScheme(TINY_GEOMETRY, wpa_size=256, page_size=16),
+        WayPlacementScheme(TINY_GEOMETRY, wpa_size=64, page_size=16),
+        WayMemoizationScheme(TINY_GEOMETRY, page_size=16),
+        WayPredictionScheme(TINY_GEOMETRY, page_size=16),
+        FilterCacheScheme(TINY_GEOMETRY, l0_size=64, page_size=16),
+    ]
+
+
+@given(event_streams())
+@settings(max_examples=60, deadline=None)
+def test_accounting_identities(specs):
+    events = events_from(specs)
+    total_fetches = sum(s[1] for s in specs)
+    for scheme in make_all_schemes():
+        counters = scheme.run(events)
+        counters.validate()
+        assert counters.fetches == total_fetches
+        assert counters.line_events == len(specs)
+        assert counters.fills >= counters.misses
+        assert counters.wp_fills <= counters.fills
+        # every line transition resolves exactly once (filter cache resolves
+        # only its L0 misses against the L1)
+        if isinstance(scheme, FilterCacheScheme):
+            assert counters.hits + counters.misses == counters.l0_misses
+        else:
+            assert counters.hits + counters.misses == counters.line_events
+
+
+@given(event_streams())
+@settings(max_examples=40, deadline=None)
+def test_baseline_and_memoization_agree_on_misses(specs):
+    """Way-memoization never changes cache *contents*, only tag activity."""
+    events = events_from(specs)
+    base = BaselineScheme(TINY_GEOMETRY, page_size=16).run(events)
+    memo = WayMemoizationScheme(TINY_GEOMETRY, page_size=16).run(events)
+    assert base.misses == memo.misses
+    assert base.hits == memo.hits
+    assert base.evictions == memo.evictions
+
+
+@given(event_streams())
+@settings(max_examples=40, deadline=None)
+def test_way_placement_invariant_holds_for_any_stream(specs):
+    """A WPA line is only ever resident in its mandated way."""
+    for wpa_size in (64, 128, 256):
+        scheme = WayPlacementScheme(TINY_GEOMETRY, wpa_size=wpa_size, page_size=16)
+        scheme.run(events_from(specs))
+        geometry = scheme.geometry
+        for set_index, way, tag in scheme.cache.resident_lines():
+            address = geometry.reconstruct_address(tag, set_index)
+            if address < wpa_size:
+                assert way == geometry.mandated_way(address)
+        scheme.cache.assert_no_duplicate_tags()
+
+
+@given(event_streams())
+@settings(max_examples=40, deadline=None)
+def test_way_placement_never_precharges_more_than_baseline(specs):
+    events = events_from(specs)
+    base = BaselineScheme(TINY_GEOMETRY, page_size=16).run(events)
+    placed = WayPlacementScheme(
+        TINY_GEOMETRY, wpa_size=256, page_size=16
+    ).run(events)
+    assert placed.ways_precharged <= base.ways_precharged
+
+
+@given(event_streams())
+@settings(max_examples=40, deadline=None)
+def test_memoization_links_never_fetch_wrong_line(specs):
+    """Every link-followed transition must be a true hit of the right tag."""
+    events = events_from(specs)
+    scheme = WayMemoizationScheme(TINY_GEOMETRY, page_size=16)
+    counters = scheme.run(events)
+    # If a link ever fetched the wrong line, contents would diverge from
+    # the baseline simulation of the same stream:
+    reference = BaselineScheme(TINY_GEOMETRY, page_size=16).run(events)
+    assert counters.misses == reference.misses
+
+
+@given(event_streams())
+@settings(max_examples=30, deadline=None)
+def test_determinism_across_runs(specs):
+    events = events_from(specs)
+    for factory in (
+        lambda: BaselineScheme(TINY_GEOMETRY, page_size=16),
+        lambda: WayPlacementScheme(TINY_GEOMETRY, wpa_size=128, page_size=16),
+        lambda: WayMemoizationScheme(TINY_GEOMETRY, page_size=16),
+    ):
+        first = factory().run(events)
+        second = factory().run(events)
+        assert first == second
+
+
+@given(event_streams(), st.integers(min_value=1, max_value=13))
+@settings(max_examples=30, deadline=None)
+def test_segmented_feed_equals_single_run(specs, chunk):
+    """Feeding a trace in segments must equal one-shot processing for every
+    scheme — the invariant the adaptive-WPA controller relies on."""
+    events = events_from(specs)
+    for make in (
+        lambda: BaselineScheme(TINY_GEOMETRY, page_size=16),
+        lambda: WayPlacementScheme(TINY_GEOMETRY, wpa_size=128, page_size=16),
+        lambda: WayMemoizationScheme(TINY_GEOMETRY, page_size=16),
+        lambda: WayPredictionScheme(TINY_GEOMETRY, page_size=16),
+        lambda: FilterCacheScheme(TINY_GEOMETRY, l0_size=64, page_size=16),
+    ):
+        whole = make()
+        whole.run(events)
+        segmented = make()
+        for start in range(0, events.num_events, chunk):
+            segmented.feed(
+                events.segment(start, min(start + chunk, events.num_events))
+            )
+        assert whole.counters == segmented.counters

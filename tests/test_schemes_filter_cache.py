@@ -1,0 +1,52 @@
+"""Unit tests for the filter-cache scheme (Kin et al.)."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.schemes.filter_cache import FilterCacheScheme
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+
+
+def run(specs, l0_size=64, **kwargs):
+    scheme = FilterCacheScheme(TINY_GEOMETRY, l0_size=l0_size, page_size=16, **kwargs)
+    return scheme, scheme.run(events_from(specs))
+
+
+class TestL0Behaviour:
+    def test_l0_hit_avoids_l1(self):
+        _, counters = run([(0x00, 2), (0x10, 2), (0x00, 2), (0x10, 2)])
+        # 64B L0 with 16B lines = 4 entries: both lines fit
+        assert counters.l0_misses == 2
+        assert counters.l0_hits == 2
+        assert counters.full_searches == 2  # only the L0 misses reach L1
+
+    def test_every_fetch_reads_l0(self):
+        _, counters = run([(0x00, 5), (0x10, 3)])
+        assert counters.l0_accesses == 8
+
+    def test_l0_conflict_thrashing(self):
+        # two lines 64B apart collide in a 4-entry direct-mapped L0
+        _, counters = run([0x00, 0x40, 0x00, 0x40])
+        assert counters.l0_misses == 4
+        assert counters.l0_hits == 0
+        # but the L1 keeps both: only 2 real misses
+        assert counters.misses == 2
+        assert counters.hits == 2
+
+    def test_l0_miss_penalty_cycles(self):
+        _, counters = run([0x00, 0x40, 0x00, 0x40])
+        assert counters.extra_access_cycles == counters.l0_misses
+
+    def test_l1_miss_fills_both(self):
+        scheme, counters = run([0x00])
+        assert counters.misses == 1
+        assert counters.fills == 1
+        assert scheme._l0_tags[0] == 0  # line number resident in L0
+
+
+class TestConfiguration:
+    def test_l0_size_validated(self):
+        with pytest.raises(SchemeError):
+            FilterCacheScheme(TINY_GEOMETRY, l0_size=24, page_size=16)
+        with pytest.raises(SchemeError):
+            FilterCacheScheme(TINY_GEOMETRY, l0_size=8, page_size=16)

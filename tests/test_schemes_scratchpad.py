@@ -1,0 +1,97 @@
+"""Unit tests for the scratchpad scheme and its content selection."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.layout import original_layout, way_placement_layout
+from repro.profiling import profile_program
+from repro.schemes.scratchpad import ScratchpadScheme, select_spm_contents
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+
+
+class TestScheme:
+    def test_spm_fetches_skip_the_cache(self):
+        scheme = ScratchpadScheme(
+            TINY_GEOMETRY, spm_lines={0x00, 0x10}, page_size=16
+        )
+        counters = scheme.run(events_from([(0x00, 4), (0x10, 4), (0x40, 2)]))
+        assert counters.spm_accesses == 8
+        assert counters.fetches == 10
+        # only the non-SPM line touched the cache
+        assert counters.hits + counters.misses == 1
+        assert counters.ways_precharged == 4  # one full search
+
+    def test_empty_spm_behaves_like_skipping_baseline(self):
+        scheme = ScratchpadScheme(TINY_GEOMETRY, spm_lines=set(), page_size=16)
+        counters = scheme.run(events_from([(0x00, 4), (0x10, 4)]))
+        assert counters.spm_accesses == 0
+        assert counters.full_searches == 2
+        assert counters.same_line_fetches == 6
+
+    def test_spm_access_energy_priced(self):
+        from repro.energy.cache_model import CacheEnergyModel
+        from repro.energy.params import EnergyParams
+
+        scheme = ScratchpadScheme(TINY_GEOMETRY, spm_lines={0x00}, page_size=16)
+        counters = scheme.run(events_from([(0x00, 10)]))
+        params = EnergyParams()
+        breakdown = CacheEnergyModel(TINY_GEOMETRY, params).energy(counters)
+        assert breakdown.spm_pj == pytest.approx(10 * params.spm_read_pj)
+        assert breakdown.data_pj == 0.0  # nothing read the cache data array
+
+
+class TestSelection:
+    def test_selection_respects_budget(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        layout = original_layout(toy_program)
+        lines = select_spm_contents(
+            toy_program, layout, profile.block_counts, spm_size=64, line_size=32
+        )
+        # 64 bytes = at most a couple of 32B lines (chains are the unit)
+        assert len(lines) * 32 <= 64 + 32  # boundary lines may straddle
+
+    def test_selection_prefers_hot_chains(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        layout = original_layout(toy_program)
+        lines = select_spm_contents(
+            toy_program, layout, profile.block_counts, spm_size=128, line_size=32
+        )
+        hot_uid = toy_program.uid_of_label("helper", "h0")
+        hot_line = layout.address_of(hot_uid) & ~31
+        assert hot_line in lines
+
+    def test_zero_budget_selects_nothing(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        layout = original_layout(toy_program)
+        assert (
+            select_spm_contents(
+                toy_program, layout, profile.block_counts, spm_size=0
+            )
+            == set()
+        )
+
+    def test_negative_budget_rejected(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        layout = original_layout(toy_program)
+        with pytest.raises(SchemeError):
+            select_spm_contents(
+                toy_program, layout, profile.block_counts, spm_size=-1
+            )
+
+    def test_selected_coverage_reduces_cache_traffic(self, toy_program, toy_models):
+        """End to end: an SPM sized for the hot loop absorbs most fetches."""
+        from repro.trace.executor import CfgWalker
+        from repro.trace.fetch import line_events_from_block_trace
+        from repro.cache.geometry import CacheGeometry
+
+        profile = profile_program(toy_program, toy_models, 2000)
+        layout = way_placement_layout(toy_program, profile.block_counts)
+        lines = select_spm_contents(
+            toy_program, layout, profile.block_counts, spm_size=256, line_size=32
+        )
+        trace = CfgWalker(toy_program, toy_models, seed=1).walk(3000)
+        events = line_events_from_block_trace(trace, toy_program, layout, 32)
+        geometry = CacheGeometry(32 * 1024, 32, 32)
+        scheme = ScratchpadScheme(geometry, spm_lines=lines)
+        counters = scheme.run(events)
+        assert counters.spm_accesses / counters.fetches > 0.5

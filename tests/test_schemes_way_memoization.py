@@ -1,0 +1,149 @@
+"""Unit tests for the way-memoization comparator (Ma et al.)."""
+
+import pytest
+
+from repro.schemes.way_memoization import WayMemoizationScheme
+from repro.trace.events import SEQUENTIAL_SLOT
+from tests.scheme_helpers import TINY_GEOMETRY, events_from, line_of
+
+
+def run(specs):
+    scheme = WayMemoizationScheme(TINY_GEOMETRY, page_size=16)
+    return scheme, scheme.run(events_from(specs))
+
+
+class TestLinkLearning:
+    def test_first_transition_full_search_writes_link(self):
+        _, counters = run([(0x00, 1), (0x10, 1, SEQUENTIAL_SLOT)])
+        assert counters.full_searches == 2  # both cold
+        assert counters.link_writes == 1  # the 0x00 -> 0x10 sequential link
+
+    def test_repeated_transition_follows_link(self):
+        # loop between two lines: A -> B -> A -> B ... via branch slot 1
+        a, b = 0x00, 0x10
+        specs = [(a, 2)] + [(b, 2, 1), (a, 2, 1)] * 5
+        _, counters = run(specs)
+        assert counters.link_followed >= 8  # all but the first two transitions
+        assert counters.full_searches <= 3
+        # link-followed transitions are guaranteed hits with no precharge
+        assert counters.ways_precharged == counters.full_searches * 4
+
+    def test_link_keys_distinguish_slots(self):
+        # Transitions from line A via two different slots both get links.
+        a, b, c = 0x00, 0x10, 0x20
+        specs = [(a, 1), (b, 1, 0), (a, 1, 1), (c, 1, 2), (a, 1, 1)]
+        scheme, counters = run(specs)
+        assert counters.link_writes == 4
+
+    def test_sequential_and_branch_links_distinct(self):
+        a, b = 0x00, 0x10
+        specs = [
+            (a, 1),
+            (b, 1, SEQUENTIAL_SLOT),
+            (a, 1, 1),
+            (b, 1, 1),  # branch-slot link, distinct from the sequential one
+            (a, 1, 1),
+            (b, 1, SEQUENTIAL_SLOT),  # now the sequential link hits
+        ]
+        _, counters = run(specs)
+        assert counters.link_followed >= 2
+
+
+class TestLinkInvalidation:
+    def test_link_stale_after_target_eviction(self):
+        geometry = TINY_GEOMETRY
+        a = line_of(geometry, 1, 0)  # the link source, parked in set 1
+        set0 = [line_of(geometry, 0, tag) for tag in range(5)]
+        b = set0[0]
+        # learn a->b, then wipe set 0 with 4 more tags (b evicted), then a->b
+        specs = (
+            [(a, 1), (b, 1, 0), (a, 1, 0), (b, 1, 0)]  # learn and confirm
+            + [(line, 1, 0) for line in set0[1:]]  # evict b from set 0
+            + [(a, 1, 0), (b, 1, 0)]  # the old link must NOT be followed
+        )
+        scheme, counters = run(specs)
+        # the final a->b transition found b evicted: full search + miss
+        assert counters.misses >= 6
+        scheme.cache.assert_no_duplicate_tags()
+
+    def test_link_stale_after_source_replacement(self):
+        geometry = TINY_GEOMETRY
+        a = line_of(geometry, 0, 0)
+        b = line_of(geometry, 1, 0)
+        fillers = [line_of(geometry, 0, tag) for tag in range(1, 5)]
+        specs = (
+            [(a, 1), (b, 1, 0)]  # learn a->b (link on a's physical slot)
+            + [(f, 1, 0) for f in fillers]  # replace a in set 0
+            + [(a, 1, 0)]  # a refilled in some way; its links are fresh
+            + [(b, 1, 0)]  # must not blindly follow the stale slot link
+        )
+        _, counters = run(specs)
+        # b is still resident at the end; the final transition must not
+        # follow the stale physical-slot link — it full-searches and hits.
+        assert counters.hits == 1
+        assert counters.misses == 7
+        assert counters.link_followed == 0
+
+    def test_varying_target_never_links_wrongly(self):
+        # A return-like slot jumping to different lines each time: the link
+        # must mismatch (full search) rather than fetch the wrong line.
+        a, b, c = 0x00, 0x10, 0x20
+        specs = [(a, 1), (b, 1, 3), (a, 1, 0), (c, 1, 3), (a, 1, 0), (b, 1, 3)]
+        _, counters = run(specs)
+        # transitions via slot 3 alternate b/c; each flips the link
+        assert counters.link_followed <= 2
+        assert counters.hits + counters.misses == counters.line_events
+
+
+class TestOverheadAccounting:
+    def test_links_per_line(self):
+        scheme = WayMemoizationScheme(TINY_GEOMETRY, page_size=16)
+        # 16B line = 4 instructions -> 4 slot links + 1 sequential link
+        assert scheme.links_per_line == 5
+
+    def test_same_line_skip_default_on(self):
+        _, counters = run([(0x00, 6)])
+        assert counters.same_line_fetches == 5
+        assert counters.ways_precharged == 4  # one cold full search
+
+
+class TestInvalidationPolicies:
+    def test_flash_clears_all_links_on_fill(self):
+        geometry = TINY_GEOMETRY
+        a, b = 0x00, 0x10
+        # learn a->b twice, then force a miss elsewhere, then retry a->b
+        specs = [
+            (a, 1), (b, 1, 0), (a, 1, 0), (b, 1, 0),
+            (0x200, 1, 0),  # miss: flash-clears the link table
+            (a, 1, 0), (b, 1, 0),
+        ]
+        exact = WayMemoizationScheme(TINY_GEOMETRY, page_size=16)
+        exact_counters = exact.run(events_from(specs))
+        flash = WayMemoizationScheme(
+            TINY_GEOMETRY, page_size=16, invalidation="flash"
+        )
+        flash_counters = flash.run(events_from(specs))
+        # flash can only follow fewer links...
+        assert flash_counters.link_followed < exact_counters.link_followed
+        # ...but cache contents (hits/misses) are identical
+        assert flash_counters.misses == exact_counters.misses
+        assert flash_counters.hits == exact_counters.hits
+
+    def test_flash_never_beats_exact(self):
+        # random-ish longer stream: exact tracking is an upper bound
+        specs = [((i * 7) % 13 * 16, 2, i % 4) for i in range(200)]
+        specs = [s for i, s in enumerate(specs) if i == 0 or s[0] != specs[i - 1][0]]
+        exact = WayMemoizationScheme(TINY_GEOMETRY, page_size=16).run(
+            events_from(specs)
+        )
+        flash = WayMemoizationScheme(
+            TINY_GEOMETRY, page_size=16, invalidation="flash"
+        ).run(events_from(specs))
+        assert flash.link_followed <= exact.link_followed
+        assert flash.ways_precharged >= exact.ways_precharged
+
+    def test_unknown_policy_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(Exception, match="invalidation"):
+            WayMemoizationScheme(TINY_GEOMETRY, page_size=16, invalidation="lazy")

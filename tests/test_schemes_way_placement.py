@@ -1,0 +1,141 @@
+"""Unit tests for the way-placement scheme — the paper's core mechanism."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SchemeError
+from repro.schemes.way_placement import WayPlacementScheme
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+
+
+def make_scheme(wpa_size, page_size=16, **kwargs):
+    return WayPlacementScheme(
+        TINY_GEOMETRY, wpa_size=wpa_size, page_size=page_size, **kwargs
+    )
+
+
+class TestWayPlacementAccess:
+    def test_single_way_check_inside_wpa(self):
+        scheme = make_scheme(wpa_size=256, hint_initial=True)
+        counters = scheme.run(events_from([0x00, 0x10, 0x20]))
+        assert counters.single_way_searches == 3
+        assert counters.full_searches == 0
+        assert counters.ways_precharged == 3
+
+    def test_figure1_example_three_comparisons(self):
+        geometry = CacheGeometry(32, 4, 4)  # the paper's 2-set, 4-way example
+        scheme = WayPlacementScheme(
+            geometry, wpa_size=48, page_size=16, hint_initial=True
+        )
+        counters = scheme.run(events_from([(0x04, 1), (0x08, 1), (0x20, 1)], 4))
+        assert counters.ways_precharged == 3  # versus the baseline's 12
+
+    def test_wpa_fill_goes_to_mandated_way(self):
+        scheme = make_scheme(wpa_size=256, hint_initial=True)
+        address = 0x50  # set 1, tag 1 -> mandated way = tag & 3 = 1
+        scheme.run(events_from([address]))
+        set_index = TINY_GEOMETRY.set_index(address)
+        way = TINY_GEOMETRY.mandated_way(address)
+        assert scheme.cache.tag_at(set_index, way) == TINY_GEOMETRY.tag(address)
+        assert scheme.counters.wp_fills == 1
+
+    def test_wpa_line_found_after_refill(self):
+        scheme = make_scheme(wpa_size=256, hint_initial=True)
+        counters = scheme.run(events_from([0x00, 0x10, 0x00]))
+        assert counters.misses == 2
+        assert counters.hits == 1
+
+    def test_invariant_wpa_lines_only_in_mandated_way(self):
+        # Drive a long mixed stream and check the paper's key invariant.
+        scheme = make_scheme(wpa_size=128)
+        stream = [(a * 16, 2) for a in (0, 1, 2, 9, 0, 17, 3, 9, 0, 25, 1)]
+        scheme.run(events_from(stream))
+        geometry = scheme.geometry
+        for set_index, way, tag in scheme.cache.resident_lines():
+            address = geometry.reconstruct_address(tag, set_index)
+            if address < 128:  # a way-placement-area line
+                assert way == geometry.mandated_way(address)
+
+    def test_non_wpa_access_full_search(self):
+        scheme = make_scheme(wpa_size=16)  # only the first line is in the WPA
+        counters = scheme.run(events_from([0x100, 0x110]))
+        assert counters.full_searches == 2
+        assert counters.single_way_searches == 0
+
+
+class TestWayHintInteraction:
+    def test_false_negative_loses_saving_only(self):
+        # hint starts False; first WPA access performs a full search but
+        # still fills the mandated way
+        scheme = make_scheme(wpa_size=256, hint_initial=False)
+        counters = scheme.run(events_from([0x00, 0x10]))
+        assert counters.hint_false_negatives == 1
+        assert counters.full_searches == 1  # the mispredicted first access
+        assert counters.single_way_searches == 1  # the second, predicted right
+        assert counters.wp_fills == 2  # both fills mandated
+        assert counters.second_accesses == 0
+
+    def test_false_positive_costs_second_access_and_cycle(self):
+        scheme = make_scheme(wpa_size=16, hint_initial=True)
+        counters = scheme.run(events_from([0x100]))
+        assert counters.hint_false_positives == 1
+        assert counters.second_accesses == 1
+        assert counters.extra_access_cycles == 1
+        # energy: 1 wasted single-way probe + full search
+        assert counters.single_way_searches == 1
+        assert counters.full_searches == 1
+        assert counters.ways_precharged == 1 + 4
+
+    def test_hint_tracks_stream(self):
+        scheme = make_scheme(wpa_size=16, hint_initial=False)
+        # stream: non-WPA, WPA, non-WPA, non-WPA
+        counters = scheme.run(events_from([0x100, 0x00, 0x40, 0x200]))
+        # transitions into/out of the WPA each cost one misprediction
+        assert counters.hint_false_negatives == 1
+        assert counters.hint_false_positives == 1
+
+
+class TestSameLineSkip:
+    def test_same_line_fetches_skip_tags(self):
+        scheme = make_scheme(wpa_size=256, hint_initial=True)
+        counters = scheme.run(events_from([(0x00, 8)]))
+        assert counters.fetches == 8
+        assert counters.same_line_fetches == 7
+        assert counters.ways_precharged == 1
+
+    def test_skip_disabled(self):
+        scheme = make_scheme(wpa_size=256, hint_initial=True, same_line_skip=False)
+        counters = scheme.run(events_from([(0x00, 8)]))
+        assert counters.same_line_fetches == 0
+        assert counters.ways_precharged >= 8
+
+
+class TestConfiguration:
+    def test_negative_wpa_rejected(self):
+        with pytest.raises(SchemeError):
+            make_scheme(wpa_size=-1)
+
+    def test_nonzero_base_rejected(self):
+        with pytest.raises(SchemeError, match="start at the beginning"):
+            WayPlacementScheme(TINY_GEOMETRY, wpa_size=64, wpa_base=64, page_size=16)
+
+    def test_zero_wpa_behaves_like_baseline_searches(self):
+        scheme = make_scheme(wpa_size=0)
+        counters = scheme.run(events_from([0x00, 0x10, 0x00]))
+        assert counters.single_way_searches == 0
+        assert counters.full_searches == 3
+        assert counters.wp_fills == 0
+
+
+class TestWpaLargerThanCache:
+    def test_wpa_beyond_cache_size_still_correct(self):
+        # Two WPA lines one cache-size apart collide on the same (set, way):
+        # the second fill must evict the first, and re-access must miss.
+        scheme = WayPlacementScheme(
+            TINY_GEOMETRY, wpa_size=1024, page_size=16, hint_initial=True
+        )
+        a, b = 0x00, 0x100  # 256 bytes apart == cache size
+        counters = scheme.run(events_from([a, b, a]))
+        assert counters.misses == 3
+        assert counters.wp_fills == 3
+        assert counters.evictions == 2

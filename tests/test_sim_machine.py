@@ -1,0 +1,51 @@
+"""Unit tests for the machine configuration (Table 1)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import CacheConfigError
+from repro.sim.machine import MachineConfig, XSCALE_BASELINE, table1_rows
+
+
+class TestBaselineConfig:
+    def test_xscale_defaults(self):
+        config = XSCALE_BASELINE
+        assert config.icache == CacheGeometry(32 * 1024, 32, 32)
+        assert config.itlb_entries == 32
+        assert config.memory_latency_cycles == 50
+        assert config.issue_width == 1
+
+    def test_with_icache_changes_only_icache(self):
+        varied = XSCALE_BASELINE.with_icache(16 * 1024, 8)
+        assert varied.icache == CacheGeometry(16 * 1024, 8, 32)
+        assert varied.dcache == XSCALE_BASELINE.dcache
+        assert varied.memory_latency_cycles == 50
+
+    def test_with_icache_line_override(self):
+        varied = XSCALE_BASELINE.with_icache(16 * 1024, 8, line_size=64)
+        assert varied.icache.line_size == 64
+
+    def test_validation(self):
+        with pytest.raises(CacheConfigError):
+            MachineConfig(pipeline_stages=0)
+        with pytest.raises(CacheConfigError):
+            MachineConfig(memory_latency_cycles=0)
+        with pytest.raises(CacheConfigError):
+            MachineConfig(page_size=1000)
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = dict(table1_rows())
+        assert rows["Pipeline"] == "7/8 Stages"
+        assert rows["Functional Units"] == "1 ALU, 1 MAC, 1 Load/Store"
+        assert rows["Issue"] == "Single Issue, In-Order"
+        assert rows["Commit"] == "Out-of-Order (Scoreboard)"
+        assert rows["Memory Bus Width"] == "32 Bit"
+        assert rows["Memory Latency"] == "50 Cycles"
+        assert rows["I-TLB, D-TLB"] == "32-Entry Fully Associative"
+        assert rows["I-Cache, D-Cache"] == "32KB, 32-Way, 32B Block"
+
+    def test_rows_follow_configuration(self):
+        rows = dict(table1_rows(XSCALE_BASELINE.with_icache(16 * 1024, 8)))
+        assert rows["I-Cache, D-Cache"] == "16KB, 8-Way, 32B Block"

@@ -1,0 +1,85 @@
+"""Integration-level tests of the Simulator driver."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.layout import original_layout, way_placement_layout
+from repro.profiling import profile_program
+from repro.sim import Simulator, XSCALE_BASELINE, simulate
+from repro.trace.executor import CfgWalker
+from repro.trace.fetch import line_events_from_block_trace
+
+
+class TestSimulateConvenience:
+    def test_end_to_end_baseline(self, toy_program, toy_models):
+        layout = original_layout(toy_program)
+        report = simulate(
+            toy_program, layout, "baseline", toy_models, max_instructions=2000
+        )
+        assert report.counters.fetches >= 2000
+        assert report.cycles >= report.counters.fetches
+        assert report.icache_energy_pj > 0
+        assert report.scheme == "baseline"
+
+    def test_way_placement_saves_energy_on_toy(self, toy_program, toy_models):
+        profile = profile_program(toy_program, toy_models, 2000)
+        base_layout = original_layout(toy_program)
+        wp_layout = way_placement_layout(toy_program, profile.block_counts)
+        baseline = simulate(
+            toy_program, base_layout, "baseline", toy_models, 4000
+        )
+        placed = simulate(
+            toy_program,
+            wp_layout,
+            "way-placement",
+            toy_models,
+            4000,
+            wpa_size=1024,
+        )
+        result = placed.normalise(baseline)
+        assert result.icache_energy < 0.75
+        assert result.ed_product < 1.0
+
+    def test_normalise_rejects_mismatched_benchmark(self, toy_program, toy_models):
+        layout = original_layout(toy_program)
+        a = simulate(toy_program, layout, "baseline", toy_models, 1000)
+        mismatched = simulate(
+            toy_program, layout, "baseline", toy_models, 1000
+        )
+        object.__setattr__(mismatched, "benchmark", "other")
+        with pytest.raises(Exception):
+            a.normalise(mismatched)
+
+
+class TestRunEventsValidation:
+    def _events(self, toy_program, toy_models):
+        trace = CfgWalker(toy_program, toy_models, seed=0).walk(1000)
+        layout = original_layout(toy_program)
+        return line_events_from_block_trace(trace, toy_program, layout, 32)
+
+    def test_wpa_page_multiple_enforced(self, toy_program, toy_models):
+        events = self._events(toy_program, toy_models)
+        simulator = Simulator()
+        with pytest.raises(SchemeError, match="multiple"):
+            simulator.run_events(events, "way-placement", wpa_size=1500)
+
+    def test_wpa_rejected_for_other_schemes(self, toy_program, toy_models):
+        events = self._events(toy_program, toy_models)
+        simulator = Simulator()
+        with pytest.raises(SchemeError, match="does not take"):
+            simulator.run_events(events, "baseline", wpa_size=1024)
+
+    def test_unknown_scheme(self, toy_program, toy_models):
+        events = self._events(toy_program, toy_models)
+        simulator = Simulator()
+        with pytest.raises(SchemeError, match="unknown scheme"):
+            simulator.run_events(events, "psychic-cache")
+
+    def test_report_fields_populated(self, toy_program, toy_models):
+        events = self._events(toy_program, toy_models)
+        report = Simulator().run_events(
+            events, "way-placement", benchmark="toy", wpa_size=1024
+        )
+        assert report.wpa_size == 1024
+        assert report.geometry == XSCALE_BASELINE.icache
+        assert report.processor.instructions == report.counters.fetches

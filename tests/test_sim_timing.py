@@ -1,0 +1,43 @@
+"""Unit tests for the timing model."""
+
+import pytest
+
+from repro.cache.access import FetchCounters
+from repro.sim.machine import XSCALE_BASELINE
+from repro.sim.timing import cycles_for_run
+
+
+class TestCycles:
+    def test_base_cpi_one(self):
+        counters = FetchCounters(fetches=1000)
+        assert cycles_for_run(counters, XSCALE_BASELINE) == 1000
+
+    def test_miss_penalty(self):
+        counters = FetchCounters(fetches=1000, misses=10, hits=0, fills=10,
+                                 line_events=10)
+        assert cycles_for_run(counters, XSCALE_BASELINE) == 1000 + 10 * 50
+
+    def test_tlb_penalty(self):
+        counters = FetchCounters(fetches=100, itlb_misses=3, itlb_accesses=3)
+        assert (
+            cycles_for_run(counters, XSCALE_BASELINE)
+            == 100 + 3 * XSCALE_BASELINE.itlb_miss_cycles
+        )
+
+    def test_hint_penalty(self):
+        counters = FetchCounters(fetches=100, extra_access_cycles=7)
+        assert cycles_for_run(counters, XSCALE_BASELINE) == 107
+
+    def test_all_components_sum(self):
+        counters = FetchCounters(
+            fetches=1000,
+            misses=2,
+            hits=8,
+            fills=2,
+            line_events=10,
+            itlb_misses=1,
+            itlb_accesses=10,
+            extra_access_cycles=3,
+        )
+        expected = 1000 + 2 * 50 + 1 * 20 + 3
+        assert cycles_for_run(counters, XSCALE_BASELINE) == expected

@@ -1,0 +1,110 @@
+"""Unit and property tests for branch behaviour models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.trace.branch_model import (
+    BernoulliBranch,
+    BranchModelMap,
+    LoopBranch,
+    TakenBranch,
+)
+
+
+class TestBernoulli:
+    def test_extremes(self):
+        rng = random.Random(0)
+        assert all(BernoulliBranch(1.0).take(rng) for _ in range(20))
+        assert not any(BernoulliBranch(0.0).take(rng) for _ in range(20))
+
+    def test_probability_validated(self):
+        with pytest.raises(TraceError):
+            BernoulliBranch(1.5)
+        with pytest.raises(TraceError):
+            BernoulliBranch(-0.1)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20)
+    def test_empirical_rate(self, p):
+        rng = random.Random(42)
+        model = BernoulliBranch(p)
+        taken = sum(model.take(rng) for _ in range(4000))
+        assert taken / 4000 == pytest.approx(p, abs=0.05)
+
+    def test_clone_independent(self):
+        model = BernoulliBranch(0.3)
+        clone = model.clone()
+        assert clone is not model and clone.p_taken == 0.3
+
+
+class TestTaken:
+    def test_always_taken(self):
+        rng = random.Random(0)
+        model = TakenBranch()
+        assert all(model.take(rng) for _ in range(10))
+
+
+class TestLoop:
+    def test_fixed_trip_count_pattern(self):
+        rng = random.Random(0)
+        model = LoopBranch(4, 4)
+        # 4 trips: taken, taken, taken, not-taken — repeated.
+        pattern = [model.take(rng) for _ in range(8)]
+        assert pattern == [True, True, True, False] * 2
+
+    def test_single_trip_never_taken(self):
+        rng = random.Random(0)
+        model = LoopBranch(1, 1)
+        assert [model.take(rng) for _ in range(5)] == [False] * 5
+
+    def test_range_validated(self):
+        with pytest.raises(TraceError):
+            LoopBranch(0, 4)
+        with pytest.raises(TraceError):
+            LoopBranch(5, 4)
+
+    @given(st.integers(2, 30), st.integers(0, 20))
+    @settings(max_examples=30)
+    def test_mean_trips_in_range(self, lo, spread):
+        hi = lo + spread
+        rng = random.Random(7)
+        model = LoopBranch(lo, hi)
+        exits = 0
+        takes = 0
+        for _ in range(5000):
+            takes += 1
+            if not model.take(rng):
+                exits += 1
+        if exits >= 10:
+            mean_trips = takes / exits
+            assert lo - 1 <= mean_trips <= hi + 1
+
+    def test_clone_resets_state(self):
+        rng = random.Random(0)
+        model = LoopBranch(3, 3)
+        model.take(rng)  # mid-loop
+        clone = model.clone()
+        # Fresh clone starts a new trip count draw: 3 trips = T T F.
+        assert [clone.take(rng) for _ in range(3)] == [True, True, False]
+
+
+class TestBranchModelMap:
+    def test_lookup_and_default(self):
+        model_map = BranchModelMap({1: TakenBranch()}, default=BernoulliBranch(0.0))
+        rng = random.Random(0)
+        assert model_map.model_for(1).take(rng)
+        assert not model_map.model_for(99).take(rng)
+
+    def test_fresh_deep_copies(self):
+        loop = LoopBranch(5, 5)
+        model_map = BranchModelMap({1: loop})
+        rng = random.Random(0)
+        fresh = model_map.fresh()
+        fresh.model_for(1).take(rng)
+        assert loop._remaining == 0  # original untouched
+
+    def test_len(self):
+        assert len(BranchModelMap({1: TakenBranch(), 2: TakenBranch()})) == 2

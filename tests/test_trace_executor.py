@@ -1,0 +1,78 @@
+"""Unit tests for the CFG walker."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program import ProgramBuilder
+from repro.trace.branch_model import BranchModelMap, LoopBranch, TakenBranch
+from repro.trace.executor import CfgWalker
+
+
+class TestWalkStructure:
+    def test_trace_follows_loop(self, toy_program, toy_models):
+        walker = CfgWalker(toy_program, toy_models, seed=0)
+        trace = walker.walk(200)
+        labels = [toy_program.block_by_uid(u).label for u in trace.uids.tolist()]
+        # The loop executes its 4-trip pattern: head, body, helper, latch x4.
+        assert labels[0] == "entry"
+        assert labels[1:5] == ["loop_head", "body", "h0", "h1"]
+        assert labels.count("latch") >= 4
+
+    def test_call_and_return(self, toy_program, toy_models):
+        walker = CfgWalker(toy_program, toy_models, seed=0)
+        trace = walker.walk(100)
+        labels = [toy_program.block_by_uid(u).label for u in trace.uids.tolist()]
+        # every helper execution is followed by returning to the latch
+        for i, label in enumerate(labels[:-1]):
+            if label == "h1":
+                assert labels[i + 1] == "latch"
+
+    def test_budget_respected_at_block_granularity(self, toy_program, toy_models):
+        walker = CfgWalker(toy_program, toy_models, seed=0)
+        trace = walker.walk(500)
+        sizes = {b.uid: b.num_instructions for b in toy_program.blocks()}
+        total = sum(sizes[u] for u in trace.uids.tolist())
+        assert total == trace.num_instructions
+        assert 500 <= total < 500 + max(sizes.values())
+
+    def test_program_restarts_when_entry_returns(self, toy_program, toy_models):
+        walker = CfgWalker(toy_program, toy_models, seed=1)
+        trace = walker.walk(3000)
+        assert trace.num_program_runs >= 1
+        labels = [toy_program.block_by_uid(u).label for u in trace.uids.tolist()]
+        # after fin (entry function returns) the walk restarts at entry
+        for i, label in enumerate(labels[:-1]):
+            if label == "fin":
+                assert labels[i + 1] == "entry"
+
+    def test_determinism(self, toy_program, toy_models):
+        t1 = CfgWalker(toy_program, toy_models, seed=5).walk(400)
+        t2 = CfgWalker(toy_program, toy_models, seed=5).walk(400)
+        assert (t1.uids == t2.uids).all()
+
+    def test_seed_changes_walk(self, toy_program, toy_models):
+        t1 = CfgWalker(toy_program, toy_models, seed=5).walk(400)
+        t2 = CfgWalker(toy_program, toy_models, seed=6).walk(400)
+        assert not (t1.uids.shape == t2.uids.shape and (t1.uids == t2.uids).all())
+
+    def test_block_counts(self, toy_program, toy_models):
+        trace = CfgWalker(toy_program, toy_models, seed=0).walk(400)
+        counts = trace.block_counts(toy_program.num_blocks)
+        assert counts.sum() == trace.num_block_executions
+
+
+class TestWalkErrors:
+    def test_zero_budget_rejected(self, toy_program, toy_models):
+        walker = CfgWalker(toy_program, toy_models)
+        with pytest.raises(TraceError, match="positive"):
+            walker.walk(0)
+
+    def test_runaway_recursion_detected(self):
+        builder = ProgramBuilder("rec")
+        fn = builder.function("main")
+        fn.block("a", 1, call="main")
+        fn.block("b", 1, ret=True)
+        program = builder.build()
+        walker = CfgWalker(program, BranchModelMap({}))
+        with pytest.raises(TraceError, match="recursion"):
+            walker.walk(100_000)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CacheConfigError
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit_field,
+    is_power_of_two,
+    log2_exact,
+    mask,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Exact:
+    def test_exact_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(32) == 5
+        assert log2_exact(32 * 1024) == 15
+
+    def test_rejects_non_power(self):
+        with pytest.raises(CacheConfigError, match="power of two"):
+            log2_exact(12)
+
+    def test_error_names_the_quantity(self):
+        with pytest.raises(CacheConfigError, match="line size"):
+            log2_exact(13, "line size")
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_roundtrip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestMaskAndBitField:
+    def test_mask_widths(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(5) == 0b11111
+
+    def test_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_bit_field_extracts(self):
+        word = 0b1011_0110
+        assert bit_field(word, 0, 3) == 0b110
+        assert bit_field(word, 4, 4) == 0b1011
+
+    def test_bit_field_rejects_negative_low(self):
+        with pytest.raises(ValueError):
+            bit_field(1, -1, 2)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 30), st.integers(0, 20))
+    def test_bit_field_matches_shift_mask(self, value, low, nbits):
+        assert bit_field(value, low, nbits) == (value >> low) & ((1 << nbits) - 1)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x37, 16) == 0x30
+        assert align_down(0x40, 16) == 0x40
+
+    def test_align_up(self):
+        assert align_up(0x37, 16) == 0x40
+        assert align_up(0x40, 16) == 0x40
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(10, 3)
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(0, 12))
+    def test_align_invariants(self, value, exp):
+        alignment = 1 << exp
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert down <= value <= up
+        assert up - down in (0, alignment)

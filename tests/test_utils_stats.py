@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import arithmetic_mean, geometric_mean, weighted_mean
+
+
+class TestArithmeticMean:
+    def test_basic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_accepts_generator(self):
+        assert arithmetic_mean(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_never_exceeds_arithmetic(self, values):
+        # AM-GM inequality: a classic invariant for a property test.
+        assert geometric_mean(values) <= arithmetic_mean(values) * (1 + 1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=10.0), st.integers(1, 10))
+    def test_constant_sequence(self, value, n):
+        assert geometric_mean([value] * n) == pytest.approx(value)
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_zero_weight_ignores_value(self):
+        assert weighted_mean([1.0, 100.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [-1.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])

@@ -1,0 +1,92 @@
+"""Unit tests for input models (small/large, trip scaling, jitter)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.branch_model import BernoulliBranch, LoopBranch
+from repro.workloads.inputs import (
+    InputModel,
+    LARGE_INPUT,
+    SMALL_INPUT,
+    branch_models_for,
+)
+from repro.workloads.synth import SynthSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        SynthSpec(name="inputs-test", code_kb=8.0, num_functions=5, cold_prob=0.3)
+    )
+
+
+class TestInputValidation:
+    def test_defaults(self):
+        InputModel(name="x")
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            InputModel(name="x", trip_scale=0.0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(WorkloadError):
+            InputModel(name="x", trip_jitter=1.0)
+        with pytest.raises(WorkloadError):
+            InputModel(name="x", prob_jitter=0.9)
+
+
+class TestModelConstruction:
+    def test_every_role_gets_a_model(self, workload):
+        models = branch_models_for(workload, LARGE_INPUT)
+        assert len(models) == len(workload.roles)
+
+    def test_loop_roles_become_loop_models(self, workload):
+        models = branch_models_for(workload, LARGE_INPUT)
+        for uid, role in workload.roles.items():
+            model = models.model_for(uid)
+            if role.kind == "loop":
+                assert isinstance(model, LoopBranch)
+            else:
+                assert isinstance(model, BernoulliBranch)
+
+    def test_small_input_scales_trips_down(self, workload):
+        small = branch_models_for(workload, SMALL_INPUT)
+        large = branch_models_for(workload, LARGE_INPUT)
+        for uid, role in workload.roles.items():
+            if role.kind != "loop":
+                continue
+            assert small.model_for(uid).max_trips <= large.model_for(uid).max_trips
+
+    def test_trips_never_below_one(self, workload):
+        tiny = InputModel(name="tiny", trip_scale=0.001)
+        models = branch_models_for(workload, tiny)
+        for uid, role in workload.roles.items():
+            if role.kind == "loop":
+                assert models.model_for(uid).min_trips >= 1
+
+    def test_cold_guards_stay_cold_under_jitter(self, workload):
+        jittery = InputModel(name="j", prob_jitter=0.5)
+        models = branch_models_for(workload, jittery)
+        for uid, role in workload.roles.items():
+            if role.kind == "cond" and role.cold_guard:
+                assert models.model_for(uid).p_taken <= 0.15
+
+    def test_deterministic_per_input(self, workload):
+        a = branch_models_for(workload, SMALL_INPUT)
+        b = branch_models_for(workload, SMALL_INPUT)
+        for uid, role in workload.roles.items():
+            ma, mb = a.model_for(uid), b.model_for(uid)
+            if role.kind == "loop":
+                assert (ma.min_trips, ma.max_trips) == (mb.min_trips, mb.max_trips)
+            else:
+                assert ma.p_taken == mb.p_taken
+
+    def test_inputs_differ(self, workload):
+        small = branch_models_for(workload, SMALL_INPUT)
+        large = branch_models_for(workload, LARGE_INPUT)
+        differs = False
+        for uid, role in workload.roles.items():
+            if role.kind == "loop":
+                if small.model_for(uid).max_trips != large.model_for(uid).max_trips:
+                    differs = True
+        assert differs, "small and large inputs must not be identical"

@@ -1,0 +1,84 @@
+"""Unit tests for the MiBench benchmark suite definitions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mibench import (
+    MIBENCH_BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+)
+
+#: The paper's Figure 4 benchmark list, in order.
+PAPER_BENCHMARKS = [
+    "bitcount",
+    "susan_c",
+    "susan_e",
+    "susan_s",
+    "cjpeg",
+    "djpeg",
+    "tiff2bw",
+    "tiff2rgba",
+    "tiffdither",
+    "tiffmedian",
+    "patricia",
+    "ispell",
+    "rsynth",
+    "blowfish_d",
+    "blowfish_e",
+    "rijndael_d",
+    "rijndael_e",
+    "sha",
+    "rawcaudio",
+    "rawdaudio",
+    "crc",
+    "fft",
+    "fft_i",
+]
+
+
+class TestSuiteDefinition:
+    def test_exactly_the_paper_suite(self):
+        assert benchmark_names() == PAPER_BENCHMARKS
+
+    def test_twenty_three_benchmarks(self):
+        assert len(MIBENCH_BENCHMARKS) == 23
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            load_benchmark("gsm")
+
+    def test_specs_carry_their_names(self):
+        for name, spec in MIBENCH_BENCHMARKS.items():
+            assert spec.name == name
+
+
+class TestSuiteDiversity:
+    def test_code_sizes_span_classes(self):
+        sizes = {name: spec.code_kb for name, spec in MIBENCH_BENCHMARKS.items()}
+        assert sizes["crc"] < 5 < sizes["susan_c"] < 30 < sizes["tiff2rgba"]
+
+    def test_mem_density_spread(self):
+        densities = [spec.mem_density for spec in MIBENCH_BENCHMARKS.values()]
+        assert min(densities) < 0.1
+        assert max(densities) > 0.35
+
+    def test_generated_sizes_ordered_by_class(self):
+        tiny = load_benchmark("crc").program.size_bytes
+        large = load_benchmark("cjpeg").program.size_bytes
+        assert large > 5 * tiny
+
+
+class TestGeneratedBenchmarks:
+    @pytest.mark.parametrize("name", ["crc", "susan_c", "cjpeg"])
+    def test_loadable_and_valid(self, name):
+        workload = load_benchmark(name)
+        assert workload.name == name
+        assert workload.program.num_blocks > 10
+        assert workload.roles
+
+    def test_load_is_deterministic(self):
+        a = load_benchmark("sha")
+        b = load_benchmark("sha")
+        assert a.program.size_bytes == b.program.size_bytes
+        assert a.roles.keys() == b.roles.keys()

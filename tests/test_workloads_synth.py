@@ -1,0 +1,105 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.layout import build_chains
+from repro.program.basic_block import BlockKind
+from repro.workloads.synth import BranchRole, SynthSpec, generate_workload
+
+
+SMALL_SPEC = SynthSpec(name="unit", code_kb=6.0, num_functions=5, kernel_functions=2)
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        SynthSpec(name="ok")
+
+    def test_bad_kernel_count(self):
+        with pytest.raises(WorkloadError):
+            SynthSpec(name="x", num_functions=3, kernel_functions=4)
+
+    def test_bad_block_size(self):
+        with pytest.raises(WorkloadError):
+            SynthSpec(name="x", block_size=(5, 2))
+
+    def test_bad_trips(self):
+        with pytest.raises(WorkloadError):
+            SynthSpec(name="x", kernel_trips=(0, 5))
+
+    def test_bad_mem_density(self):
+        with pytest.raises(WorkloadError):
+            SynthSpec(name="x", mem_density=2.0)
+
+
+class TestGeneratedStructure:
+    def test_deterministic(self):
+        a = generate_workload(SMALL_SPEC)
+        b = generate_workload(SMALL_SPEC)
+        assert a.program.num_blocks == b.program.num_blocks
+        assert [blk.label for blk in a.program.blocks()] == [
+            blk.label for blk in b.program.blocks()
+        ]
+
+    def test_salt_changes_program(self):
+        a = generate_workload(SMALL_SPEC)
+        b = generate_workload(SMALL_SPEC, seed_salt="other")
+        assert [blk.label for blk in a.program.blocks()] != [
+            blk.label for blk in b.program.blocks()
+        ] or a.program.size_bytes != b.program.size_bytes
+
+    def test_code_size_near_target(self):
+        workload = generate_workload(SynthSpec(name="sz", code_kb=24.0))
+        size_kb = workload.program.size_bytes / 1024
+        assert 12.0 <= size_kb <= 60.0  # loose: generator overshoots a bit
+
+    def test_program_valid_and_chainable(self):
+        workload = generate_workload(SMALL_SPEC)
+        chains = build_chains(workload.program)  # raises if fall edges broken
+        covered = sum(len(c) for c in chains)
+        assert covered == workload.program.num_blocks
+
+    def test_all_functions_reachable(self):
+        workload = generate_workload(SMALL_SPEC)
+        program = workload.program
+        reachable = set(program.cfg.reachable_from(program.entry_block.uid))
+        for function in program.functions.values():
+            assert function.entry.uid in reachable
+
+    def test_call_graph_is_acyclic(self):
+        workload = generate_workload(SMALL_SPEC)
+        order = {name: i for i, name in enumerate(workload.program.functions)}
+        for block in workload.program.blocks():
+            if block.kind is BlockKind.CALL and block.function != "main":
+                assert order[block.callee] > order[block.function]
+
+
+class TestRoles:
+    def test_every_condjump_has_a_role(self):
+        workload = generate_workload(SMALL_SPEC)
+        condjumps = {
+            b.uid
+            for b in workload.program.blocks()
+            if b.kind is BlockKind.CONDJUMP
+        }
+        assert condjumps == set(workload.roles)
+
+    def test_role_kinds(self):
+        workload = generate_workload(SMALL_SPEC)
+        kinds = {role.kind for role in workload.roles.values()}
+        assert kinds <= {"loop", "cond"}
+        assert "loop" in kinds  # the driver latch at minimum
+
+    def test_kernel_loops_marked(self):
+        workload = generate_workload(SMALL_SPEC)
+        kernel_loops = [
+            r for r in workload.roles.values() if r.kind == "loop" and r.kernel
+        ]
+        assert kernel_loops, "kernel functions must contain marked hot loops"
+
+    def test_cold_guards_marked(self):
+        spec = SynthSpec(name="coldy", code_kb=12.0, cold_prob=0.5)
+        workload = generate_workload(spec)
+        cold = [r for r in workload.roles.values() if r.cold_guard]
+        assert cold
+        assert all(r.taken_prob <= 0.2 for r in cold)
