@@ -16,6 +16,8 @@ Commands
     prefix coverage.
 ``choose-wpa``
     Run the OS's way-placement-area selection policy.
+``cache``
+    Inspect or clear the persistent trace cache (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -64,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="restrict to these benchmarks (default: full suite)",
         )
         _add_budget_arguments(figure)
+        _add_jobs_argument(figure)
 
     simulate = sub.add_parser("simulate", help="run one configuration")
     simulate.add_argument("--benchmark", required=True, choices=benchmark_names())
@@ -105,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", help="write the markdown report to this file")
     report.add_argument("--benchmarks", nargs="+", metavar="NAME")
     _add_budget_arguments(report)
+    _add_jobs_argument(report)
 
     export = sub.add_parser("export", help="figure data as CSV or JSON")
     export.add_argument("--figure", required=True, choices=["4", "5", "6"])
@@ -112,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--output", help="write to this file instead of stdout")
     export.add_argument("--benchmarks", nargs="+", metavar="NAME")
     _add_budget_arguments(export)
+    _add_jobs_argument(export)
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent trace cache ($REPRO_CACHE_DIR)"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
 
     return parser
 
@@ -129,12 +144,37 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="profiling trace length (default 100000 or $REPRO_PROFILE_INSTRUCTIONS)",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["auto", "vector", "reference"],
+        help="replay engine (default auto or $REPRO_ENGINE; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "trace cache directory, or 'off' to disable "
+            "(default: $REPRO_CACHE_DIR or .repro_cache)"
+        ),
+    )
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid (default 1: in-process)",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     return ExperimentRunner(
         eval_instructions=getattr(args, "eval_instructions", None),
         profile_instructions=getattr(args, "profile_instructions", None),
+        engine=getattr(args, "engine", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -178,11 +218,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if unknown:
             raise ReproError(f"unknown benchmarks: {sorted(unknown)}")
     if args.command == "figure4":
-        print(figure4(runner, benchmarks=benchmarks).render())
+        print(figure4(runner, benchmarks=benchmarks, jobs=args.jobs).render())
     elif args.command == "figure5":
-        print(figure5(runner, benchmarks=benchmarks).render())
+        print(figure5(runner, benchmarks=benchmarks, jobs=args.jobs).render())
     else:
-        print(figure6(runner, benchmarks=benchmarks).render())
+        print(figure6(runner, benchmarks=benchmarks, jobs=args.jobs).render())
     return 0
 
 
@@ -322,7 +362,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import reproduction_report
 
     _validate_benchmarks(args.benchmarks)
-    text = reproduction_report(_make_runner(args), benchmarks=args.benchmarks)
+    text = reproduction_report(
+        _make_runner(args), benchmarks=args.benchmarks, jobs=args.jobs
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -344,11 +386,17 @@ def _cmd_export(args: argparse.Namespace) -> int:
     _validate_benchmarks(args.benchmarks)
     runner = _make_runner(args)
     if args.figure == "4":
-        records = figure4_records(figure4(runner, benchmarks=args.benchmarks))
+        records = figure4_records(
+            figure4(runner, benchmarks=args.benchmarks, jobs=args.jobs)
+        )
     elif args.figure == "5":
-        records = figure5_records(figure5(runner, benchmarks=args.benchmarks))
+        records = figure5_records(
+            figure5(runner, benchmarks=args.benchmarks, jobs=args.jobs)
+        )
     else:
-        records = figure6_records(figure6(runner, benchmarks=args.benchmarks))
+        records = figure6_records(
+            figure6(runner, benchmarks=args.benchmarks, jobs=args.jobs)
+        )
     text = records_to_csv(records) if args.format == "csv" else records_to_json(records)
     if args.output:
         with open(args.output, "w") as handle:
@@ -356,6 +404,27 @@ def _cmd_export(args: argparse.Namespace) -> int:
         print(f"figure {args.figure} data written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine.store import TraceStore
+
+    store = TraceStore.resolve(args.dir)
+    if store is None:
+        print("trace cache is disabled")
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        counts = stats["entries"]
+        print(f"cache directory : {stats['dir']}")
+        print(f"entries         : {sum(counts.values())}")
+        print(f"size            : {stats['total_bytes'] / KB:.1f}KB")
+        for kind, count in sorted(counts.items()):
+            print(f"  {kind:<8}: {count}")
+    else:
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
     return 0
 
 
@@ -379,6 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

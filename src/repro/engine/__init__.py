@@ -1,0 +1,43 @@
+"""The fast simulation engine: vectorized kernels, artifact cache, grid runner.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.engine.kernels` — NumPy fast paths replaying a
+  :class:`~repro.trace.events.LineEventTrace` with counters bit-identical to
+  the reference schemes (``baseline`` and ``way-placement``);
+* :mod:`repro.engine.store` — a content-hash-keyed on-disk cache for block
+  traces, profiles, and line-event traces (``REPRO_CACHE_DIR``, default
+  ``.repro_cache/``), so fresh processes stop re-walking CFGs;
+* :mod:`repro.engine.grid` — a ``ProcessPoolExecutor``-backed experiment
+  grid runner, chunked by benchmark so each worker derives or loads every
+  trace at most once.
+
+See ``docs/performance.md`` for the architecture and how to choose between
+the reference and vectorized paths.
+"""
+
+from repro.engine.arrays import geometry_arrays, page_numbers, way_hints, wpa_flags
+from repro.engine.grid import GridCell, run_grid
+from repro.engine.kernels import (
+    FAST_SCHEMES,
+    baseline_counters,
+    fast_counters,
+    way_placement_counters,
+)
+from repro.engine.store import TraceStore, layout_digest, program_digest
+
+__all__ = [
+    "FAST_SCHEMES",
+    "GridCell",
+    "TraceStore",
+    "baseline_counters",
+    "fast_counters",
+    "geometry_arrays",
+    "layout_digest",
+    "page_numbers",
+    "program_digest",
+    "run_grid",
+    "way_hints",
+    "way_placement_counters",
+    "wpa_flags",
+]

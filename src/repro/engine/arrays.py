@@ -1,0 +1,100 @@
+"""Per-trace derived arrays, computed once and shared across schemes.
+
+Every fetch scheme re-derives the same quantities from a
+:class:`~repro.trace.events.LineEventTrace`: the set index and tag of each
+event, the mandated way of each address, whether the address lies in the
+way-placement area, and the way-hint vector (which is just the WPA flag
+shifted by one event).  This module computes them vectorized with NumPy and
+memoises them per trace object, keyed by the geometry/WPA parameters they
+depend on — replaying the same trace under nine cache configurations or six
+WPA sizes recomputes only what actually changed.
+
+The memo holds weak references to the traces, so arrays die with the trace
+they describe.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.trace.events import LineEventTrace
+from repro.utils.bitops import mask
+
+__all__ = ["geometry_arrays", "page_numbers", "way_hints", "wpa_flags"]
+
+# id(trace) -> (weakref keeping the id honest, {cache key: arrays}).  A plain
+# WeakKeyDictionary would be simpler but LineEventTrace is an eq=True frozen
+# dataclass holding ndarrays, hence unhashable.
+_PER_TRACE: Dict[int, Tuple[weakref.ref, dict]] = {}
+
+
+def _memo(events: LineEventTrace) -> dict:
+    key = id(events)
+    entry = _PER_TRACE.get(key)
+    if entry is not None and entry[0]() is events:
+        return entry[1]
+    store: dict = {}
+    ref = weakref.ref(events, lambda _ref, _key=key: _PER_TRACE.pop(_key, None))
+    _PER_TRACE[key] = (ref, store)
+    return store
+
+
+def geometry_arrays(
+    events: LineEventTrace, geometry: CacheGeometry
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-event ``(set_indices, tags, mandated_ways)`` under ``geometry``.
+
+    Only the address-slicing bit widths matter, so geometries differing in
+    ways but equal in sets x line size share the set/tag arrays' cache slot.
+    """
+    key = ("geom", geometry.offset_bits, geometry.set_bits, geometry.way_bits)
+    store = _memo(events)
+    if key not in store:
+        addrs = events.line_addrs
+        set_indices = (addrs >> geometry.offset_bits) & mask(geometry.set_bits)
+        tags = addrs >> (geometry.offset_bits + geometry.set_bits)
+        mandated = tags & mask(geometry.way_bits)
+        store[key] = (set_indices, tags, mandated)
+    return store[key]
+
+
+def wpa_flags(events: LineEventTrace, wpa_size: int) -> np.ndarray:
+    """Boolean per-event array: does the line lie in ``[0, wpa_size)``?"""
+    key = ("wpa", wpa_size)
+    store = _memo(events)
+    if key not in store:
+        store[key] = events.line_addrs < wpa_size
+    return store[key]
+
+
+def way_hints(
+    events: LineEventTrace, wpa_size: int, hint_initial: bool = False
+) -> np.ndarray:
+    """The way-hint vector: the WPA flag of the *previous* event.
+
+    ``hint_initial`` seeds element 0, exactly like
+    :class:`~repro.cache.wayhint.WayHintBit` (a last-value predictor).
+    """
+    key = ("hint", wpa_size, bool(hint_initial))
+    store = _memo(events)
+    if key not in store:
+        flags = wpa_flags(events, wpa_size)
+        hints = np.empty_like(flags)
+        if hints.shape[0]:
+            hints[0] = hint_initial
+            hints[1:] = flags[:-1]
+        store[key] = hints
+    return store[key]
+
+
+def page_numbers(events: LineEventTrace, page_bits: int) -> np.ndarray:
+    """Per-event virtual page number (for I-TLB modelling)."""
+    key = ("pages", page_bits)
+    store = _memo(events)
+    if key not in store:
+        store[key] = events.line_addrs >> page_bits
+    return store[key]

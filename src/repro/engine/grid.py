@@ -1,0 +1,97 @@
+"""Parallel experiment grids: fan simulation cells across worker processes.
+
+A *cell* is one ``(benchmark, scheme, machine, wpa, options)`` simulation —
+exactly the argument tuple of :meth:`ExperimentRunner.report`.  The figure
+and sensitivity grids are hundreds of cells that share traces per
+benchmark, so the fan-out is **chunked by benchmark**: each worker process
+receives every cell of one benchmark, derives (or loads from the persistent
+:class:`~repro.engine.store.TraceStore`) that benchmark's traces once, and
+ships the finished :class:`~repro.sim.report.SimulationReport` objects
+back.  The parent adopts them into its memo, so subsequent ``report()`` /
+``normalised()`` calls are cache hits.
+
+``jobs <= 1`` runs everything in-process with no executor — identical
+results, no pickling, the right default for tests and single-benchmark
+work.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.layout.placement import LayoutPolicy
+from repro.sim.machine import MachineConfig, XSCALE_BASELINE
+from repro.sim.report import SimulationReport
+
+__all__ = ["GridCell", "run_grid"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One simulation of an experiment grid (picklable by construction)."""
+
+    benchmark: str
+    scheme: str
+    machine: MachineConfig = XSCALE_BASELINE
+    wpa_size: int = 0
+    layout_policy: Optional[LayoutPolicy] = None
+    same_line_skip: Optional[bool] = None
+    l0_size: int = 512
+
+    def report_kwargs(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "machine": self.machine,
+            "wpa_size": self.wpa_size,
+            "layout_policy": self.layout_policy,
+            "same_line_skip": self.same_line_skip,
+            "l0_size": self.l0_size,
+        }
+
+
+def _run_benchmark_cells(
+    spec: dict, cells: Tuple[GridCell, ...]
+) -> List[SimulationReport]:
+    """Worker entry point: simulate one benchmark's cells in a fresh runner."""
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(**spec)
+    return [runner.report(**cell.report_kwargs()) for cell in cells]
+
+
+def run_grid(
+    runner, cells: Sequence[GridCell], jobs: int = 1
+) -> List[SimulationReport]:
+    """Simulate ``cells`` (possibly in parallel); returns reports in order.
+
+    ``runner`` is an :class:`~repro.experiments.runner.ExperimentRunner`;
+    every result is also adopted into its report memo.
+    """
+    cells = list(cells)
+    jobs = max(1, int(jobs))
+    groups: Dict[str, List[GridCell]] = {}
+    for cell in cells:
+        groups.setdefault(cell.benchmark, []).append(cell)
+
+    # Workers only help across benchmarks (cells of one benchmark share
+    # sequential trace derivation), and cells the parent already simulated
+    # are free — don't ship those out again.
+    pending = {
+        benchmark: [cell for cell in group if not runner.has_report(cell)]
+        for benchmark, group in groups.items()
+    }
+    pending = {b: g for b, g in pending.items() if g}
+    if jobs > 1 and len(pending) > 1:
+        spec = runner.spawn_spec()
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                benchmark: pool.submit(_run_benchmark_cells, spec, tuple(group))
+                for benchmark, group in pending.items()
+            }
+            for benchmark, future in futures.items():
+                for cell, report in zip(pending[benchmark], future.result()):
+                    runner.adopt_report(cell, report)
+    return [runner.report(**cell.report_kwargs()) for cell in cells]

@@ -1,0 +1,252 @@
+"""Content-hash-keyed on-disk cache for expensive pipeline artifacts.
+
+Walking a 400k-instruction evaluation trace dominates cold-start time for
+every process that touches a benchmark — pytest, the benches, and each CLI
+invocation all re-derived identical traces.  The :class:`TraceStore` keys
+each artifact by a *content key* — a string encoding everything the
+artifact depends on (format version, a digest of the program structure,
+input name, walker seed, instruction budget, layout digest, line size) —
+and stores it under ``REPRO_CACHE_DIR`` (default ``.repro_cache/``).
+
+Safety properties:
+
+* the full key is stored inside each entry and verified on load, so a hash
+  collision or a stale file silently re-derives instead of corrupting a run;
+* a bumped :data:`TraceStore.FORMAT_VERSION` invalidates every old entry;
+* corrupted or truncated files are deleted and treated as misses;
+* writes go through a temp file plus ``os.replace``, so concurrent workers
+  (the parallel grid runner) never observe partial entries.
+
+Setting ``REPRO_CACHE_DIR`` to ``off`` (or ``0``/``none``/empty) disables
+persistence entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import TraceError
+from repro.layout.layouts import Layout
+from repro.profiling.profile_data import ProfileData
+from repro.program.program import Program
+from repro.trace import io as trace_io
+from repro.trace.events import LineEventTrace
+from repro.trace.executor import BlockTrace
+
+__all__ = ["TraceStore", "layout_digest", "program_digest"]
+
+_DEFAULT_DIR = ".repro_cache"
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+_PROFILE_KIND = "repro-profile-cache-v1"
+
+
+def program_digest(program: Program) -> str:
+    """Stable digest of a program's block/CFG structure.
+
+    Covers everything the CFG walker and the layout pass read: block
+    identity, size, kind, and successor labels.  Any change to the workload
+    generator that alters the program therefore changes every derived key.
+    """
+    digest = hashlib.sha256()
+    for block in program.blocks():
+        digest.update(
+            f"{block.uid}|{block.function}|{block.label}|{block.kind.value}|"
+            f"{block.num_instructions}|{block.taken_label}|{block.fall_label}|"
+            f"{block.callee}\n".encode()
+        )
+    digest.update(f"entry={program.entry_block.uid}".encode())
+    return digest.hexdigest()[:16]
+
+
+def layout_digest(layout: Layout) -> str:
+    """Stable digest of a layout's uid -> address assignment."""
+    digest = hashlib.sha256()
+    for uid in layout.block_order:
+        digest.update(f"{uid}@{layout.address_of(uid)}\n".encode())
+    return digest.hexdigest()[:16]
+
+
+class TraceStore:
+    """Filesystem-backed artifact cache (see module docstring)."""
+
+    #: Bump to invalidate every existing cache entry after a format or
+    #: semantic change in how artifacts are derived.
+    FORMAT_VERSION = 1
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def resolve(
+        cls, cache_dir: Optional[Union[str, Path]] = None
+    ) -> Optional["TraceStore"]:
+        """The store for an explicit directory, the environment, or ``None``.
+
+        ``cache_dir=None`` consults ``REPRO_CACHE_DIR`` and falls back to
+        ``.repro_cache/``; the values ``off``/``none``/``0``/empty (in either
+        the argument or the environment) disable caching.
+        """
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", _DEFAULT_DIR)
+        if str(cache_dir).strip().lower() in _DISABLED_VALUES:
+            return None
+        return cls(cache_dir)
+
+    # ------------------------------------------------------------------
+    # Paths and housekeeping
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> Path:
+        suffix = ".json" if kind == "profile" else ".npz"
+        name = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.root / f"{kind}-{name}{suffix}"
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _replace(self, tmp: Path, path: Path) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        os.replace(tmp, path)
+
+    def _tmp_for(self, path: Path) -> Path:
+        # Same suffix as the target so np.savez does not append another one.
+        return path.with_name(f"{path.stem}.{os.getpid()}.tmp{path.suffix}")
+
+    # ------------------------------------------------------------------
+    # Block traces and line-event traces (.npz, via repro.trace.io)
+    # ------------------------------------------------------------------
+    def load_block_trace(self, key: str) -> Optional[BlockTrace]:
+        path = self.path_for("blocks", key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            trace = trace_io.load_block_trace(path, expected_key=key)
+        except TraceError:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def save_block_trace(self, key: str, trace: BlockTrace) -> Path:
+        path = self.path_for("blocks", key)
+        tmp = self._tmp_for(path)
+        self.root.mkdir(parents=True, exist_ok=True)
+        trace_io.save_block_trace(trace, tmp, key=key)
+        self._replace(tmp, path)
+        return path
+
+    def load_events(self, key: str) -> Optional[LineEventTrace]:
+        path = self.path_for("events", key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            events = trace_io.load_events(path, expected_key=key)
+        except TraceError:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return events
+
+    def save_events(self, key: str, events: LineEventTrace) -> Path:
+        path = self.path_for("events", key)
+        tmp = self._tmp_for(path)
+        self.root.mkdir(parents=True, exist_ok=True)
+        trace_io.save_events(events, tmp, key=key)
+        self._replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Profiles (.json, reusing ProfileData's own persistence format)
+    # ------------------------------------------------------------------
+    def load_profile(self, key: str) -> Optional[ProfileData]:
+        path = self.path_for("profile", key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if (
+                payload.get("cache_kind") != _PROFILE_KIND
+                or payload.get("cache_key") != key
+            ):
+                raise ValueError("stale or foreign profile cache entry")
+            profile = ProfileData.load(path)
+        except Exception:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return profile
+
+    def save_profile(self, key: str, profile: ProfileData) -> Path:
+        path = self.path_for("profile", key)
+        tmp = self._tmp_for(path)
+        self.root.mkdir(parents=True, exist_ok=True)
+        profile.save(tmp)
+        payload = json.loads(tmp.read_text())
+        payload["cache_kind"] = _PROFILE_KIND
+        payload["cache_key"] = key
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        self._replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection and management (the ``repro cache`` CLI)
+    # ------------------------------------------------------------------
+    def entries(self) -> Dict[str, int]:
+        """Entry count per artifact kind."""
+        counts = {"blocks": 0, "events": 0, "profile": 0}
+        if not self.root.is_dir():
+            return counts
+        for path in self.root.iterdir():
+            kind = path.name.split("-", 1)[0]
+            if kind in counts and not path.name.endswith(".tmp" + path.suffix):
+                counts[kind] += 1
+        return counts
+
+    def stats(self) -> Dict[str, object]:
+        """Directory, per-kind counts, and total size in bytes."""
+        counts = self.entries()
+        total_bytes = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                kind = path.name.split("-", 1)[0]
+                if kind in counts:
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        pass
+        return {
+            "dir": str(self.root),
+            "entries": counts,
+            "total_bytes": total_bytes,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry this store recognises; returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.iterdir():
+            kind = path.name.split("-", 1)[0]
+            if kind in ("blocks", "events", "profile"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,6 +1,6 @@
 """Experiment harness: run grids, normalise, regenerate tables and figures."""
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, GridCell
 from repro.experiments.figures import (
     Figure4Result,
     Figure5Result,
@@ -23,6 +23,7 @@ from repro.experiments.sensitivity import (
 
 __all__ = [
     "ExperimentRunner",
+    "GridCell",
     "Figure4Result",
     "Figure5Result",
     "Figure6Result",

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.grid import GridCell
 from repro.errors import ExperimentError
 from repro.experiments.formatting import format_pct, format_ratio, render_table
 from repro.experiments.runner import ExperimentRunner
@@ -140,11 +141,23 @@ def figure4(
     benchmarks: Optional[Sequence[str]] = None,
     machine: MachineConfig = XSCALE_BASELINE,
     wpa_size: int = 32 * _KB,
+    jobs: int = 1,
 ) -> Figure4Result:
-    """Reproduce Figure 4: the paper's initial evaluation."""
+    """Reproduce Figure 4: the paper's initial evaluation.
+
+    ``jobs > 1`` fans the (benchmark, scheme) grid across worker processes
+    before the (then memoised) per-benchmark lookups below.
+    """
     benchmarks = tuple(benchmarks if benchmarks is not None else benchmark_names())
     if not benchmarks:
         raise ExperimentError("figure 4 needs at least one benchmark")
+    if jobs > 1:
+        cells = []
+        for bench in benchmarks:
+            cells.append(GridCell(bench, "baseline", machine))
+            cells.append(GridCell(bench, "way-memoization", machine))
+            cells.append(GridCell(bench, "way-placement", machine, wpa_size=wpa_size))
+        runner.run_grid(cells, jobs=jobs)
     memoization = {
         bench: runner.normalised(bench, "way-memoization", machine)
         for bench in benchmarks
@@ -209,12 +222,23 @@ def figure5(
     wpa_sizes: Sequence[int] = FIGURE5_WPA_SIZES,
     benchmarks: Optional[Sequence[str]] = None,
     machine: MachineConfig = XSCALE_BASELINE,
+    jobs: int = 1,
 ) -> Figure5Result:
     """Reproduce Figure 5: the effect of shrinking the way-placement area."""
     benchmarks = tuple(benchmarks if benchmarks is not None else benchmark_names())
     wpa_sizes = tuple(wpa_sizes)
     if not wpa_sizes:
         raise ExperimentError("figure 5 needs at least one WPA size")
+    if jobs > 1:
+        cells = []
+        for bench in benchmarks:
+            cells.append(GridCell(bench, "baseline", machine))
+            cells.append(GridCell(bench, "way-memoization", machine))
+            for wpa in wpa_sizes:
+                cells.append(
+                    GridCell(bench, "way-placement", machine, wpa_size=wpa)
+                )
+        runner.run_grid(cells, jobs=jobs)
     placement_energy: Dict[int, float] = {}
     placement_ed: Dict[int, float] = {}
     for wpa in wpa_sizes:
@@ -319,12 +343,26 @@ def figure6(
     ways_list: Sequence[int] = FIGURE6_WAYS,
     wpa_sizes: Sequence[int] = FIGURE6_WPA_SIZES,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> Figure6Result:
     """Reproduce Figure 6: varying cache size and associativity."""
     benchmarks = tuple(benchmarks if benchmarks is not None else benchmark_names())
     cache_sizes = tuple(cache_sizes)
     ways_list = tuple(ways_list)
     wpa_sizes = tuple(wpa_sizes)
+    if jobs > 1:
+        grid_cells = []
+        for size in cache_sizes:
+            for ways in ways_list:
+                machine = XSCALE_BASELINE.with_icache(size, ways)
+                for bench in benchmarks:
+                    grid_cells.append(GridCell(bench, "baseline", machine))
+                    grid_cells.append(GridCell(bench, "way-memoization", machine))
+                    for wpa in wpa_sizes:
+                        grid_cells.append(
+                            GridCell(bench, "way-placement", machine, wpa_size=wpa)
+                        )
+        runner.run_grid(grid_cells, jobs=jobs)
     cells: Dict[Tuple[int, int], Figure6Cell] = {}
     for size in cache_sizes:
         for ways in ways_list:

@@ -128,11 +128,12 @@ def paper_checklist(fig4, fig5, fig6) -> List[ChecklistItem]:
 def reproduction_report(
     runner: ExperimentRunner,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> str:
     """Render the full reproduction as one markdown document."""
-    fig4 = figure4(runner, benchmarks=benchmarks)
-    fig5 = figure5(runner, benchmarks=benchmarks)
-    fig6 = figure6(runner, benchmarks=benchmarks)
+    fig4 = figure4(runner, benchmarks=benchmarks, jobs=jobs)
+    fig5 = figure5(runner, benchmarks=benchmarks, jobs=jobs)
+    fig6 = figure6(runner, benchmarks=benchmarks, jobs=jobs)
     checklist = paper_checklist(fig4, fig5, fig6)
 
     passed = sum(1 for item in checklist if item.passed)

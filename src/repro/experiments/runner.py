@@ -16,19 +16,34 @@ line events                benchmark, policy, line size
 simulation report          benchmark, scheme, geometry, wpa, options
 ========================  =============================================
 
+Two caches back the memoisation:
+
+* an in-process dict per stage (as before);
+* a **persistent** :class:`~repro.engine.store.TraceStore` (default
+  ``.repro_cache/``, override or disable with ``REPRO_CACHE_DIR``) holding
+  profiles, block traces, and line-event traces keyed by content — a fresh
+  process with a warm cache performs no CFG walks at all.
+
 Instruction budgets default to 400k evaluated / 100k profiled instructions
 per benchmark and can be overridden by the ``REPRO_EVAL_INSTRUCTIONS`` /
 ``REPRO_PROFILE_INSTRUCTIONS`` environment variables (the harness trades
 trace length for wall-clock time; results are stable well below the
 defaults because the workloads are stationary loop nests).
+
+For sweeping many (benchmark, scheme, geometry) cells at once, use
+:meth:`ExperimentRunner.run_grid`, which fans cells across worker
+processes chunked by benchmark (see :mod:`repro.engine.grid`).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.energy.params import EnergyParams
+from repro.engine.grid import GridCell, run_grid
+from repro.engine.store import TraceStore, layout_digest, program_digest
 from repro.errors import ExperimentError
 from repro.layout.layouts import Layout
 from repro.layout.placement import LayoutPolicy, make_layout
@@ -44,7 +59,7 @@ from repro.workloads.inputs import LARGE_INPUT, SMALL_INPUT, branch_models_for
 from repro.workloads.mibench import load_benchmark
 from repro.workloads.synth import Workload
 
-__all__ = ["ExperimentRunner"]
+__all__ = ["ExperimentRunner", "GridCell"]
 
 _DEFAULT_EVAL_INSTRUCTIONS = 400_000
 _DEFAULT_PROFILE_INSTRUCTIONS = 100_000
@@ -70,9 +85,11 @@ class ExperimentRunner:
         self,
         eval_instructions: Optional[int] = None,
         profile_instructions: Optional[int] = None,
-        energy_params: EnergyParams = EnergyParams(),
+        energy_params: Optional[EnergyParams] = None,
         organisation: str = "cam",
         seed: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        engine: Optional[str] = None,
     ):
         self.eval_instructions = (
             eval_instructions
@@ -84,9 +101,13 @@ class ExperimentRunner:
             if profile_instructions is not None
             else _env_int("REPRO_PROFILE_INSTRUCTIONS", _DEFAULT_PROFILE_INSTRUCTIONS)
         )
-        self.energy_params = energy_params
+        self.energy_params = (
+            energy_params if energy_params is not None else EnergyParams()
+        )
         self.organisation = organisation
         self.seed = seed
+        self.store = TraceStore.resolve(cache_dir)
+        self.engine = engine
 
         self._workloads: Dict[str, Workload] = {}
         self._profiles: Dict[str, ProfileData] = {}
@@ -95,6 +116,38 @@ class ExperimentRunner:
         self._events: Dict[Tuple[str, LayoutPolicy, int], LineEventTrace] = {}
         self._mem_fractions: Dict[str, float] = {}
         self._reports: Dict[tuple, SimulationReport] = {}
+        self._digests: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Persistent-cache keys
+    # ------------------------------------------------------------------
+    def _program_digest(self, benchmark: str) -> str:
+        if benchmark not in self._digests:
+            self._digests[benchmark] = program_digest(self.workload(benchmark).program)
+        return self._digests[benchmark]
+
+    def _profile_key(self, benchmark: str) -> str:
+        return (
+            f"v{TraceStore.FORMAT_VERSION}|profile|{benchmark}|"
+            f"{self._program_digest(benchmark)}|input={SMALL_INPUT.name}|"
+            f"seed={self.seed}|budget={self.profile_instructions}"
+        )
+
+    def _block_trace_key(self, benchmark: str) -> str:
+        return (
+            f"v{TraceStore.FORMAT_VERSION}|blocks|{benchmark}|"
+            f"{self._program_digest(benchmark)}|input={LARGE_INPUT.name}|"
+            f"seed={self.seed + 1}|budget={self.eval_instructions}"
+        )
+
+    def _events_key(
+        self, benchmark: str, policy: LayoutPolicy, line_size: int
+    ) -> str:
+        layout = self.layout(benchmark, policy)
+        return (
+            f"{self._block_trace_key(benchmark)}|layout={policy.value}:"
+            f"{layout_digest(layout)}|line={line_size}"
+        )
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -107,13 +160,19 @@ class ExperimentRunner:
     def profile(self, benchmark: str) -> ProfileData:
         """Profile on the small (train) input, as the paper does."""
         if benchmark not in self._profiles:
-            workload = self.workload(benchmark)
-            models = branch_models_for(workload, SMALL_INPUT)
-            walker = CfgWalker(workload.program, models, seed=self.seed)
-            trace = walker.walk(self.profile_instructions)
-            self._profiles[benchmark] = profile_block_trace(
-                workload.program, trace, SMALL_INPUT.name
-            )
+            key = self._profile_key(benchmark)
+            profile = self.store.load_profile(key) if self.store else None
+            if profile is None:
+                workload = self.workload(benchmark)
+                models = branch_models_for(workload, SMALL_INPUT)
+                walker = CfgWalker(workload.program, models, seed=self.seed)
+                trace = walker.walk(self.profile_instructions)
+                profile = profile_block_trace(
+                    workload.program, trace, SMALL_INPUT.name
+                )
+                if self.store:
+                    self.store.save_profile(key, profile)
+            self._profiles[benchmark] = profile
         return self._profiles[benchmark]
 
     def layout(self, benchmark: str, policy: LayoutPolicy) -> Layout:
@@ -131,10 +190,16 @@ class ExperimentRunner:
     def block_trace(self, benchmark: str) -> BlockTrace:
         """The large-input evaluation trace (layout independent)."""
         if benchmark not in self._block_traces:
-            workload = self.workload(benchmark)
-            models = branch_models_for(workload, LARGE_INPUT)
-            walker = CfgWalker(workload.program, models, seed=self.seed + 1)
-            self._block_traces[benchmark] = walker.walk(self.eval_instructions)
+            key = self._block_trace_key(benchmark)
+            trace = self.store.load_block_trace(key) if self.store else None
+            if trace is None:
+                workload = self.workload(benchmark)
+                models = branch_models_for(workload, LARGE_INPUT)
+                walker = CfgWalker(workload.program, models, seed=self.seed + 1)
+                trace = walker.walk(self.eval_instructions)
+                if self.store:
+                    self.store.save_block_trace(key, trace)
+            self._block_traces[benchmark] = trace
         return self._block_traces[benchmark]
 
     def events(
@@ -142,13 +207,19 @@ class ExperimentRunner:
     ) -> LineEventTrace:
         key = (benchmark, policy, line_size)
         if key not in self._events:
-            workload = self.workload(benchmark)
-            self._events[key] = line_events_from_block_trace(
-                self.block_trace(benchmark),
-                workload.program,
-                self.layout(benchmark, policy),
-                line_size,
-            )
+            store_key = self._events_key(benchmark, policy, line_size)
+            events = self.store.load_events(store_key) if self.store else None
+            if events is None:
+                workload = self.workload(benchmark)
+                events = line_events_from_block_trace(
+                    self.block_trace(benchmark),
+                    workload.program,
+                    self.layout(benchmark, policy),
+                    line_size,
+                )
+                if self.store:
+                    self.store.save_events(store_key, events)
+            self._events[key] = events
         return self._events[key]
 
     def mem_fraction(self, benchmark: str) -> float:
@@ -162,6 +233,53 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_layout_policy(
+        scheme: str, layout_policy: Optional[LayoutPolicy]
+    ) -> LayoutPolicy:
+        """The paper's default pairing: way-placement runs on the profile-
+        chained binary, everything else on the original one."""
+        if layout_policy is not None:
+            return layout_policy
+        return (
+            LayoutPolicy.WAY_PLACEMENT
+            if scheme == "way-placement"
+            else LayoutPolicy.ORIGINAL
+        )
+
+    @staticmethod
+    def _report_key(
+        benchmark: str,
+        scheme: str,
+        machine: MachineConfig,
+        wpa_size: int,
+        layout_policy: LayoutPolicy,
+        same_line_skip: Optional[bool],
+        l0_size: int,
+    ) -> tuple:
+        return (
+            benchmark,
+            scheme,
+            machine.icache,
+            wpa_size,
+            layout_policy,
+            same_line_skip,
+            l0_size if scheme == "filter-cache" else 0,
+            machine.page_size,
+            machine.itlb_entries,
+        )
+
+    def _cell_key(self, cell: GridCell) -> tuple:
+        return self._report_key(
+            cell.benchmark,
+            cell.scheme,
+            cell.machine,
+            cell.wpa_size,
+            self._resolve_layout_policy(cell.scheme, cell.layout_policy),
+            cell.same_line_skip,
+            cell.l0_size,
+        )
+
     def report(
         self,
         benchmark: str,
@@ -178,26 +296,15 @@ class ExperimentRunner:
         runs on the profile-chained binary, everything else on the original
         one.  Pass ``layout_policy`` to break that pairing (ablations).
         """
-        if layout_policy is None:
-            layout_policy = (
-                LayoutPolicy.WAY_PLACEMENT
-                if scheme == "way-placement"
-                else LayoutPolicy.ORIGINAL
-            )
-        key = (
-            benchmark,
-            scheme,
-            machine.icache,
-            wpa_size,
-            layout_policy,
-            same_line_skip,
-            l0_size if scheme == "filter-cache" else 0,
-            machine.page_size,
-            machine.itlb_entries,
+        layout_policy = self._resolve_layout_policy(scheme, layout_policy)
+        key = self._report_key(
+            benchmark, scheme, machine, wpa_size, layout_policy, same_line_skip, l0_size
         )
         if key not in self._reports:
             events = self.events(benchmark, layout_policy, machine.icache.line_size)
-            simulator = Simulator(machine, self.energy_params, self.organisation)
+            simulator = Simulator(
+                machine, self.energy_params, self.organisation, engine=self.engine
+            )
             self._reports[key] = simulator.run_events(
                 events,
                 scheme,
@@ -230,3 +337,38 @@ class ExperimentRunner:
             same_line_skip=same_line_skip,
         )
         return run.normalise(baseline)
+
+    # ------------------------------------------------------------------
+    # Parallel grids
+    # ------------------------------------------------------------------
+    def has_report(self, cell: GridCell) -> bool:
+        """Is this cell's simulation already memoised?"""
+        return self._cell_key(cell) in self._reports
+
+    def adopt_report(self, cell: GridCell, report: SimulationReport) -> None:
+        """Memoise a report computed elsewhere (a grid worker) for ``cell``."""
+        self._reports[self._cell_key(cell)] = report
+
+    def spawn_spec(self) -> dict:
+        """Constructor kwargs reproducing this runner in a worker process."""
+        return {
+            "eval_instructions": self.eval_instructions,
+            "profile_instructions": self.profile_instructions,
+            "energy_params": self.energy_params,
+            "organisation": self.organisation,
+            "seed": self.seed,
+            "cache_dir": str(self.store.root) if self.store else "off",
+            "engine": self.engine,
+        }
+
+    def run_grid(
+        self, cells: Sequence[GridCell], jobs: int = 1
+    ) -> List[SimulationReport]:
+        """Simulate many cells, fanning across ``jobs`` worker processes.
+
+        Cells are chunked by benchmark so each worker derives (or loads from
+        the persistent cache) every trace at most once; results land in this
+        runner's memo and come back in input order.  ``jobs <= 1`` runs
+        serially in-process.
+        """
+        return run_grid(self, cells, jobs=jobs)

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.energy.cache_model import CacheEnergyModel
 from repro.energy.params import EnergyParams
 from repro.energy.processor import ProcessorReport
+from repro.engine.grid import GridCell
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentRunner
 from repro.sim.machine import MachineConfig, XSCALE_BASELINE
@@ -105,6 +106,7 @@ def sensitivity_grid(
     benchmarks: Optional[Sequence[str]] = None,
     machine: MachineConfig = XSCALE_BASELINE,
     wpa_size: int = 32 * 1024,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Suite-mean energies for every (cam, data) scale combination."""
     benchmarks = list(benchmarks if benchmarks is not None else benchmark_names())
@@ -113,6 +115,13 @@ def sensitivity_grid(
     base_params = runner.energy_params
 
     # Simulate once per (benchmark, scheme); reprice per grid point.
+    if jobs > 1:
+        cells = []
+        for bench in benchmarks:
+            cells.append(GridCell(bench, "baseline", machine))
+            cells.append(GridCell(bench, "way-placement", machine, wpa_size=wpa_size))
+            cells.append(GridCell(bench, "way-memoization", machine))
+        runner.run_grid(cells, jobs=jobs)
     reports: Dict[Tuple[str, str], SimulationReport] = {}
     for bench in benchmarks:
         reports[(bench, "baseline")] = runner.report(bench, "baseline", machine)

@@ -11,11 +11,13 @@ calls ``run_events`` directly.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from repro.energy.cache_model import CacheEnergyModel
 from repro.energy.params import EnergyParams
 from repro.energy.processor import ProcessorEnergyModel
+from repro.engine.kernels import FAST_SCHEMES, fast_counters
 from repro.errors import SchemeError
 from repro.layout.layouts import Layout
 from repro.program.program import Program
@@ -30,6 +32,22 @@ from repro.trace.fetch import line_events_from_block_trace
 
 __all__ = ["Simulator", "simulate"]
 
+#: Replay engine choices: ``auto`` uses a vectorized kernel when one exists
+#: and falls back to the reference scheme; ``vector`` demands the kernel
+#: (raising when there is none); ``reference`` always runs the pure-Python
+#: scheme objects.
+_ENGINES = ("auto", "vector", "reference")
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "auto")
+    if engine not in _ENGINES:
+        raise SchemeError(
+            f"unknown replay engine {engine!r}; choose from {', '.join(_ENGINES)}"
+        )
+    return engine
+
 
 class Simulator:
     """Reusable driver bound to a machine configuration and energy params."""
@@ -37,13 +55,17 @@ class Simulator:
     def __init__(
         self,
         machine: MachineConfig = XSCALE_BASELINE,
-        energy_params: EnergyParams = EnergyParams(),
+        energy_params: Optional[EnergyParams] = None,
         organisation: str = "cam",
+        engine: Optional[str] = None,
     ):
         self.machine = machine
-        self.energy_params = energy_params
+        self.energy_params = (
+            energy_params if energy_params is not None else EnergyParams()
+        )
         self.organisation = organisation
-        self._processor_model = ProcessorEnergyModel(energy_params)
+        self.engine = _resolve_engine(engine)
+        self._processor_model = ProcessorEnergyModel(self.energy_params)
 
     def run_events(
         self,
@@ -83,8 +105,17 @@ class Simulator:
         if scheme == "way-memoization":
             options["invalidation"] = memo_invalidation
 
-        fetch_scheme = make_scheme(scheme, machine.icache, **options)
-        counters = fetch_scheme.run(events)
+        counters = None
+        if self.engine != "reference" and scheme in FAST_SCHEMES:
+            counters = fast_counters(scheme, events, machine.icache, **options)
+        if counters is None:
+            if self.engine == "vector":
+                raise SchemeError(
+                    f"scheme {scheme!r} with options {sorted(options)} has no "
+                    "vectorized kernel; use engine='auto' or 'reference'"
+                )
+            fetch_scheme = make_scheme(scheme, machine.icache, **options)
+            counters = fetch_scheme.run(events)
 
         cache_model = CacheEnergyModel(
             machine.icache,
@@ -120,11 +151,12 @@ def simulate(
     branch_models: BranchModelMap,
     max_instructions: int,
     machine: MachineConfig = XSCALE_BASELINE,
-    energy_params: EnergyParams = EnergyParams(),
+    energy_params: Optional[EnergyParams] = None,
     wpa_size: int = 0,
     seed: int = 0,
     organisation: str = "cam",
     same_line_skip: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> SimulationReport:
     """One-shot convenience: walk, expand, replay, price."""
     from repro.profiling.profiler import dynamic_memory_fraction
@@ -134,7 +166,7 @@ def simulate(
     events = line_events_from_block_trace(
         block_trace, program, layout, machine.icache.line_size
     )
-    simulator = Simulator(machine, energy_params, organisation)
+    simulator = Simulator(machine, energy_params, organisation, engine=engine)
     return simulator.run_events(
         events,
         scheme,

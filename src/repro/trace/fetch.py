@@ -10,7 +10,7 @@ compiler pass.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -57,9 +57,12 @@ def line_events_from_block_trace(
         raise LayoutError(f"line size {line_size} smaller than one instruction")
 
     # Precompute, per block uid, its line segments and last-fetch address.
-    segments_of: Dict[int, List[Tuple[int, int]]] = {}
-    start_of: Dict[int, int] = {}
-    last_addr_of: Dict[int, int] = {}
+    # Uid-indexed flat lists (mirroring CfgWalker's pre-resolution) keep the
+    # hot loop below free of dict hashing.
+    max_uid = max(block.uid for block in program.blocks())
+    segments_of: List[List[Tuple[int, int]]] = [[] for _ in range(max_uid + 1)]
+    start_of: List[int] = [0] * (max_uid + 1)
+    last_addr_of: List[int] = [0] * (max_uid + 1)
     for block in program.blocks():
         start = layout.address_of(block.uid)
         segments_of[block.uid] = block_line_segments(

@@ -5,12 +5,19 @@ pipeline; saving them as compressed ``.npz`` files lets a user (or a CI
 job) split trace generation from cache simulation, or feed externally
 generated traces into the schemes — the format is just arrays plus a small
 metadata record.
+
+Archives may additionally carry a *cache key*: an opaque string recording
+what the trace was derived from.  The persistent artifact cache
+(:class:`repro.engine.store.TraceStore`) stamps every entry with its full
+content key and passes ``expected_key`` on load, so a stale or colliding
+entry raises :class:`~repro.errors.TraceError` instead of silently feeding
+a wrong trace into an experiment.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -24,11 +31,24 @@ _EVENTS_KIND = "repro-line-events-v1"
 _BLOCKS_KIND = "repro-block-trace-v1"
 
 
-def save_events(events: LineEventTrace, path: Union[str, Path]) -> None:
+def _check_key(archive, path, expected_key: Optional[str]) -> None:
+    if expected_key is None:
+        return
+    stored = str(archive["cache_key"]) if "cache_key" in archive else ""
+    if stored != expected_key:
+        raise TraceError(
+            f"{path} was derived under a different key (stale cache entry)"
+        )
+
+
+def save_events(
+    events: LineEventTrace, path: Union[str, Path], key: str = ""
+) -> None:
     """Write a line-event trace as a compressed ``.npz`` archive."""
     np.savez_compressed(
         Path(path),
         kind=np.array(_EVENTS_KIND),
+        cache_key=np.array(key),
         line_size=np.array(events.line_size, dtype=np.int64),
         line_addrs=events.line_addrs,
         counts=events.counts,
@@ -36,8 +56,14 @@ def save_events(events: LineEventTrace, path: Union[str, Path]) -> None:
     )
 
 
-def load_events(path: Union[str, Path]) -> LineEventTrace:
-    """Read a line-event trace written by :func:`save_events`."""
+def load_events(
+    path: Union[str, Path], expected_key: Optional[str] = None
+) -> LineEventTrace:
+    """Read a line-event trace written by :func:`save_events`.
+
+    ``expected_key`` (when given) must match the key the archive was saved
+    with; a mismatch raises :class:`TraceError` so cache consumers re-derive.
+    """
     try:
         archive = np.load(Path(path), allow_pickle=False)
     except (OSError, ValueError) as exc:
@@ -45,6 +71,7 @@ def load_events(path: Union[str, Path]) -> LineEventTrace:
     with archive:
         if "kind" not in archive or str(archive["kind"]) != _EVENTS_KIND:
             raise TraceError(f"{path} is not a line-event trace archive")
+        _check_key(archive, path, expected_key)
         return LineEventTrace(
             line_size=int(archive["line_size"]),
             line_addrs=archive["line_addrs"].astype(np.int64),
@@ -53,11 +80,14 @@ def load_events(path: Union[str, Path]) -> LineEventTrace:
         )
 
 
-def save_block_trace(trace: BlockTrace, path: Union[str, Path]) -> None:
+def save_block_trace(
+    trace: BlockTrace, path: Union[str, Path], key: str = ""
+) -> None:
     """Write a block trace as a compressed ``.npz`` archive."""
     np.savez_compressed(
         Path(path),
         kind=np.array(_BLOCKS_KIND),
+        cache_key=np.array(key),
         program_name=np.array(trace.program_name),
         uids=trace.uids,
         num_instructions=np.array(trace.num_instructions, dtype=np.int64),
@@ -65,8 +95,13 @@ def save_block_trace(trace: BlockTrace, path: Union[str, Path]) -> None:
     )
 
 
-def load_block_trace(path: Union[str, Path]) -> BlockTrace:
-    """Read a block trace written by :func:`save_block_trace`."""
+def load_block_trace(
+    path: Union[str, Path], expected_key: Optional[str] = None
+) -> BlockTrace:
+    """Read a block trace written by :func:`save_block_trace`.
+
+    ``expected_key`` behaves as in :func:`load_events`.
+    """
     try:
         archive = np.load(Path(path), allow_pickle=False)
     except (OSError, ValueError) as exc:
@@ -74,6 +109,7 @@ def load_block_trace(path: Union[str, Path]) -> BlockTrace:
     with archive:
         if "kind" not in archive or str(archive["kind"]) != _BLOCKS_KIND:
             raise TraceError(f"{path} is not a block-trace archive")
+        _check_key(archive, path, expected_key)
         return BlockTrace(
             program_name=str(archive["program_name"]),
             uids=archive["uids"].astype(np.int32),

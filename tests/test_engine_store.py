@@ -1,0 +1,227 @@
+"""Tests for the persistent artifact cache and the parallel grid runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.grid import GridCell
+from repro.engine.store import TraceStore, layout_digest, program_digest
+from repro.errors import TraceError
+from repro.experiments.runner import ExperimentRunner
+from repro.layout import original_layout
+from repro.layout.placement import LayoutPolicy
+from repro.trace.executor import CfgWalker
+from repro.trace.fetch import line_events_from_block_trace
+from repro.trace.io import load_block_trace, save_block_trace
+
+KB = 1024
+
+
+@pytest.fixture()
+def traced(toy_program, toy_models):
+    trace = CfgWalker(toy_program, toy_models, seed=0).walk(800)
+    layout = original_layout(toy_program)
+    events = line_events_from_block_trace(trace, toy_program, layout, 32)
+    return trace, events
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TraceStore(tmp_path / "cache")
+
+
+def assert_same_block_trace(a, b):
+    assert a.program_name == b.program_name
+    assert a.num_instructions == b.num_instructions
+    assert a.num_program_runs == b.num_program_runs
+    assert np.array_equal(a.uids, b.uids)
+
+
+def assert_same_events(a, b):
+    assert a.line_size == b.line_size
+    assert np.array_equal(a.line_addrs, b.line_addrs)
+    assert np.array_equal(a.counts, b.counts)
+    assert np.array_equal(a.slots, b.slots)
+
+
+class TestKeyedArchives:
+    """The cache-key plumbing in repro.trace.io."""
+
+    def test_matching_key_loads(self, tmp_path, traced):
+        trace, _ = traced
+        path = tmp_path / "t.npz"
+        save_block_trace(trace, path, key="spam")
+        assert_same_block_trace(load_block_trace(path, expected_key="spam"), trace)
+
+    def test_mismatched_key_raises(self, tmp_path, traced):
+        trace, _ = traced
+        path = tmp_path / "t.npz"
+        save_block_trace(trace, path, key="spam")
+        with pytest.raises(TraceError, match="different key"):
+            load_block_trace(path, expected_key="eggs")
+
+    def test_keyless_archive_fails_key_check_but_loads_plain(self, tmp_path, traced):
+        trace, _ = traced
+        path = tmp_path / "t.npz"
+        save_block_trace(trace, path)
+        with pytest.raises(TraceError):
+            load_block_trace(path, expected_key="spam")
+        # and without an expectation the same archive is fine
+        save_block_trace(trace, path)
+        assert_same_block_trace(load_block_trace(path), trace)
+
+
+class TestTraceStore:
+    def test_resolve_disabled_values(self, monkeypatch):
+        for value in ("off", "none", "0", "", "OFF"):
+            assert TraceStore.resolve(value) is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert TraceStore.resolve() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        resolved = TraceStore.resolve()
+        assert resolved is not None and str(resolved.root) == "/tmp/somewhere"
+
+    def test_block_trace_roundtrip(self, store, traced):
+        trace, _ = traced
+        assert store.load_block_trace("k1") is None
+        store.save_block_trace("k1", trace)
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
+        assert store.hits == 1 and store.misses == 1
+
+    def test_events_roundtrip(self, store, traced):
+        _, events = traced
+        assert store.load_events("k1") is None
+        store.save_events("k1", events)
+        assert_same_events(store.load_events("k1"), events)
+
+    def test_corrupted_entry_is_deleted_and_misses(self, store, traced):
+        trace, _ = traced
+        path = store.save_block_trace("k1", trace)
+        path.write_bytes(b"not an npz archive")
+        assert store.load_block_trace("k1") is None
+        assert not path.exists()
+
+    def test_stale_key_is_deleted_and_misses(self, store, traced):
+        """An entry whose embedded key disagrees (hash collision, moved
+        file, format drift) must re-derive, not silently load."""
+        trace, _ = traced
+        path = store.path_for("blocks", "k1")
+        store.root.mkdir(parents=True, exist_ok=True)
+        save_block_trace(trace, path, key="something-else")
+        assert store.load_block_trace("k1") is None
+        assert not path.exists()
+
+    def test_profile_roundtrip(self, store, fast_runner):
+        profile = fast_runner.profile("crc")
+        assert store.load_profile("p1") is None
+        store.save_profile("p1", profile)
+        loaded = store.load_profile("p1")
+        assert loaded.block_counts == profile.block_counts
+        assert loaded.edge_counts == profile.edge_counts
+
+    def test_stale_profile_is_deleted(self, store, fast_runner):
+        profile = fast_runner.profile("crc")
+        path = store.save_profile("p1", profile)
+        payload = json.loads(path.read_text())
+        payload["cache_key"] = "someone-else"
+        path.write_text(json.dumps(payload))
+        assert store.load_profile("p1") is None
+        assert not path.exists()
+
+    def test_stats_and_clear(self, store, traced):
+        trace, events = traced
+        store.save_block_trace("k1", trace)
+        store.save_events("k2", events)
+        stats = store.stats()
+        assert stats["entries"] == {"blocks": 1, "events": 1, "profile": 0}
+        assert stats["total_bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["entries"] == {"blocks": 0, "events": 0, "profile": 0}
+
+
+class TestDigests:
+    def test_program_digest_distinguishes_programs(self, toy_program, crc_workload):
+        assert program_digest(toy_program) == program_digest(toy_program)
+        assert program_digest(toy_program) != program_digest(crc_workload.program)
+
+    def test_layout_digest_distinguishes_layouts(self, fast_runner):
+        original = fast_runner.layout("crc", LayoutPolicy.ORIGINAL)
+        placed = fast_runner.layout("crc", LayoutPolicy.WAY_PLACEMENT)
+        assert layout_digest(original) == layout_digest(original)
+        assert layout_digest(original) != layout_digest(placed)
+
+
+def make_runner(cache_dir, **kwargs):
+    kwargs.setdefault("eval_instructions", 8_000)
+    kwargs.setdefault("profile_instructions", 4_000)
+    return ExperimentRunner(cache_dir=cache_dir, **kwargs)
+
+
+class TestRunnerCache:
+    def test_warm_cache_skips_all_cfg_walks(self, tmp_path, monkeypatch):
+        cache = tmp_path / "cache"
+        cold = make_runner(cache)
+        cold_report = cold.report("crc", "way-placement", wpa_size=8 * KB)
+        assert cold.store.misses > 0
+
+        # A fresh process is simulated by a fresh runner (empty in-process
+        # memos).  With the cache warm it must never walk a CFG again.
+        def refuse(*args, **kwargs):
+            raise AssertionError("CfgWalker ran despite a warm cache")
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.CfgWalker",
+            type("NoWalker", (), {"__init__": refuse}),
+        )
+        warm = make_runner(cache)
+        warm_report = warm.report("crc", "way-placement", wpa_size=8 * KB)
+        assert warm.store.hits > 0 and warm.store.misses == 0
+        assert warm_report.counters == cold_report.counters
+
+    def test_disabled_cache_still_works(self, tmp_path):
+        runner = make_runner("off")
+        assert runner.store is None
+        report = runner.report("crc", "baseline")
+        assert report.counters.fetches > 0
+
+    def test_cached_and_uncached_runs_agree(self, tmp_path):
+        cached = make_runner(tmp_path / "cache")
+        uncached = make_runner("off")
+        for scheme, wpa in (("baseline", 0), ("way-placement", 8 * KB)):
+            a = cached.report("crc", scheme, wpa_size=wpa)
+            b = uncached.report("crc", scheme, wpa_size=wpa)
+            assert a.counters == b.counters
+
+
+class TestRunGrid:
+    CELLS = [
+        GridCell("crc", "baseline"),
+        GridCell("crc", "way-placement", wpa_size=8 * KB),
+        GridCell("sha", "baseline"),
+        GridCell("sha", "way-placement", wpa_size=8 * KB),
+    ]
+
+    def test_serial_grid_matches_direct_reports(self, tmp_path):
+        runner = make_runner(tmp_path / "cache")
+        reports = runner.run_grid(self.CELLS, jobs=1)
+        for cell, report in zip(self.CELLS, reports):
+            assert report is runner.report(**cell.report_kwargs())
+
+    def test_parallel_grid_matches_serial(self, tmp_path):
+        serial = make_runner(tmp_path / "a")
+        parallel = make_runner(tmp_path / "b")
+        want = serial.run_grid(self.CELLS, jobs=1)
+        got = parallel.run_grid(self.CELLS, jobs=2)
+        for a, b in zip(want, got):
+            assert a.counters == b.counters
+            assert a.cycles == b.cycles
+        # the parent memoised every cell: further reports are recalls
+        for cell in self.CELLS:
+            assert parallel.has_report(cell)
+
+    def test_grid_reuses_memoised_cells(self, tmp_path):
+        runner = make_runner(tmp_path / "cache")
+        first = runner.report("crc", "baseline")
+        reports = runner.run_grid([GridCell("crc", "baseline")], jobs=4)
+        assert reports[0] is first

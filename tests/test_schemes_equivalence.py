@@ -9,12 +9,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.cache.geometry import CacheGeometry
+from repro.engine.kernels import fast_counters
 from repro.schemes.baseline import BaselineScheme
 from repro.schemes.filter_cache import FilterCacheScheme
 from repro.schemes.way_memoization import WayMemoizationScheme
 from repro.schemes.way_placement import WayPlacementScheme
 from repro.schemes.way_prediction import WayPredictionScheme
-from repro.trace.events import SEQUENTIAL_SLOT
+from repro.trace.events import SEQUENTIAL_SLOT, LineEventTrace
 from tests.scheme_helpers import TINY_GEOMETRY, events_from
 
 
@@ -131,6 +133,147 @@ def test_determinism_across_runs(specs):
         first = factory().run(events)
         second = factory().run(events)
         assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels (repro.engine.kernels) against the reference schemes.
+# The kernels promise *bit-identical* FetchCounters — every field, not just
+# the energy-relevant ones — so these compare whole counter objects.
+# ---------------------------------------------------------------------------
+
+#: Geometries spanning set counts, associativities, and line sizes.
+KERNEL_GEOMETRIES = [
+    TINY_GEOMETRY,
+    CacheGeometry(512, 8, 16),
+    CacheGeometry(1024, 4, 32),
+    CacheGeometry(2048, 32, 32),
+]
+
+
+def random_events(
+    rng: np.random.Generator, n: int, num_lines: int, line_size: int
+) -> LineEventTrace:
+    """A seeded stream with locality (random walk over a small line pool)."""
+    walk = np.cumsum(rng.integers(-3, 4, size=n)) % num_lines
+    # collapse adjacent repeats, which LineEventTrace forbids
+    walk[1:][walk[1:] == walk[:-1]] += 1
+    walk %= num_lines
+    keep = np.ones(n, dtype=bool)
+    keep[1:] = walk[1:] != walk[:-1]
+    lines = walk[keep]
+    m = len(lines)
+    return LineEventTrace(
+        line_size=line_size,
+        line_addrs=(lines * line_size).astype(np.int64),
+        counts=rng.integers(1, 5, size=m).astype(np.int32),
+        slots=rng.choice(
+            np.asarray([SEQUENTIAL_SLOT, 0, 1, 2, 3], dtype=np.int16), size=m
+        ),
+    )
+
+
+@pytest.mark.parametrize("geometry", KERNEL_GEOMETRIES)
+@pytest.mark.parametrize("same_line_skip", [False, True])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_vectorized_baseline_bit_identical(geometry, same_line_skip, seed):
+    rng = np.random.default_rng(seed)
+    events = random_events(rng, 500, 3 * geometry.num_lines, geometry.line_size)
+    reference = BaselineScheme(
+        geometry, itlb_entries=4, page_size=256, same_line_skip=same_line_skip
+    ).run(events)
+    fast = fast_counters(
+        "baseline",
+        events,
+        geometry,
+        itlb_entries=4,
+        page_size=256,
+        same_line_skip=same_line_skip,
+    )
+    assert fast == reference
+
+
+@pytest.mark.parametrize("geometry", KERNEL_GEOMETRIES)
+@pytest.mark.parametrize("same_line_skip", [False, True])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_vectorized_way_placement_bit_identical(geometry, same_line_skip, seed):
+    rng = np.random.default_rng(100 + seed)
+    events = random_events(rng, 500, 3 * geometry.num_lines, geometry.line_size)
+    # WPA sizes from "nothing" through "part of a way" to "several ways".
+    way_size = geometry.size_bytes // geometry.ways
+    for wpa_size in (0, 256, way_size, 2 * way_size):
+        if wpa_size % 256:
+            continue
+        reference = WayPlacementScheme(
+            geometry,
+            wpa_size=wpa_size,
+            itlb_entries=4,
+            page_size=256,
+            same_line_skip=same_line_skip,
+        ).run(events)
+        fast = fast_counters(
+            "way-placement",
+            events,
+            geometry,
+            wpa_size=wpa_size,
+            itlb_entries=4,
+            page_size=256,
+            same_line_skip=same_line_skip,
+        )
+        assert fast == reference
+
+
+@pytest.mark.parametrize("hint_initial", [False, True])
+def test_vectorized_way_placement_hint_initial(hint_initial):
+    rng = np.random.default_rng(7)
+    events = random_events(rng, 200, 40, 16)
+    reference = WayPlacementScheme(
+        TINY_GEOMETRY, wpa_size=128, page_size=16, hint_initial=hint_initial
+    ).run(events)
+    fast = fast_counters(
+        "way-placement",
+        events,
+        TINY_GEOMETRY,
+        wpa_size=128,
+        page_size=16,
+        hint_initial=hint_initial,
+    )
+    assert fast == reference
+
+
+@given(event_streams())
+@settings(max_examples=60, deadline=None)
+def test_vectorized_kernels_bit_identical_on_adversarial_streams(specs):
+    """Hypothesis hunts for streams where the kernels diverge."""
+    events = events_from(specs)
+    base_ref = BaselineScheme(TINY_GEOMETRY, page_size=16).run(events)
+    assert fast_counters("baseline", events, TINY_GEOMETRY, page_size=16) == base_ref
+    for wpa_size in (0, 64, 128, 256):
+        placed_ref = WayPlacementScheme(
+            TINY_GEOMETRY, wpa_size=wpa_size, page_size=16
+        ).run(events)
+        fast = fast_counters(
+            "way-placement", events, TINY_GEOMETRY, wpa_size=wpa_size, page_size=16
+        )
+        assert fast == placed_ref
+
+
+def test_fast_counters_declines_unknown_schemes_and_options():
+    events = events_from([(0, 1)])
+    assert fast_counters("way-memoization", events, TINY_GEOMETRY) is None
+    assert fast_counters("baseline", events, TINY_GEOMETRY, l0_size=64) is None
+    assert (
+        fast_counters("way-placement", events, TINY_GEOMETRY, adaptive=True) is None
+    )
+
+
+def test_empty_trace_matches_reference():
+    events = events_from([])
+    assert fast_counters("baseline", events, TINY_GEOMETRY, page_size=16) == (
+        BaselineScheme(TINY_GEOMETRY, page_size=16).run(events)
+    )
+    assert fast_counters(
+        "way-placement", events, TINY_GEOMETRY, wpa_size=64, page_size=16
+    ) == WayPlacementScheme(TINY_GEOMETRY, wpa_size=64, page_size=16).run(events)
 
 
 @given(event_streams(), st.integers(min_value=1, max_value=13))
