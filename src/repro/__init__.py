@@ -32,7 +32,16 @@ See ``examples/`` for complete programs and ``benchmarks/`` for the
 figure-by-figure reproduction harness.
 """
 
-from repro.errors import ReproError
+from repro.errors import AnalysisError, ReproError
+from repro.analysis import (
+    AnalysisContext,
+    Analyzer,
+    Diagnostic,
+    Severity,
+    analyze_program,
+    render_json,
+    render_text,
+)
 from repro.binary import BinaryImage, emit_image, load_image
 from repro.cache import CacheGeometry, CamCache, InstructionTlb, WayHintBit, FetchCounters
 from repro.energy import (
@@ -87,6 +96,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    # analysis
+    "AnalysisContext",
+    "AnalysisError",
+    "Analyzer",
+    "Diagnostic",
+    "Severity",
+    "analyze_program",
+    "render_json",
+    "render_text",
     # binary
     "BinaryImage",
     "emit_image",

@@ -1,0 +1,53 @@
+"""repro.analysis — rule-based static diagnostics (``repro lint``).
+
+The paper's DIABLO pass rewrites binaries under a stack of invariants
+(chain ordering by execution weight, page-multiple WPA sizes, one
+(set, way) home per WPA line, conservation-respecting energy constants).
+This package checks those invariants *statically*, before a single cycle
+is simulated:
+
+* :mod:`~repro.analysis.diagnostics` — the :class:`Diagnostic` value type
+  (rule id, severity, location, message, suggested fix);
+* :mod:`~repro.analysis.registry` — rule registration with
+  ``--select``/``--ignore`` resolution and severity overrides;
+* :mod:`~repro.analysis.rules` — the concrete rule catalog: ``P``
+  (program structure), ``L`` (layout/WPA), ``C`` (config);
+* :mod:`~repro.analysis.engine` — the :class:`Analyzer` driver;
+* :mod:`~repro.analysis.reporters` — deterministic text and JSON output.
+
+Entry points: the ``repro lint`` CLI subcommand,
+``ExperimentRunner(strict=True)`` pre-flights, and
+:func:`repro.program.validate.validate_program` (now a wrapper over the
+``P`` rules).  See ``docs/analysis.md`` for the rule catalog.
+"""
+
+from repro.analysis.context import (
+    AnalysisContext,
+    GeometrySpec,
+    LayoutView,
+    ProgramView,
+)
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.engine import Analyzer, analyze_program, max_severity
+from repro.analysis.registry import DEFAULT_REGISTRY, Finding, Rule, RuleRegistry
+from repro.analysis.reporters import render_json, render_text, summarize
+
+__all__ = [
+    "AnalysisContext",
+    "Analyzer",
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "Finding",
+    "GeometrySpec",
+    "LayoutView",
+    "Location",
+    "ProgramView",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "analyze_program",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "summarize",
+]

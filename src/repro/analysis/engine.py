@@ -1,0 +1,105 @@
+"""The analyzer: run selected rules over a context, collect diagnostics.
+
+The :class:`Analyzer` is configured once (rule selection, severity
+overrides) and reused across many contexts — the CLI builds one per
+invocation, the strict experiment pre-flight keeps one per runner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import DEFAULT_REGISTRY, RuleRegistry
+from repro.errors import AnalysisError
+from repro.program.program import Program
+
+# Importing the rule modules populates DEFAULT_REGISTRY.
+from repro.analysis.rules import config_rules, layout_rules, program_rules  # noqa: F401  isort: skip
+
+__all__ = ["Analyzer", "analyze_program", "max_severity"]
+
+
+class Analyzer:
+    """Runs a rule selection over analysis contexts."""
+
+    def __init__(
+        self,
+        registry: Optional[RuleRegistry] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+        severity_overrides: Optional[Mapping[str, Severity]] = None,
+    ):
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._rules = self.registry.selection(select, ignore)
+        self._overrides = dict(severity_overrides or {})
+        for rule_id in self._overrides:
+            self.registry.get(rule_id)  # unknown ids fail loudly
+
+    @property
+    def rule_ids(self) -> List[str]:
+        return [rule.rule_id for rule in self._rules]
+
+    def run(self, context: AnalysisContext) -> List[Diagnostic]:
+        """All diagnostics for ``context``, sorted by (rule, location)."""
+        diagnostics: List[Diagnostic] = []
+        for rule in self._rules:
+            severity = self._overrides.get(rule.rule_id, rule.severity)
+            for finding in rule.check(context):
+                diagnostics.append(
+                    Diagnostic(
+                        rule_id=rule.rule_id,
+                        rule_name=rule.name,
+                        severity=severity,
+                        location=finding.location,
+                        message=finding.message,
+                        suggestion=finding.suggestion,
+                    )
+                )
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return diagnostics
+
+    def run_all(self, contexts: Iterable[AnalysisContext]) -> List[Diagnostic]:
+        """Diagnostics for many contexts merged into one sorted list."""
+        merged: List[Diagnostic] = []
+        for context in contexts:
+            merged.extend(self.run(context))
+        merged.sort(key=Diagnostic.sort_key)
+        return merged
+
+    def check_errors(self, context: AnalysisContext, what: str) -> List[Diagnostic]:
+        """Run and raise :class:`AnalysisError` on error-severity findings.
+
+        Returns the (possibly empty) list of non-error diagnostics when the
+        context is acceptable, so callers can surface warnings if they care.
+        """
+        diagnostics = self.run(context)
+        errors = [d for d in diagnostics if d.severity >= Severity.ERROR]
+        if errors:
+            rendered = "\n".join(f"  - {d.render()}" for d in errors)
+            raise AnalysisError(
+                f"{what} failed static analysis with "
+                f"{len(errors)} error(s):\n{rendered}",
+                diagnostics=diagnostics,
+            )
+        return diagnostics
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The worst severity present, or ``None`` for a clean run."""
+    worst: Optional[Severity] = None
+    for diagnostic in diagnostics:
+        if worst is None or diagnostic.severity > worst:
+            worst = diagnostic.severity
+    return worst
+
+
+def analyze_program(
+    program: Program,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Program-rule diagnostics for one built program (P rules by default)."""
+    analyzer = Analyzer(select=select if select is not None else ("P",), ignore=ignore)
+    return analyzer.run(AnalysisContext.for_program(program))

@@ -1,0 +1,58 @@
+"""Rendering diagnostics for humans (text) and machines (JSON).
+
+Both reporters consume diagnostics in any order and emit them sorted by
+``(rule id, location, message)``; the JSON form additionally serialises
+with sorted keys, so byte-identical input state yields byte-identical
+output — a hard requirement for CI diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["render_text", "render_json", "summarize"]
+
+
+def _sorted(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    """Counts per severity plus a total, with every severity present."""
+    counts = {str(severity): 0 for severity in Severity}
+    total = 0
+    for diagnostic in diagnostics:
+        counts[str(diagnostic.severity)] += 1
+        total += 1
+    counts["total"] = total
+    return counts
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """Human-readable report: one line per diagnostic plus a summary."""
+    ordered = _sorted(diagnostics)
+    lines = [diagnostic.render() for diagnostic in ordered]
+    summary = summarize(ordered)
+    if summary["total"] == 0:
+        lines.append("no problems found")
+    else:
+        lines.append(
+            f"{summary['total']} diagnostic(s): "
+            f"{summary['error']} error(s), "
+            f"{summary['warning']} warning(s), "
+            f"{summary['info']} info"
+        )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Deterministic JSON: stable diagnostic order and sorted object keys."""
+    ordered = _sorted(diagnostics)
+    payload = {
+        "diagnostics": [diagnostic.to_dict() for diagnostic in ordered],
+        "summary": summarize(ordered),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

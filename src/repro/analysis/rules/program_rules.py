@@ -1,0 +1,225 @@
+"""Program-layer rules (``P``): structural soundness of the linked program.
+
+These absorb (and extend) the checks historically hard-coded in
+:func:`repro.program.validate.validate_program`, which is now a thin
+wrapper raising :class:`~repro.errors.ProgramError` when any of them
+fires at error severity.  Message wording is kept compatible with the
+old validator where tests match on substrings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.analysis.context import AnalysisContext, ProgramView
+from repro.analysis.diagnostics import Location, Severity
+from repro.analysis.registry import Finding, rule
+from repro.program.basic_block import BasicBlock, BlockKind
+
+_TERMINATED = (BlockKind.JUMP, BlockKind.CONDJUMP, BlockKind.CALL, BlockKind.RETURN)
+_FALLS = (BlockKind.FALLTHROUGH, BlockKind.CONDJUMP, BlockKind.CALL)
+
+
+def _block_location(view: ProgramView, block: BasicBlock) -> Location:
+    return Location("program", view.name, f"{block.function}:{block.label}")
+
+
+def _function_location(view: ProgramView, name: str) -> Location:
+    return Location("program", view.name, name)
+
+
+@rule(
+    "P001",
+    "empty-block",
+    "program",
+    Severity.ERROR,
+    "A basic block contains no instructions.",
+)
+def check_empty_block(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    for block in view.blocks():
+        if block.num_instructions == 0:
+            yield Finding(
+                _block_location(view, block),
+                f"block {block.function}:{block.label} is empty",
+                "give the block a body or merge it into a neighbour",
+            )
+
+
+@rule(
+    "P002",
+    "missing-terminator",
+    "program",
+    Severity.ERROR,
+    "A block's kind promises a control-flow terminator it does not have.",
+)
+def check_missing_terminator(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    for block in view.blocks():
+        if block.kind in _TERMINATED and block.terminator is None:
+            yield Finding(
+                _block_location(view, block),
+                f"block {block.function}:{block.label} claims kind "
+                f"{block.kind.value} but has no terminator",
+                "end the block with the branch/call/return it declares",
+            )
+
+
+@rule(
+    "P003",
+    "interior-branch",
+    "program",
+    Severity.ERROR,
+    "A control-flow instruction appears before the end of a block.",
+)
+def check_interior_branch(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    for block in view.blocks():
+        if any(instr.is_branch for instr in block.instructions[:-1]):
+            yield Finding(
+                _block_location(view, block),
+                f"block {block.function}:{block.label} has an interior branch",
+                "split the block at the branch: blocks are single-exit",
+            )
+
+
+@rule(
+    "P004",
+    "dangling-successor",
+    "program",
+    Severity.ERROR,
+    "A successor label (fall-through or branch target) resolves to no block.",
+)
+def check_dangling_successor(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    for block in view.blocks():
+        if block.kind in _FALLS:
+            if block.fall_label is None:
+                yield Finding(
+                    _block_location(view, block),
+                    f"block {block.function}:{block.label} ({block.kind.value}) "
+                    f"lacks a fall-through successor",
+                    "declare the block that physically follows it",
+                )
+            elif view.resolve_label(block, block.fall_label) is None:
+                yield Finding(
+                    _block_location(view, block),
+                    f"block {block.function}:{block.label} falls through to "
+                    f"unknown label {block.fall_label!r}",
+                    "fix the label or declare the missing block",
+                )
+        if block.kind in (BlockKind.JUMP, BlockKind.CONDJUMP):
+            if (
+                block.taken_label is None
+                or view.resolve_label(block, block.taken_label) is None
+            ):
+                yield Finding(
+                    _block_location(view, block),
+                    f"block {block.function}:{block.label} branches to "
+                    f"unknown label {block.taken_label!r}",
+                    "fix the branch target or declare the missing block",
+                )
+
+
+@rule(
+    "P005",
+    "duplicate-fallthrough",
+    "program",
+    Severity.ERROR,
+    "Two blocks claim the same block as their fall-through successor.",
+)
+def check_duplicate_fallthrough(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    fall_in: Dict[int, BasicBlock] = {}
+    for block in view.blocks():
+        if block.fall_label is None:
+            continue
+        fall_uid = view.resolve_label(block, block.fall_label)
+        if fall_uid is None:
+            continue  # P004's problem
+        if fall_uid in fall_in:
+            yield Finding(
+                _block_location(view, block),
+                f"block uid {fall_uid} is the fall-through target of both uid "
+                f"{fall_in[fall_uid].uid} and uid {block.uid}",
+                "a block can physically follow only one predecessor; "
+                "insert an explicit jump",
+            )
+        else:
+            fall_in[fall_uid] = block
+
+
+@rule(
+    "P006",
+    "undefined-callee",
+    "program",
+    Severity.ERROR,
+    "A call block names a function the program does not define.",
+)
+def check_undefined_callee(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    for block in view.blocks():
+        if block.kind is BlockKind.CALL and block.callee not in view.functions:
+            yield Finding(
+                _block_location(view, block),
+                f"block {block.function}:{block.label} calls undefined "
+                f"function {block.callee!r}",
+                "define the callee or retarget the call",
+            )
+
+
+@rule(
+    "P007",
+    "function-no-exit",
+    "program",
+    Severity.ERROR,
+    "A function has neither a return nor an unconditional jump out.",
+)
+def check_function_no_exit(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None:
+        return
+    for function in view.functions.values():
+        kinds = {block.kind for block in function.blocks}
+        if BlockKind.RETURN not in kinds and BlockKind.JUMP not in kinds:
+            yield Finding(
+                _function_location(view, function.name),
+                f"function {function.name!r} has no return and no jump; "
+                f"execution would run off its end",
+                "terminate the function with ret or an unconditional jump",
+            )
+
+
+@rule(
+    "P008",
+    "unreachable-function",
+    "program",
+    Severity.ERROR,
+    "A function's entry block cannot be reached from the program entry point.",
+)
+def check_unreachable_function(context: AnalysisContext) -> Iterator[Finding]:
+    view = context.program
+    if view is None or view.entry not in view.functions:
+        return
+    reachable = view.reachable_from_entry()
+    for function in view.functions.values():
+        if not function.blocks:
+            continue
+        if function.entry.uid not in reachable:
+            yield Finding(
+                _function_location(view, function.name),
+                f"function {function.name!r} is unreachable from the entry point",
+                "add a call site or drop the dead function",
+            )

@@ -18,13 +18,19 @@ Commands
     Run the OS's way-placement-area selection policy.
 ``cache``
     Inspect or clear the persistent trace cache (see docs/performance.md).
+``lint``
+    Static diagnostics over programs, layouts, and experiment configs
+    (see docs/analysis.md).  Targets are benchmark names or JSON config
+    files; ``--format json`` emits a stable machine-readable report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.experiments.figures import figure4, figure5, figure6
@@ -128,6 +134,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
     )
 
+    lint = sub.add_parser(
+        "lint", help="static diagnostics for programs, layouts, and configs"
+    )
+    lint.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help=(
+            "benchmark names or JSON config files "
+            "(default: every built-in benchmark)"
+        ),
+    )
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to run (e.g. P,L004)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to skip (e.g. L003)",
+    )
+    lint.add_argument(
+        "--layout",
+        default=LayoutPolicy.WAY_PLACEMENT.value,
+        choices=[policy.value for policy in LayoutPolicy],
+        help="layout policy to lint benchmarks under (default: way-placement)",
+    )
+    lint.add_argument(
+        "--wpa-kb",
+        type=int,
+        default=None,
+        help="WPA size to lint against (default: fitted to the binary)",
+    )
+    lint.add_argument("--page-kb", type=int, default=1)
+    _add_budget_arguments(lint)
+
     return parser
 
 
@@ -158,6 +204,12 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: $REPRO_CACHE_DIR or .repro_cache)"
         ),
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="lint every program+layout+config before simulating "
+        "(refuses to run on error-severity diagnostics)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -175,6 +227,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         profile_instructions=getattr(args, "profile_instructions", None),
         engine=getattr(args, "engine", None),
         cache_dir=getattr(args, "cache_dir", None),
+        strict=getattr(args, "strict", False),
     )
 
 
@@ -407,6 +460,117 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_selectors(values: Optional[List[str]]) -> Optional[List[str]]:
+    """Flatten repeated/comma-separated ``--select``/``--ignore`` values."""
+    if not values:
+        return None
+    selectors: List[str] = []
+    for value in values:
+        selectors.extend(part.strip() for part in value.split(",") if part.strip())
+    return selectors or None
+
+
+def _config_lint_context(path: str):
+    """Analysis context for a JSON experiment-config file.
+
+    Recognised keys: ``cache`` ({size_kb, ways, line_bytes, address_bits}),
+    ``energy`` (EnergyParams field overrides), ``wpa_kb``, ``page_kb``,
+    all optional; missing pieces fall back to the paper's baseline.
+    """
+    from repro.analysis import AnalysisContext, GeometrySpec
+    from repro.analysis.context import _energy_mapping
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read config file {path!r}: {error}")
+    if not isinstance(data, dict):
+        raise ReproError(f"config file {path!r} must hold a JSON object")
+
+    cache_cfg: Dict[str, Any] = dict(data.get("cache") or {})
+    baseline = XSCALE_BASELINE.icache
+    geometry = GeometrySpec(
+        size_bytes=int(cache_cfg.get("size_kb", baseline.size_bytes // KB) * KB),
+        ways=int(cache_cfg.get("ways", baseline.ways)),
+        line_size=int(cache_cfg.get("line_bytes", baseline.line_size)),
+        address_bits=int(cache_cfg.get("address_bits", baseline.address_bits)),
+    )
+    wpa_kb = data.get("wpa_kb")
+    page_kb = data.get("page_kb", XSCALE_BASELINE.page_size // KB)
+    return AnalysisContext(
+        subject=os.path.basename(path),
+        geometry=geometry,
+        energy=_energy_mapping(dict(data.get("energy") or {})),
+        wpa_size=int(wpa_kb * KB) if wpa_kb is not None else None,
+        page_size=int(page_kb * KB),
+    )
+
+
+def _benchmark_lint_context(
+    runner: ExperimentRunner,
+    benchmark: str,
+    policy: LayoutPolicy,
+    wpa_kb: Optional[int],
+    page_kb: int,
+):
+    """Analysis context for one built-in benchmark under ``policy``."""
+    from repro.analysis import AnalysisContext
+    from repro.utils.bitops import align_up
+
+    machine = XSCALE_BASELINE
+    layout = runner.layout(benchmark, policy)
+    page_size = page_kb * KB
+    if wpa_kb is None:
+        wpa_size = min(
+            machine.icache.size_bytes, align_up(layout.end_address, page_size)
+        )
+    else:
+        wpa_size = wpa_kb * KB
+    return AnalysisContext.for_experiment(
+        program=runner.workload(benchmark).program,
+        layout=layout,
+        block_counts=runner.profile(benchmark).block_counts,
+        geometry=machine.icache,
+        wpa_size=wpa_size,
+        page_size=page_size,
+        energy=runner.energy_params,
+        subject=benchmark,
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Analyzer, Severity, max_severity, render_json, render_text
+
+    analyzer = Analyzer(
+        select=_split_selectors(args.select), ignore=_split_selectors(args.ignore)
+    )
+    runner = _make_runner(args)
+    policy = LayoutPolicy(args.layout)
+    targets = args.targets or list(benchmark_names())
+    contexts = []
+    for target in targets:
+        if target in benchmark_names():
+            contexts.append(
+                _benchmark_lint_context(
+                    runner, target, policy, args.wpa_kb, args.page_kb
+                )
+            )
+        elif target.endswith(".json") or os.path.exists(target):
+            contexts.append(_config_lint_context(target))
+        else:
+            raise ReproError(
+                f"unknown lint target {target!r}: neither a benchmark name "
+                f"nor a config file"
+            )
+    diagnostics = analyzer.run_all(contexts)
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 2 if max_severity(diagnostics) is Severity.ERROR else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine.store import TraceStore
 
@@ -450,6 +614,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -20,6 +20,7 @@ __all__ = [
     "EnergyModelError",
     "WorkloadError",
     "ExperimentError",
+    "AnalysisError",
 ]
 
 
@@ -69,3 +70,15 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment grid or figure request is invalid."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis failed or (in strict mode) found error diagnostics.
+
+    When raised by a strict pre-flight the offending diagnostics are
+    attached as the ``diagnostics`` attribute.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics) if diagnostics is not None else []

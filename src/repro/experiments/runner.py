@@ -90,6 +90,7 @@ class ExperimentRunner:
         seed: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         engine: Optional[str] = None,
+        strict: bool = False,
     ):
         self.eval_instructions = (
             eval_instructions
@@ -108,6 +109,7 @@ class ExperimentRunner:
         self.seed = seed
         self.store = TraceStore.resolve(cache_dir)
         self.engine = engine
+        self.strict = strict
 
         self._workloads: Dict[str, Workload] = {}
         self._profiles: Dict[str, ProfileData] = {}
@@ -117,6 +119,7 @@ class ExperimentRunner:
         self._mem_fractions: Dict[str, float] = {}
         self._reports: Dict[tuple, SimulationReport] = {}
         self._digests: Dict[str, str] = {}
+        self._preflighted: set = set()
 
     # ------------------------------------------------------------------
     # Persistent-cache keys
@@ -297,6 +300,8 @@ class ExperimentRunner:
         one.  Pass ``layout_policy`` to break that pairing (ablations).
         """
         layout_policy = self._resolve_layout_policy(scheme, layout_policy)
+        if self.strict:
+            self.preflight(benchmark, layout_policy, machine, wpa_size)
         key = self._report_key(
             benchmark, scheme, machine, wpa_size, layout_policy, same_line_skip, l0_size
         )
@@ -339,6 +344,46 @@ class ExperimentRunner:
         return run.normalise(baseline)
 
     # ------------------------------------------------------------------
+    # Strict pre-flight (static analysis before simulation)
+    # ------------------------------------------------------------------
+    def preflight(
+        self,
+        benchmark: str,
+        layout_policy: LayoutPolicy,
+        machine: MachineConfig = XSCALE_BASELINE,
+        wpa_size: int = 0,
+    ) -> None:
+        """Lint the program, layout, and config behind one simulation.
+
+        Raises :class:`~repro.errors.AnalysisError` when any error-severity
+        diagnostic is found; called automatically before every simulation
+        when the runner was built with ``strict=True``.  Results are
+        memoised per (benchmark, layout, geometry, WPA) so sweeps pay the
+        analysis once.
+        """
+        from repro.analysis import AnalysisContext, Analyzer
+
+        key = (benchmark, layout_policy, machine.icache, wpa_size)
+        if key in self._preflighted:
+            return
+        context = AnalysisContext.for_experiment(
+            program=self.workload(benchmark).program,
+            layout=self.layout(benchmark, layout_policy),
+            block_counts=self.profile(benchmark).block_counts,
+            geometry=machine.icache,
+            wpa_size=wpa_size or None,
+            page_size=machine.page_size,
+            energy=self.energy_params,
+            subject=benchmark,
+        )
+        Analyzer().check_errors(
+            context,
+            f"benchmark {benchmark!r} ({layout_policy.value} layout, "
+            f"WPA {wpa_size}B)",
+        )
+        self._preflighted.add(key)
+
+    # ------------------------------------------------------------------
     # Parallel grids
     # ------------------------------------------------------------------
     def has_report(self, cell: GridCell) -> bool:
@@ -359,6 +404,7 @@ class ExperimentRunner:
             "seed": self.seed,
             "cache_dir": str(self.store.root) if self.store else "off",
             "engine": self.engine,
+            "strict": self.strict,
         }
 
     def run_grid(

@@ -2,90 +2,40 @@
 
 :class:`~repro.program.program.Program` already guarantees referential
 integrity (unique uids/labels, resolvable targets) during construction;
-:func:`validate_program` layers on the semantic rules the rest of the system
-relies on and reports *all* violations at once.
+:func:`validate_program` layers on the semantic rules the rest of the
+system relies on and reports *all* violations at once.
+
+Since the introduction of :mod:`repro.analysis` this module is a thin
+compatibility wrapper: the checks themselves live in the ``P``-prefixed
+rules of :mod:`repro.analysis.rules.program_rules`, and this function
+simply runs them and converts error-severity diagnostics into the
+historical :class:`ProgramError` (one exception listing every problem).
 """
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.errors import ProgramError
-from repro.program.basic_block import BlockKind
 from repro.program.program import Program
 
 __all__ = ["validate_program"]
 
 
 def validate_program(program: Program) -> None:
-    """Raise :class:`ProgramError` listing every structural problem found."""
-    problems: List[str] = []
+    """Raise :class:`ProgramError` listing every structural problem found.
 
-    for function in program.functions.values():
-        has_return = any(
-            block.kind is BlockKind.RETURN for block in function.blocks
-        )
-        terminal_jump = any(
-            block.kind is BlockKind.JUMP for block in function.blocks
-        )
-        if not has_return and not terminal_jump:
-            problems.append(
-                f"function {function.name!r} has no return and no jump; "
-                f"execution would run off its end"
-            )
+    Equivalent to running the analysis engine's program rules and failing
+    on any error-severity diagnostic; use :func:`repro.analysis.analyze_program`
+    directly to get the structured diagnostics instead of an exception.
+    """
+    # Imported lazily: repro.analysis imports repro.program submodules, so a
+    # top-level import here would recurse during package initialisation.
+    from repro.analysis import Severity, analyze_program
 
-        for block in function.blocks:
-            if block.kind is BlockKind.CALL and block.callee == function.name:
-                # Direct recursion is legal; just sanity-check the callee exists
-                pass
-            if block.num_instructions == 0:
-                problems.append(f"block {function.name}:{block.label} is empty")
-            terminator = block.terminator
-            if block.kind in (BlockKind.JUMP, BlockKind.CONDJUMP, BlockKind.CALL, BlockKind.RETURN):
-                if terminator is None:
-                    problems.append(
-                        f"block {function.name}:{block.label} claims kind "
-                        f"{block.kind.value} but has no terminator"
-                    )
-            for instruction in block.instructions[:-1]:
-                if instruction.is_branch:
-                    problems.append(
-                        f"block {function.name}:{block.label} has an interior branch"
-                    )
-                    break
-
-    # Each block may be the fall-through target of at most one predecessor:
-    # a block can only physically follow one other block, and the layout
-    # engine has no jump-insertion fixup pass.
-    fall_in: dict = {}
-    for block in program.blocks():
-        if block.fall_label is None:
-            continue
-        if ":" in block.fall_label:
-            func, _, label = block.fall_label.partition(":")
-        else:
-            func, label = block.function, block.fall_label
-        try:
-            fall_uid = program.uid_of_label(func, label)
-        except ProgramError:
-            continue  # unresolvable labels were reported at ICFG build time
-        if fall_uid in fall_in:
-            problems.append(
-                f"block uid {fall_uid} is the fall-through target of both uid "
-                f"{fall_in[fall_uid]} and uid {block.uid}"
-            )
-        else:
-            fall_in[fall_uid] = block.uid
-
-    # Entry function must be reachable trivially; warn about unreachable code
-    # only when a *function entry* is unreachable via the ICFG (dead function).
-    reachable = set(program.cfg.reachable_from(program.entry_block.uid))
-    for function in program.functions.values():
-        if function.entry.uid not in reachable:
-            problems.append(
-                f"function {function.name!r} is unreachable from the entry point"
-            )
-
+    problems = [
+        diagnostic.message
+        for diagnostic in analyze_program(program)
+        if diagnostic.severity >= Severity.ERROR
+    ]
     if problems:
         raise ProgramError(
             f"program {program.name!r} failed validation:\n  - "

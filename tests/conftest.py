@@ -63,6 +63,46 @@ def fast_runner():
 
 
 @pytest.fixture(scope="session")
+def lint_all_workloads():
+    """Static-analysis diagnostics for every bundled synthetic workload.
+
+    Runs the full rule set over each benchmark's program, way-placement
+    layout, profile, and the XScale cache geometry with a fitted WPA.
+    Session-scoped because profiling all benchmarks is the expensive part.
+    """
+    from repro.analysis import Analyzer, AnalysisContext
+    from repro.layout.placement import LayoutPolicy
+    from repro.sim.machine import XSCALE_BASELINE
+    from repro.utils.bitops import align_up
+    from repro.workloads import benchmark_names
+
+    runner = ExperimentRunner(
+        eval_instructions=20_000, profile_instructions=8_000
+    )
+    machine = XSCALE_BASELINE
+    analyzer = Analyzer()
+    results = {}
+    for benchmark in benchmark_names():
+        layout = runner.layout(benchmark, LayoutPolicy.WAY_PLACEMENT)
+        wpa_size = min(
+            machine.icache.size_bytes,
+            align_up(layout.end_address, machine.page_size),
+        )
+        context = AnalysisContext.for_experiment(
+            program=runner.workload(benchmark).program,
+            layout=layout,
+            block_counts=runner.profile(benchmark).block_counts,
+            geometry=machine.icache,
+            wpa_size=wpa_size,
+            page_size=machine.page_size,
+            energy=runner.energy_params,
+            subject=benchmark,
+        )
+        results[benchmark] = analyzer.run(context)
+    return results
+
+
+@pytest.fixture(scope="session")
 def crc_workload():
     return load_benchmark("crc")
 

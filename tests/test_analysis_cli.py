@@ -1,0 +1,100 @@
+"""Tests for the ``repro lint`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+FAST = ["--eval-instructions", "20000", "--profile-instructions", "8000"]
+
+
+def _bad_config(tmp_path, **overrides):
+    data = {
+        "cache": {"size_kb": 3, "ways": 3},
+        "wpa_kb": 1,
+        "page_kb": 2,
+    }
+    data.update(overrides)
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def _good_config(tmp_path):
+    path = tmp_path / "good.json"
+    path.write_text(json.dumps({"cache": {"size_kb": 32, "ways": 32}}))
+    return str(path)
+
+
+def test_lint_clean_benchmark_text(capsys):
+    assert main(["lint", "crc", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "no problems found" in out
+
+
+def test_lint_clean_benchmark_json(capsys):
+    assert main(["lint", "crc", "--format", "json", *FAST]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["diagnostics"] == []
+    assert payload["summary"]["total"] == 0
+
+
+def test_lint_bad_config_exits_nonzero(tmp_path, capsys):
+    assert main(["lint", _bad_config(tmp_path), *FAST]) == 2
+    out = capsys.readouterr().out
+    assert "C003" in out  # non-power-of-two geometry
+    assert "L004" in out  # WPA not a page multiple
+
+
+def test_lint_good_config_exits_zero(tmp_path, capsys):
+    assert main(["lint", _good_config(tmp_path), *FAST]) == 0
+    assert "no problems found" in capsys.readouterr().out
+
+
+def test_lint_ignore_downgrades_exit_code(tmp_path, capsys):
+    path = _bad_config(tmp_path)
+    assert main(["lint", path, "--ignore", "C003,L004", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "C003" not in out and "L004" not in out
+
+
+def test_lint_select_restricts_rules(tmp_path, capsys):
+    path = _bad_config(tmp_path)
+    assert main(["lint", path, "--select", "L", *FAST]) == 2
+    out = capsys.readouterr().out
+    assert "L004" in out and "C003" not in out
+
+
+def test_lint_json_output_is_deterministic(tmp_path, capsys):
+    path = _bad_config(tmp_path)
+    outputs = []
+    for _ in range(2):
+        main(["lint", path, "--format", "json", *FAST])
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+    records = json.loads(outputs[0])["diagnostics"]
+    keys = [(r["rule"], r["location"]["detail"]) for r in records]
+    assert keys == sorted(keys)
+
+
+def test_lint_unknown_target_errors(capsys):
+    assert main(["lint", "no-such-benchmark", *FAST]) == 1
+    assert "unknown lint target" in capsys.readouterr().err
+
+
+def test_lint_unreadable_config_errors(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    assert main(["lint", str(path), *FAST]) == 1
+    assert "cannot read config file" in capsys.readouterr().err
+
+
+def test_lint_unknown_selector_errors(capsys):
+    assert main(["lint", "crc", "--select", "Z", *FAST]) == 1
+    assert "matches no rule" in capsys.readouterr().err
+
+
+def test_lint_all_benchmarks_default(capsys):
+    assert main(["lint", *FAST]) == 0
+    assert "no problems found" in capsys.readouterr().out

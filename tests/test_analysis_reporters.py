@@ -1,0 +1,64 @@
+"""Reporter output must be deterministic regardless of input order."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.analysis import Diagnostic, Location, Severity, render_json, render_text, summarize
+
+
+def _diagnostics():
+    diagnostics = []
+    for rule_id in ("C003", "L001", "P004"):
+        for detail in ("beta", "alpha"):
+            diagnostics.append(
+                Diagnostic(
+                    rule_id=rule_id,
+                    rule_name="rule-" + rule_id.lower(),
+                    severity=Severity.ERROR if rule_id.startswith("P") else Severity.WARNING,
+                    location=Location("program", "bench", detail),
+                    message=f"{rule_id} at {detail}",
+                    suggestion="fix it" if rule_id == "P004" else None,
+                )
+            )
+    return diagnostics
+
+
+def test_render_text_sorted_and_summarised():
+    text = render_text(_diagnostics())
+    lines = text.splitlines()
+    rule_ids = [line.split()[1] for line in lines if line.startswith("program:")]
+    assert rule_ids == sorted(rule_ids)
+    assert lines[-1] == "6 diagnostic(s): 2 error(s), 4 warning(s), 0 info"
+    assert any(line.strip().startswith("hint:") for line in lines)
+
+
+def test_render_text_empty():
+    assert render_text([]) == "no problems found"
+
+
+def test_render_json_is_stable_under_shuffling():
+    diagnostics = _diagnostics()
+    rng = random.Random(7)
+    outputs = set()
+    for _ in range(5):
+        shuffled = list(diagnostics)
+        rng.shuffle(shuffled)
+        outputs.add(render_json(shuffled))
+    assert len(outputs) == 1
+
+
+def test_render_json_shape():
+    payload = json.loads(render_json(_diagnostics()))
+    assert set(payload) == {"diagnostics", "summary"}
+    records = payload["diagnostics"]
+    assert [r["rule"] for r in records] == sorted(r["rule"] for r in records)
+    assert payload["summary"]["total"] == 6
+    assert payload["summary"]["error"] == 2
+    assert records[-1]["suggestion"] == "fix it"
+
+
+def test_summarize_counts():
+    summary = summarize(_diagnostics())
+    assert summary == {"error": 2, "warning": 4, "info": 0, "total": 6}
