@@ -242,6 +242,7 @@ class AnalysisContext:
     program: Optional[ProgramView] = None
     layout: Optional[LayoutView] = None
     block_counts: Optional[Mapping[int, int]] = None
+    edge_counts: Optional[Mapping[Tuple[int, int], int]] = None
     geometry: Optional[GeometrySpec] = None
     wpa_size: Optional[int] = None
     page_size: Optional[int] = None
@@ -259,6 +260,7 @@ class AnalysisContext:
         program: Optional[Program] = None,
         layout: Optional[Layout] = None,
         block_counts: Optional[Mapping[int, int]] = None,
+        edge_counts: Optional[Mapping[Tuple[int, int], int]] = None,
         geometry: Optional[CacheGeometry] = None,
         wpa_size: Optional[int] = None,
         page_size: Optional[int] = None,
@@ -274,6 +276,7 @@ class AnalysisContext:
             program=ProgramView.from_program(program) if program is not None else None,
             layout=LayoutView.from_layout(layout) if layout is not None else None,
             block_counts=block_counts,
+            edge_counts=edge_counts,
             geometry=(
                 GeometrySpec.from_geometry(geometry) if geometry is not None else None
             ),

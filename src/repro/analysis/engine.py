@@ -17,6 +17,7 @@ from repro.program.program import Program
 
 # Importing the rule modules populates DEFAULT_REGISTRY.
 from repro.analysis.rules import config_rules, layout_rules, program_rules  # noqa: F401  isort: skip
+from repro.verify import rules as verify_rules  # noqa: F401  isort: skip
 
 __all__ = ["Analyzer", "analyze_program", "max_severity"]
 

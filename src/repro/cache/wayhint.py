@@ -26,6 +26,11 @@ class WayHintBit:
         self.false_positives = 0  # said WPA, was not (costs a second access)
         self.false_negatives = 0  # said non-WPA, was WPA (lost saving)
 
+    @property
+    def bit(self) -> bool:
+        """The current hint value, without counting a prediction."""
+        return self._bit
+
     def predict(self) -> bool:
         self.predictions += 1
         return self._bit

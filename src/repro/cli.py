@@ -22,6 +22,10 @@ Commands
     Static diagnostics over programs, layouts, and experiment configs
     (see docs/analysis.md).  Targets are benchmark names or JSON config
     files; ``--format json`` emits a stable machine-readable report.
+``verify``
+    Full workload certification (see docs/verification.md): every lint
+    and dataflow-verifier rule, the symbolic WPA placement proof, and a
+    sanitized kernel replay.  Exit 2 when any workload fails.
 """
 
 from __future__ import annotations
@@ -174,6 +178,48 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--page-kb", type=int, default=1)
     _add_budget_arguments(lint)
 
+    verify = sub.add_parser(
+        "verify", help="certify workloads: dataflow verifier + WPA proof + sanitizer"
+    )
+    verify.add_argument(
+        "targets",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmarks to certify (default: every built-in benchmark)",
+    )
+    verify.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="certify the full benchmark suite (explicit form of the default)",
+    )
+    verify.add_argument("--format", default="text", choices=["text", "json"])
+    verify.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to run (e.g. V,P)",
+    )
+    verify.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to skip (e.g. C003)",
+    )
+    verify.add_argument(
+        "--layout",
+        default=LayoutPolicy.WAY_PLACEMENT.value,
+        choices=[policy.value for policy in LayoutPolicy],
+        help="layout policy to certify under (default: way-placement)",
+    )
+    verify.add_argument(
+        "--wpa-kb",
+        type=int,
+        default=None,
+        help="WPA size to certify against (default: fitted to the binary)",
+    )
+    verify.add_argument("--page-kb", type=int, default=1)
+    _add_budget_arguments(verify)
+
     return parser
 
 
@@ -210,6 +256,12 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         help="lint every program+layout+config before simulating "
         "(refuses to run on error-severity diagnostics)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="check sanitizer invariants on every simulation "
+        "(see docs/verification.md; fails loudly on any violation)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -228,6 +280,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         engine=getattr(args, "engine", None),
         cache_dir=getattr(args, "cache_dir", None),
         strict=getattr(args, "strict", False),
+        sanitize=getattr(args, "sanitize", False),
     )
 
 
@@ -527,10 +580,12 @@ def _benchmark_lint_context(
         )
     else:
         wpa_size = wpa_kb * KB
+    profile = runner.profile(benchmark)
     return AnalysisContext.for_experiment(
         program=runner.workload(benchmark).program,
         layout=layout,
-        block_counts=runner.profile(benchmark).block_counts,
+        block_counts=profile.block_counts,
+        edge_counts=profile.edge_counts,
         geometry=machine.icache,
         wpa_size=wpa_size,
         page_size=page_size,
@@ -569,6 +624,50 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(diagnostics))
     return 2 if max_severity(diagnostics) is Severity.ERROR else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis import Analyzer
+    from repro.verify.certify import (
+        certify_workload,
+        render_certificates_json,
+        render_certificates_text,
+    )
+
+    if args.all_workloads and args.targets:
+        raise ReproError("--all-workloads cannot be combined with explicit targets")
+    targets = args.targets or list(benchmark_names())
+    _validate_benchmarks(targets)
+    analyzer = Analyzer(
+        select=_split_selectors(args.select), ignore=_split_selectors(args.ignore)
+    )
+    runner = _make_runner(args)
+    policy = LayoutPolicy(args.layout)
+    started = time.perf_counter()
+    certificates = [
+        certify_workload(
+            runner,
+            benchmark,
+            policy=policy,
+            wpa_size=args.wpa_kb * KB if args.wpa_kb is not None else None,
+            page_size=args.page_kb * KB,
+            analyzer=analyzer,
+        )
+        for benchmark in targets
+    ]
+    elapsed = time.perf_counter() - started
+    if args.format == "json":
+        print(render_certificates_json(certificates))
+    else:
+        print(render_certificates_text(certificates))
+    # Wall time goes to stderr so stdout stays byte-for-byte deterministic.
+    print(
+        f"verified {len(certificates)} workload(s) in {elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    return 0 if all(certificate.ok for certificate in certificates) else 2
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -616,6 +715,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

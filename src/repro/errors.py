@@ -21,6 +21,7 @@ __all__ = [
     "WorkloadError",
     "ExperimentError",
     "AnalysisError",
+    "SanitizerError",
 ]
 
 
@@ -82,3 +83,15 @@ class AnalysisError(ReproError):
     def __init__(self, message: str, diagnostics=None):
         super().__init__(message)
         self.diagnostics = list(diagnostics) if diagnostics is not None else []
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer caught a model-invariant violation.
+
+    The concrete :class:`~repro.verify.sanitizer.SanitizerViolation`
+    records are attached as the ``violations`` attribute.
+    """
+
+    def __init__(self, message: str, violations=None):
+        super().__init__(message)
+        self.violations = list(violations) if violations is not None else []

@@ -91,6 +91,7 @@ class ExperimentRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         engine: Optional[str] = None,
         strict: bool = False,
+        sanitize: bool = False,
     ):
         self.eval_instructions = (
             eval_instructions
@@ -110,6 +111,7 @@ class ExperimentRunner:
         self.store = TraceStore.resolve(cache_dir)
         self.engine = engine
         self.strict = strict
+        self.sanitize = sanitize
 
         self._workloads: Dict[str, Workload] = {}
         self._profiles: Dict[str, ProfileData] = {}
@@ -308,7 +310,11 @@ class ExperimentRunner:
         if key not in self._reports:
             events = self.events(benchmark, layout_policy, machine.icache.line_size)
             simulator = Simulator(
-                machine, self.energy_params, self.organisation, engine=self.engine
+                machine,
+                self.energy_params,
+                self.organisation,
+                engine=self.engine,
+                sanitize=self.sanitize,
             )
             self._reports[key] = simulator.run_events(
                 events,
@@ -370,6 +376,7 @@ class ExperimentRunner:
             program=self.workload(benchmark).program,
             layout=self.layout(benchmark, layout_policy),
             block_counts=self.profile(benchmark).block_counts,
+            edge_counts=self.profile(benchmark).edge_counts,
             geometry=machine.icache,
             wpa_size=wpa_size or None,
             page_size=machine.page_size,
@@ -405,6 +412,7 @@ class ExperimentRunner:
             "cache_dir": str(self.store.root) if self.store else "off",
             "engine": self.engine,
             "strict": self.strict,
+            "sanitize": self.sanitize,
         }
 
     def run_grid(

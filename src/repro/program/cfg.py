@@ -67,11 +67,27 @@ class ControlFlowGraph:
         return list(self._predecessors[uid])
 
     def fallthrough_successor(self, uid: int) -> int:
-        """Return the uid reached by falling through ``uid``, or -1."""
+        """The uid reached by falling through ``uid``.
+
+        Raises :class:`~repro.errors.ProgramError` when the block has no
+        fall-through or continuation edge (jumps and returns); callers that
+        merely probe for one should use :meth:`has_fallthrough` first.
+        """
         for edge in self._successors[uid]:
             if edge.kind in (EdgeKind.FALLTHROUGH, EdgeKind.CONTINUATION):
                 return edge.dst
-        return -1
+        block = self._blocks[uid]
+        raise ProgramError(
+            f"block {block.function}:{block.label} ({block.kind.value}) "
+            f"has no fall-through successor"
+        )
+
+    def has_fallthrough(self, uid: int) -> bool:
+        """Does ``uid`` have a fall-through or continuation edge?"""
+        return any(
+            edge.kind in (EdgeKind.FALLTHROUGH, EdgeKind.CONTINUATION)
+            for edge in self._successors[uid]
+        )
 
     def reachable_from(self, uid: int) -> List[int]:
         """All block uids reachable from ``uid`` following any edge kind."""

@@ -58,6 +58,7 @@ class Simulator:
         energy_params: Optional[EnergyParams] = None,
         organisation: str = "cam",
         engine: Optional[str] = None,
+        sanitize: bool = False,
     ):
         self.machine = machine
         self.energy_params = (
@@ -65,6 +66,7 @@ class Simulator:
         )
         self.organisation = organisation
         self.engine = _resolve_engine(engine)
+        self.sanitize = sanitize
         self._processor_model = ProcessorEnergyModel(self.energy_params)
 
     def run_events(
@@ -108,6 +110,15 @@ class Simulator:
         counters = None
         if self.engine != "reference" and scheme in FAST_SCHEMES:
             counters = fast_counters(scheme, events, machine.icache, **options)
+            if counters is not None and self.sanitize:
+                # Fast path: the kernels keep no live state to inspect, so
+                # the sanitizer re-derives the invariants from the arrays.
+                from repro.verify.sanitizer import raise_if_violations, sanitize_counters
+
+                raise_if_violations(
+                    sanitize_counters(scheme, events, machine.icache, counters, options),
+                    scheme,
+                )
         if counters is None:
             if self.engine == "vector":
                 raise SchemeError(
@@ -115,7 +126,12 @@ class Simulator:
                     "vectorized kernel; use engine='auto' or 'reference'"
                 )
             fetch_scheme = make_scheme(scheme, machine.icache, **options)
-            counters = fetch_scheme.run(events)
+            if self.sanitize:
+                from repro.verify.sanitizer import SanitizerHook
+
+                counters = SanitizerHook(fetch_scheme).run(events)
+            else:
+                counters = fetch_scheme.run(events)
 
         cache_model = CacheEnergyModel(
             machine.icache,
@@ -126,6 +142,10 @@ class Simulator:
             l0_size=l0_size if scheme == "filter-cache" else 0,
         )
         breakdown = cache_model.energy(counters)
+        if self.sanitize:
+            from repro.verify.sanitizer import check_energy, raise_if_violations
+
+            raise_if_violations(check_energy(counters, breakdown, cache_model), scheme)
         cycles = cycles_for_run(counters, machine)
         processor = self._processor_model.report(
             counters, breakdown, cycles, mem_fraction

@@ -1,0 +1,158 @@
+"""The symbolic way-placement proof.
+
+The paper's energy argument rests on one structural property: every line
+of the way-placement area (WPA, the prefix ``[0, wpa_size)`` of the
+binary) has exactly one home ``(set, way)``, so a predicted access may
+precharge that single way and still be a complete membership test.
+
+For a sound power-of-two geometry the home of address ``a`` is
+
+* ``set(a) = (a >> offset_bits) & (num_sets - 1)``
+* ``way(a) = tag(a) & (ways - 1)``  with  ``tag(a) = a >> (offset_bits + set_bits)``
+
+which equals the arithmetic mapping ``line = a / line_size``,
+``set = line mod num_sets``, ``way = (line / num_sets) mod ways``:
+consecutive lines sweep every set, then every way, covering each
+``(set, way)`` exactly once per cache capacity.  The proof here does not
+*assume* that equivalence — it enumerates the WPA line by line,
+extracts the home through the bit-sliced path (what the cache hardware
+model does), cross-checks it against the arithmetic derivation and the
+``(tag, set) -> address`` reconstruction, and certifies:
+
+1. **injectivity** — no two WPA lines share a home,
+2. **extraction consistency** — bit slicing agrees with arithmetic,
+3. **I-TLB representability** — the WPA boundary falls on a page
+   boundary, so the per-page way-placement bit can represent it.
+
+Soundly-shaped WPAs larger than one cache capacity wrap with period
+``size_bytes``; the proof enumerates one capacity and counts the
+wrapped conflicts arithmetically instead of looping over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.context import GeometrySpec
+
+__all__ = ["WpaProof", "prove_wpa_placement"]
+
+#: How many concrete witnesses to keep per failure class.
+_MAX_EXAMPLES = 4
+
+
+@dataclass(frozen=True)
+class WpaProof:
+    """Outcome of symbolically enumerating a way-placement area."""
+
+    wpa_size: int
+    line_size: int
+    num_lines: int
+    distinct_homes: int
+    num_conflicts: int
+    #: Up to ``_MAX_EXAMPLES`` witnesses ``(first line address, clashing line address)``.
+    conflicts: Tuple[Tuple[int, int], ...]
+    #: Up to ``_MAX_EXAMPLES`` line addresses where bit slicing disagrees
+    #: with the arithmetic mapping or fails the address round-trip.
+    extraction_mismatches: Tuple[int, ...]
+    #: The page split by the WPA boundary, or ``None`` when page-aligned.
+    straddled_page: Optional[int]
+
+    @property
+    def injective(self) -> bool:
+        return self.num_conflicts == 0
+
+    @property
+    def extraction_consistent(self) -> bool:
+        return not self.extraction_mismatches
+
+    @property
+    def itlb_representable(self) -> bool:
+        return self.straddled_page is None
+
+    @property
+    def holds(self) -> bool:
+        return self.injective and self.extraction_consistent and self.itlb_representable
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wpa_size": self.wpa_size,
+            "line_size": self.line_size,
+            "num_lines": self.num_lines,
+            "distinct_homes": self.distinct_homes,
+            "num_conflicts": self.num_conflicts,
+            "conflicts": [list(pair) for pair in self.conflicts],
+            "extraction_mismatches": list(self.extraction_mismatches),
+            "straddled_page": self.straddled_page,
+            "injective": self.injective,
+            "extraction_consistent": self.extraction_consistent,
+            "itlb_representable": self.itlb_representable,
+            "holds": self.holds,
+        }
+
+
+def prove_wpa_placement(
+    geometry: GeometrySpec,
+    wpa_size: int,
+    page_size: Optional[int] = None,
+) -> WpaProof:
+    """Enumerate ``[0, wpa_size)`` and certify the (set, way) mapping."""
+    line = geometry.line_size
+    ways = geometry.ways
+    num_sets = geometry.size_bytes // max(ways * line, 1)
+
+    straddled: Optional[int] = None
+    if page_size and page_size > 0 and wpa_size > 0 and wpa_size % page_size:
+        straddled = wpa_size // page_size
+
+    if line < 1 or ways < 1 or num_sets < 1 or wpa_size <= 0:
+        return WpaProof(wpa_size, line, 0, 0, 0, (), (), straddled)
+
+    num_lines = (wpa_size + line - 1) // line
+    capacity = geometry.size_bytes
+    sound = geometry.is_sound()
+
+    homes: Dict[Tuple[int, int], int] = {}
+    conflicts: List[Tuple[int, int]] = []
+    mismatches: List[int] = []
+    num_conflicts = 0
+
+    home_shift = geometry.offset_bits + geometry.set_bits
+    enumerated = min(wpa_size, capacity) if sound else wpa_size
+    for addr in range(0, enumerated, line):
+        set_index = geometry.set_index(addr)
+        way = geometry.mandated_way(addr)
+        line_no = addr // line
+        arith_set = line_no % num_sets
+        arith_way = (line_no // num_sets) % ways
+        tag = addr >> home_shift
+        rebuilt = (tag << home_shift) | (set_index << geometry.offset_bits)
+        if (set_index, way) != (arith_set, arith_way) or rebuilt != addr:
+            if len(mismatches) < _MAX_EXAMPLES:
+                mismatches.append(addr)
+        first = homes.setdefault((set_index, way), addr)
+        if first != addr:
+            num_conflicts += 1
+            if len(conflicts) < _MAX_EXAMPLES:
+                conflicts.append((first, addr))
+
+    if sound and wpa_size > capacity:
+        # The mapping is periodic with period `capacity`: address a and
+        # a + capacity provably share a home, so every line beyond one
+        # capacity conflicts with its image one period earlier.
+        for addr in range(capacity, wpa_size, line):
+            num_conflicts += 1
+            if len(conflicts) < _MAX_EXAMPLES:
+                conflicts.append((addr - capacity, addr))
+
+    return WpaProof(
+        wpa_size,
+        line,
+        num_lines,
+        len(homes),
+        num_conflicts,
+        tuple(conflicts),
+        tuple(mismatches),
+        straddled,
+    )

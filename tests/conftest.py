@@ -88,10 +88,12 @@ def lint_all_workloads():
             machine.icache.size_bytes,
             align_up(layout.end_address, machine.page_size),
         )
+        profile = runner.profile(benchmark)
         context = AnalysisContext.for_experiment(
             program=runner.workload(benchmark).program,
             layout=layout,
-            block_counts=runner.profile(benchmark).block_counts,
+            block_counts=profile.block_counts,
+            edge_counts=profile.edge_counts,
             geometry=machine.icache,
             wpa_size=wpa_size,
             page_size=machine.page_size,

@@ -107,9 +107,9 @@ def test_registry_unknown_selector_raises():
         registry.selection(["Z"])
 
 
-def test_default_registry_has_all_three_layers():
+def test_default_registry_has_all_four_layers():
     layers = {rule.layer for rule in DEFAULT_REGISTRY}
-    assert layers == {"program", "layout", "config"}
+    assert layers == {"program", "layout", "config", "verify"}
     assert len(DEFAULT_REGISTRY) >= 10
 
 

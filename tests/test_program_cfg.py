@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ProgramError
 from repro.program.cfg import EdgeKind
 from tests.conftest import build_toy_program
 
@@ -44,7 +45,18 @@ class TestEdges:
         assert self.cfg.fallthrough_successor(
             self.uid("main", "entry")
         ) == self.uid("main", "loop_head")
-        assert self.cfg.fallthrough_successor(self.uid("main", "fin")) == -1
+
+    def test_fallthrough_successor_raises_on_returns(self):
+        fin = self.uid("main", "fin")
+        assert not self.cfg.has_fallthrough(fin)
+        with pytest.raises(ProgramError, match="fin.*no fall-through"):
+            self.cfg.fallthrough_successor(fin)
+
+    def test_has_fallthrough_matches_successor_kinds(self):
+        for block in self.program.blocks():
+            kinds = {e.kind for e in self.cfg.successors(block.uid)}
+            expected = bool(kinds & {EdgeKind.FALLTHROUGH, EdgeKind.CONTINUATION})
+            assert self.cfg.has_fallthrough(block.uid) == expected
 
     def test_reachability_covers_whole_toy_program(self):
         reachable = set(self.cfg.reachable_from(self.program.entry_block.uid))

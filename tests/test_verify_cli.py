@@ -1,0 +1,71 @@
+"""Tests for the ``repro verify`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+FAST = ["--eval-instructions", "20000", "--profile-instructions", "8000"]
+
+
+def test_verify_clean_benchmark(capsys):
+    assert main(["verify", "crc", *FAST]) == 0
+    captured = capsys.readouterr()
+    assert "certified" in captured.out
+    assert "1/1 workload(s) certified" in captured.out
+    # Wall time is recorded on stderr, keeping stdout deterministic.
+    assert "verified 1 workload(s) in" in captured.err
+
+
+def test_verify_json_payload(capsys):
+    assert main(["verify", "crc", "--format", "json", *FAST]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"] == {"certified": 1, "failed": 0, "total": 1}
+    certificate = payload["certificates"][0]
+    assert certificate["benchmark"] == "crc"
+    assert certificate["ok"] is True
+    assert certificate["wpa_proof"]["holds"] is True
+    assert certificate["sanitized"] is True
+    assert certificate["sanitizer_violations"] == []
+
+
+def test_verify_json_output_is_deterministic(capsys):
+    outputs = []
+    for _ in range(2):
+        assert main(["verify", "crc", "sha", "--format", "json", *FAST]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+
+
+def test_verify_oversized_wpa_fails(capsys):
+    # 64KB WPA on a 32KB cache: the injectivity proof must fail.
+    assert main(["verify", "crc", "--wpa-kb", "64", *FAST]) == 2
+    out = capsys.readouterr().out
+    assert "V005" in out
+    assert "FAILED" in out
+
+
+def test_verify_unaligned_wpa_fails(capsys):
+    assert main(["verify", "crc", "--wpa-kb", "1", "--page-kb", "2", *FAST]) == 2
+    out = capsys.readouterr().out
+    assert "V006" in out
+
+
+def test_verify_all_workloads_conflicts_with_targets(capsys):
+    assert main(["verify", "--all-workloads", "crc", *FAST]) == 1
+    assert "cannot be combined" in capsys.readouterr().err
+
+
+def test_verify_unknown_benchmark_errors(capsys):
+    assert main(["verify", "no-such-benchmark", *FAST]) == 1
+    assert "unknown benchmarks" in capsys.readouterr().err
+
+
+def test_verify_select_restricts_rules(capsys):
+    # Restricting to program rules still runs the proof and sanitizer, so
+    # a bad WPA fails via the proof even when V rules are deselected.
+    assert main(["verify", "crc", "--select", "P", "--wpa-kb", "64", *FAST]) == 2
+    out = capsys.readouterr().out
+    assert "V005" not in out  # the rule was deselected...
+    assert "proof=FAILS" in out  # ...but the proof still carries the verdict

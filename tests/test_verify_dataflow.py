@@ -1,0 +1,223 @@
+"""Unit tests for the whole-program dataflow analyses behind the V rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import LayoutView, ProgramView
+from repro.program import ProgramBuilder
+from repro.verify.dataflow import (
+    broken_fallthroughs,
+    build_flow_graph,
+    dominators_of,
+    entry_block_uid,
+    flow_imbalances,
+    illegal_edges,
+    immediate_dominators,
+    reverse_postorder,
+)
+
+
+def _flow_program():
+    """a ->fall b; b ->cond a | fall c; c calls helper, continues at d."""
+    builder = ProgramBuilder("flow")
+    main = builder.function("main")
+    main.block("a", 2)
+    main.block("b", 2, branch="a")
+    main.block("c", 1, call="helper")
+    main.block("d", 1, ret=True)
+    helper = builder.function("helper")
+    helper.block("h0", 1, ret=True)
+    return builder.build(entry="main")
+
+
+@pytest.fixture(scope="module")
+def program():
+    return _flow_program()
+
+
+@pytest.fixture(scope="module")
+def view(program):
+    return ProgramView.from_program(program)
+
+
+@pytest.fixture(scope="module")
+def uids(program):
+    return {
+        label: program.uid_of_label(function, label)
+        for function, label in (
+            ("main", "a"),
+            ("main", "b"),
+            ("main", "c"),
+            ("main", "d"),
+            ("helper", "h0"),
+        )
+    }
+
+
+def _good_profile(uids):
+    """Counts of the trace a b a b c h0 d — exactly flow-conserving."""
+    blocks = {uids["a"]: 2, uids["b"]: 2, uids["c"]: 1, uids["h0"]: 1, uids["d"]: 1}
+    edges = {
+        (uids["a"], uids["b"]): 2,
+        (uids["b"], uids["a"]): 1,
+        (uids["b"], uids["c"]): 1,
+        (uids["c"], uids["h0"]): 1,
+        (uids["h0"], uids["d"]): 1,
+    }
+    return blocks, edges
+
+
+# ---------------------------------------------------------------------------
+# Graph construction, RPO, dominators
+# ---------------------------------------------------------------------------
+def test_entry_block_uid(view, uids):
+    assert entry_block_uid(view) == uids["a"]
+
+
+def test_entry_block_uid_none_without_entry():
+    assert entry_block_uid(ProgramView("empty", [])) is None
+    assert build_flow_graph(ProgramView("empty", [])) is None
+
+
+def test_flow_graph_successors(view, uids):
+    graph = build_flow_graph(view)
+    assert set(graph.successors[uids["a"]]) == {uids["b"]}
+    assert set(graph.successors[uids["b"]]) == {uids["a"], uids["c"]}
+    # A call block's successors are its continuation and the callee entry.
+    assert set(graph.successors[uids["c"]]) == {uids["d"], uids["h0"]}
+    assert graph.successors[uids["d"]] == ()
+    assert set(graph.predecessors[uids["d"]]) == {uids["c"]}
+
+
+def test_reverse_postorder_starts_at_entry(view, uids):
+    graph = build_flow_graph(view)
+    order = reverse_postorder(graph)
+    assert order[0] == uids["a"]
+    assert set(order) == set(uids.values())
+    # A node appears after at least one of its predecessors.
+    position = {uid: index for index, uid in enumerate(order)}
+    assert position[uids["b"]] > position[uids["a"]]
+
+
+def test_immediate_dominators(view, uids):
+    graph = build_flow_graph(view)
+    idom = immediate_dominators(graph)
+    assert idom[uids["a"]] == uids["a"]
+    assert idom[uids["b"]] == uids["a"]
+    assert idom[uids["c"]] == uids["b"]
+    assert idom[uids["d"]] == uids["c"]
+    assert idom[uids["h0"]] == uids["c"]
+    assert dominators_of(uids["d"], idom) == [uids["c"], uids["b"], uids["a"]]
+
+
+def test_dominators_exclude_unreachable_nodes(view, uids):
+    graph = build_flow_graph(view)
+    # Remove the entry's outgoing edges: everything else becomes unreachable.
+    from repro.verify.dataflow import FlowGraph
+
+    pruned = FlowGraph(
+        graph.entry,
+        {**dict(graph.successors), uids["a"]: ()},
+        graph.predecessors,
+    )
+    idom = immediate_dominators(pruned)
+    assert set(idom) == {uids["a"]}
+
+
+# ---------------------------------------------------------------------------
+# Kirchhoff flow conservation
+# ---------------------------------------------------------------------------
+def test_consistent_profile_is_conserved(view, uids):
+    blocks, edges = _good_profile(uids)
+    assert flow_imbalances(view, blocks, edges) == []
+
+
+def test_tampered_block_count_breaks_conservation(view, uids):
+    blocks, edges = _good_profile(uids)
+    blocks[uids["b"]] += 3
+    violations = flow_imbalances(view, blocks, edges)
+    assert [v.uid for v in violations] == [uids["b"]]
+    assert violations[0].imbalance == 3
+
+
+def test_entry_block_gets_the_trace_start_credit(view, uids):
+    blocks, edges = _good_profile(uids)
+    violations = flow_imbalances(view, blocks, edges)
+    assert violations == []
+    # Removing the credit (pretend entry inflow must fully cover it)
+    # would flag the entry: its count exceeds its inflow by exactly one.
+    entry_inflow = sum(c for (_s, d), c in edges.items() if d == uids["a"])
+    assert blocks[uids["a"]] == entry_inflow + 1
+
+
+def test_tolerance_admits_small_imbalances(view, uids):
+    blocks, edges = _good_profile(uids)
+    blocks[uids["b"]] += 1
+    assert flow_imbalances(view, blocks, edges, tolerance=1) == []
+    assert flow_imbalances(view, blocks, edges, tolerance=0) != []
+
+
+# ---------------------------------------------------------------------------
+# Profile-edge legality
+# ---------------------------------------------------------------------------
+def test_consistent_profile_has_no_illegal_edges(view, uids):
+    _blocks, edges = _good_profile(uids)
+    assert illegal_edges(view, edges) == []
+
+
+def test_phantom_edge_is_illegal(view, uids):
+    _blocks, edges = _good_profile(uids)
+    edges[(uids["a"], uids["c"])] = 1  # a falls through to b, never to c
+    violations = illegal_edges(view, edges)
+    assert [(v.src, v.dst) for v in violations] == [(uids["a"], uids["c"])]
+    assert "fallthrough" in violations[0].reason
+
+
+def test_edge_to_unknown_uid_is_illegal(view, uids):
+    _blocks, edges = _good_profile(uids)
+    edges[(uids["a"], 9999)] = 1
+    violations = illegal_edges(view, edges)
+    assert violations and "does not define" in violations[0].reason
+
+
+def test_return_edges_to_continuation_and_entry_are_legal(view, uids):
+    # helper returns to d (continuation of the call in c); the entry
+    # function's return restarts the walker at the entry block.
+    edges = {(uids["h0"], uids["d"]): 5, (uids["d"], uids["a"]): 2}
+    assert illegal_edges(view, edges) == []
+    # ... but a return into an arbitrary block is not legal.
+    assert illegal_edges(view, {(uids["h0"], uids["b"]): 1}) != []
+
+
+def test_zero_count_edges_are_ignored(view, uids):
+    assert illegal_edges(view, {(uids["a"], uids["c"]): 0}) == []
+
+
+# ---------------------------------------------------------------------------
+# Fall-through contiguity
+# ---------------------------------------------------------------------------
+def test_contiguous_layout_is_clean(view, uids):
+    layout = LayoutView(
+        "flow",
+        {uids["a"]: 0, uids["b"]: 8},
+        {uids["a"]: 8, uids["b"]: 12},
+    )
+    assert broken_fallthroughs(view, layout) == []
+
+
+def test_gap_in_fallthrough_chain_is_flagged(view, uids):
+    layout = LayoutView(
+        "flow",
+        {uids["a"]: 0, uids["b"]: 64},
+        {uids["a"]: 8, uids["b"]: 12},
+    )
+    violations = broken_fallthroughs(view, layout)
+    assert [(v.src, v.dst) for v in violations] == [(uids["a"], uids["b"])]
+    assert violations[0].expected_address == 8
+    assert violations[0].actual_address == 64
+
+
+def test_unplaced_blocks_are_not_judged(view, uids):
+    layout = LayoutView("flow", {uids["a"]: 0}, {uids["a"]: 8})
+    assert broken_fallthroughs(view, layout) == []

@@ -1,0 +1,241 @@
+"""Seeded-fault tests for the ``V`` verification rules.
+
+``V_TRIGGERS`` mirrors the ``TRIGGERS`` mapping of
+``tests/test_analysis_rules.py``: one builder per rule id returning a
+context corrupted so that exactly that rule's invariant is violated.  The
+registry-completeness test over there consumes this mapping, so a new V
+rule without a trigger fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    AnalysisContext,
+    DEFAULT_REGISTRY,
+    GeometrySpec,
+    LayoutView,
+    ProgramView,
+)
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Register
+from repro.program import ProgramBuilder
+from repro.program.basic_block import BasicBlock, BlockKind
+from repro.program.function import Function
+
+
+def _flow_program():
+    builder = ProgramBuilder("flow")
+    main = builder.function("main")
+    main.block("a", 2)
+    main.block("b", 2, branch="a")
+    main.block("c", 1, call="helper")
+    main.block("d", 1, ret=True)
+    helper = builder.function("helper")
+    helper.block("h0", 1, ret=True)
+    return builder.build(entry="main")
+
+
+def _uids(program):
+    return {
+        label: program.uid_of_label(function, label)
+        for function, label in (
+            ("main", "a"),
+            ("main", "b"),
+            ("main", "c"),
+            ("main", "d"),
+            ("helper", "h0"),
+        )
+    }
+
+
+def _good_profile(uids):
+    blocks = {uids["a"]: 2, uids["b"]: 2, uids["c"]: 1, uids["h0"]: 1, uids["d"]: 1}
+    edges = {
+        (uids["a"], uids["b"]): 2,
+        (uids["b"], uids["a"]): 1,
+        (uids["b"], uids["c"]): 1,
+        (uids["c"], uids["h0"]): 1,
+        (uids["h0"], uids["d"]): 1,
+    }
+    return blocks, edges
+
+
+def _profiled_context(block_counts=None, edge_counts=None, layout=None):
+    program = _flow_program()
+    uids = _uids(program)
+    blocks, edges = _good_profile(uids)
+    context = AnalysisContext(
+        subject="flow",
+        program=ProgramView.from_program(program),
+        block_counts=block_counts(uids, blocks) if block_counts else blocks,
+        edge_counts=edge_counts(uids, edges) if edge_counts else edges,
+        layout=layout(uids) if layout else None,
+    )
+    return context
+
+
+# ---------------------------------------------------------------------------
+# Triggers: one corrupted context per rule
+# ---------------------------------------------------------------------------
+def _trigger_v001():
+    def tamper(uids, blocks):
+        blocks[uids["b"]] += 3  # count no longer explained by inflow
+        return blocks
+
+    return _profiled_context(block_counts=tamper)
+
+
+def _trigger_v002():
+    def tamper(uids, edges):
+        edges[(uids["a"], uids["c"])] = 1  # a never reaches c directly
+        return edges
+
+    return _profiled_context(edge_counts=tamper)
+
+
+def _trigger_v003():
+    # c executed while its dominator b never ran (no edge counts: the
+    # dominator rule must fire on block counts alone).
+    program = _flow_program()
+    uids = _uids(program)
+    return AnalysisContext(
+        subject="flow",
+        program=ProgramView.from_program(program),
+        block_counts={uids["a"]: 1, uids["b"]: 0, uids["c"]: 1},
+    )
+
+
+def _trigger_v004():
+    def misplace(uids):
+        # b must start at a.end (8 bytes of a) but sits at 64.
+        return LayoutView(
+            "flow",
+            {uids["a"]: 0, uids["b"]: 64},
+            {uids["a"]: 8, uids["b"]: 12},
+        )
+
+    return _profiled_context(layout=misplace)
+
+
+def _trigger_v005():
+    # 1KB cache, 2KB WPA: every line past one capacity wraps onto an
+    # earlier line's (set, way) home.
+    return AnalysisContext(
+        subject="t",
+        geometry=GeometrySpec(size_bytes=1024, ways=2, line_size=32),
+        wpa_size=2048,
+        page_size=1024,
+    )
+
+
+def _trigger_v006():
+    # Non-power-of-two geometry: bit slicing cannot agree with the
+    # arithmetic mapping.
+    return AnalysisContext(
+        subject="t",
+        geometry=GeometrySpec(size_bytes=3000, ways=3, line_size=24),
+        wpa_size=1024,
+        page_size=1024,
+    )
+
+
+V_TRIGGERS = {
+    "V001": _trigger_v001,
+    "V002": _trigger_v002,
+    "V003": _trigger_v003,
+    "V004": _trigger_v004,
+    "V005": _trigger_v005,
+    "V006": _trigger_v006,
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(V_TRIGGERS))
+def test_rule_fires_on_its_trigger(rule_id):
+    diagnostics = Analyzer().run(V_TRIGGERS[rule_id]())
+    assert rule_id in {d.rule_id for d in diagnostics}
+
+
+@pytest.mark.parametrize("rule_id", sorted(V_TRIGGERS))
+def test_rule_respects_default_severity(rule_id):
+    diagnostics = Analyzer().run(V_TRIGGERS[rule_id]())
+    expected = DEFAULT_REGISTRY.get(rule_id).severity
+    for diagnostic in diagnostics:
+        if diagnostic.rule_id == rule_id:
+            assert diagnostic.severity is expected
+
+
+def test_consistent_profile_passes_all_v_rules():
+    assert Analyzer(select=("V",)).run(_profiled_context()) == []
+
+
+def test_v_rules_gate_on_missing_context():
+    # A config-only context must not crash or fire the dataflow rules.
+    context = AnalysisContext(subject="c")
+    assert Analyzer(select=("V",)).run(context) == []
+
+
+def test_v003_flags_unreachable_executed_blocks():
+    ret = Instruction(Opcode.RET)
+    alu = Instruction(Opcode.ADD, rd=Register.R1, rn=Register.R2, rm=Register.R3)
+    main = Function(
+        "main",
+        (
+            BasicBlock(
+                uid=0,
+                label="a",
+                function="main",
+                instructions=(alu, ret),
+                kind=BlockKind.RETURN,
+            ),
+        ),
+    )
+    orphan = Function(
+        "orphan",
+        (
+            BasicBlock(
+                uid=1,
+                label="o",
+                function="orphan",
+                instructions=(ret,),
+                kind=BlockKind.RETURN,
+            ),
+        ),
+    )
+    context = AnalysisContext(
+        subject="t",
+        program=ProgramView("t", [main, orphan], entry="main"),
+        block_counts={0: 1, 1: 7},  # the orphan can never have run
+    )
+    diagnostics = [
+        d for d in Analyzer(select=("V003",)).run(context) if d.rule_id == "V003"
+    ]
+    assert diagnostics and "unreachable" in diagnostics[0].message
+
+
+def test_v006_flags_page_straddling_wpa():
+    context = AnalysisContext(
+        subject="t",
+        geometry=GeometrySpec(size_bytes=32 * 1024, ways=32, line_size=32),
+        wpa_size=1536,
+        page_size=1024,
+    )
+    diagnostics = [
+        d for d in Analyzer(select=("V006",)).run(context) if d.rule_id == "V006"
+    ]
+    assert diagnostics and "splits page" in diagnostics[0].message
+
+
+def test_v001_finding_names_the_worst_block():
+    diagnostics = Analyzer(select=("V001",)).run(_trigger_v001())
+    assert len(diagnostics) == 1
+    assert "incoming edges carry" in diagnostics[0].message
+    assert diagnostics[0].location.kind == "program"
+
+
+def test_verifier_runs_under_the_lint_selector_machinery():
+    # The V pack is part of the standard registry: prefix selection works.
+    analyzer = Analyzer(select=("V",))
+    assert analyzer.rule_ids == sorted(V_TRIGGERS)

@@ -1,0 +1,78 @@
+"""Unit tests for the symbolic way-placement proof."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import GeometrySpec
+
+from repro.verify.wpa_proof import prove_wpa_placement
+
+XSCALE = GeometrySpec(size_bytes=32 * 1024, ways=32, line_size=32)
+
+
+def test_full_capacity_wpa_is_injective():
+    proof = prove_wpa_placement(XSCALE, 32 * 1024, page_size=1024)
+    assert proof.holds
+    assert proof.num_lines == 1024
+    assert proof.distinct_homes == 1024  # every (set, way) exactly once
+    assert proof.num_conflicts == 0
+    assert proof.conflicts == ()
+
+
+def test_partial_wpa_is_injective():
+    proof = prove_wpa_placement(XSCALE, 8 * 1024, page_size=1024)
+    assert proof.holds
+    assert proof.distinct_homes == proof.num_lines == 256
+
+
+def test_oversized_wpa_wraps_and_conflicts():
+    proof = prove_wpa_placement(XSCALE, 64 * 1024, page_size=1024)
+    assert not proof.injective and not proof.holds
+    # Every line beyond one capacity clashes with its image one period back.
+    assert proof.num_conflicts == 1024
+    first, second = proof.conflicts[0]
+    assert second - first == 32 * 1024
+
+
+def test_conflict_witnesses_share_a_home():
+    small = GeometrySpec(size_bytes=1024, ways=2, line_size=32)
+    proof = prove_wpa_placement(small, 2048, page_size=1024)
+    assert not proof.injective
+    for first, second in proof.conflicts:
+        assert small.set_index(first) == small.set_index(second)
+        assert small.mandated_way(first) == small.mandated_way(second)
+
+
+def test_unaligned_wpa_straddles_a_page():
+    proof = prove_wpa_placement(XSCALE, 1536, page_size=1024)
+    assert proof.injective  # placement itself is fine
+    assert not proof.itlb_representable and not proof.holds
+    assert proof.straddled_page == 1
+
+
+def test_unsound_geometry_fails_extraction():
+    proof = prove_wpa_placement(GeometrySpec(3000, 3, 24), 1024, page_size=1024)
+    assert not proof.extraction_consistent and not proof.holds
+    assert proof.extraction_mismatches
+
+
+def test_degenerate_inputs_do_not_crash():
+    assert prove_wpa_placement(GeometrySpec(0, 0, 0), 1024).num_lines == 0
+    assert prove_wpa_placement(XSCALE, 0).num_lines == 0
+
+
+@pytest.mark.parametrize("wpa_kb", [1, 2, 4, 8, 16, 32])
+def test_every_aligned_wpa_up_to_capacity_holds(wpa_kb):
+    proof = prove_wpa_placement(XSCALE, wpa_kb * 1024, page_size=1024)
+    assert proof.holds
+
+
+def test_to_dict_is_json_ready():
+    import json
+
+    proof = prove_wpa_placement(XSCALE, 64 * 1024, page_size=1024)
+    payload = proof.to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["holds"] is False
+    assert payload["num_conflicts"] == 1024
