@@ -248,6 +248,9 @@ class AnalysisContext:
     page_size: Optional[int] = None
     energy: Optional[Mapping[str, float]] = None
     grid_cells: Optional[Tuple[Any, ...]] = None
+    #: Raw resilience settings (``retries``, ``timeout_s``, ``backoff_s``,
+    #: ``fallback``) from a config file or a ResilienceConfig, unvalidated.
+    resilience: Optional[Mapping[str, Any]] = None
     _cache: Dict[str, Any] = field(default_factory=dict, repr=False)
 
     @classmethod
@@ -266,6 +269,7 @@ class AnalysisContext:
         page_size: Optional[int] = None,
         energy: Optional[Any] = None,
         grid_cells: Optional[Sequence[Any]] = None,
+        resilience: Optional[Mapping[str, Any]] = None,
         subject: Optional[str] = None,
     ) -> "AnalysisContext":
         """Build a context from the strict pipeline objects."""
@@ -284,4 +288,5 @@ class AnalysisContext:
             page_size=page_size,
             energy=_energy_mapping(energy),
             grid_cells=tuple(grid_cells) if grid_cells is not None else None,
+            resilience=dict(resilience) if resilience is not None else None,
         )

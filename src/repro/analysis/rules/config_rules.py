@@ -150,3 +150,43 @@ def check_duplicate_grid_cells(context: AnalysisContext) -> Iterator[Finding]:
             f"{duplicated[example]} times",
             "deduplicate the cell list before running the grid",
         )
+
+
+@rule(
+    "C005",
+    "contradictory-resilience",
+    "config",
+    Severity.WARNING,
+    "Supervised-execution settings contradict each other (e.g. retries "
+    "that can never run because every attempt times out immediately).",
+)
+def check_resilience_config(context: AnalysisContext) -> Iterator[Finding]:
+    settings = context.resilience
+    if settings is None:
+        return
+    retries = settings.get("retries")
+    timeout = settings.get("timeout_s")
+    if retries is not None and timeout is not None and retries > 0 and timeout == 0:
+        yield Finding(
+            _config_location(context, "timeout_s"),
+            f"retries={retries} with timeout_s=0 is contradictory: every "
+            f"worker-chunk attempt is killed immediately, so no retry can "
+            f"ever succeed",
+            "raise timeout_s (or drop it) so retried attempts get to run",
+        )
+    for name in ("retries", "backoff_s", "timeout_s"):
+        value = settings.get(name)
+        if value is not None and value < 0:
+            yield Finding(
+                _config_location(context, name),
+                f"resilience {name} is {value}; it must be >= 0 "
+                f"(the runner rejects this config outright)",
+                f"use a non-negative {name}",
+            )
+    fallback = settings.get("fallback")
+    if fallback is not None and fallback not in ("none", "reference"):
+        yield Finding(
+            _config_location(context, "fallback"),
+            f"unknown fallback policy {fallback!r}",
+            "choose 'reference' (bit-identical engine degradation) or 'none'",
+        )

@@ -7,7 +7,9 @@ Commands
 ``table1``
     Print the paper's Table 1 machine configuration.
 ``figure4`` / ``figure5`` / ``figure6``
-    Regenerate a figure (optionally on a benchmark subset).
+    Regenerate a figure (optionally on a benchmark subset).  Grid commands
+    accept supervision flags — ``--retries``, ``--timeout``, ``--resume``,
+    ``--fallback-policy`` — described in docs/robustness.md.
 ``simulate``
     Run one (benchmark, scheme, geometry, WPA) combination and print the
     normalised result plus the activity counters behind it.
@@ -31,6 +33,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -42,6 +45,7 @@ from repro.experiments.formatting import render_table
 from repro.experiments.runner import ExperimentRunner
 from repro.layout.placement import LayoutPolicy
 from repro.layout.wpa_select import choose_wpa_size
+from repro.resilience.policy import DEFAULT_RESILIENCE, FallbackPolicy, ResilienceConfig
 from repro.sim.machine import XSCALE_BASELINE, table1_rows
 from repro.workloads.mibench import MIBENCH_BENCHMARKS, benchmark_names
 
@@ -271,6 +275,62 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the experiment grid (default 1: in-process)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra attempts per failing grid cell / worker chunk "
+            f"(default {DEFAULT_RESILIENCE.retries}; see docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per worker chunk attempt (default: no timeout)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted identical grid from its checkpoint "
+            "journal, re-executing only the missing cells"
+        ),
+    )
+    parser.add_argument(
+        "--fallback-policy",
+        default=None,
+        choices=[policy.value for policy in FallbackPolicy],
+        help=(
+            "engine degradation on kernel/sanitizer failure: 'reference' "
+            "re-runs the cell on the bit-identical reference schemes, "
+            "'none' disables the fallback (default "
+            f"{DEFAULT_RESILIENCE.fallback.value})"
+        ),
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    """A ResilienceConfig when any supervision flag was given, else None."""
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "timeout", None)
+    resume = getattr(args, "resume", False)
+    fallback = getattr(args, "fallback_policy", None)
+    if retries is None and timeout is None and not resume and fallback is None:
+        return None
+    config = DEFAULT_RESILIENCE
+    if retries is not None:
+        config = dataclasses.replace(config, retries=retries)
+    if timeout is not None:
+        config = dataclasses.replace(config, timeout_s=timeout)
+    if resume:
+        config = dataclasses.replace(config, resume=True)
+    if fallback is not None:
+        config = config.with_fallback(fallback)
+    return config.validate()
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -281,6 +341,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         cache_dir=getattr(args, "cache_dir", None),
         strict=getattr(args, "strict", False),
         sanitize=getattr(args, "sanitize", False),
+        resilience=_resilience_from_args(args),
     )
 
 
@@ -528,7 +589,9 @@ def _config_lint_context(path: str):
 
     Recognised keys: ``cache`` ({size_kb, ways, line_bytes, address_bits}),
     ``energy`` (EnergyParams field overrides), ``wpa_kb``, ``page_kb``,
-    all optional; missing pieces fall back to the paper's baseline.
+    ``resilience`` ({retries, timeout_s, backoff_s, fallback} — the
+    supervised-grid settings, linted by rule C005), all optional; missing
+    pieces fall back to the paper's baseline.
     """
     from repro.analysis import AnalysisContext, GeometrySpec
     from repro.analysis.context import _energy_mapping
@@ -551,12 +614,18 @@ def _config_lint_context(path: str):
     )
     wpa_kb = data.get("wpa_kb")
     page_kb = data.get("page_kb", XSCALE_BASELINE.page_size // KB)
+    resilience = data.get("resilience")
+    if resilience is not None and not isinstance(resilience, dict):
+        raise ReproError(
+            f"config file {path!r}: 'resilience' must be a JSON object"
+        )
     return AnalysisContext(
         subject=os.path.basename(path),
         geometry=geometry,
         energy=_energy_mapping(dict(data.get("energy") or {})),
         wpa_size=int(wpa_kb * KB) if wpa_kb is not None else None,
         page_size=int(page_kb * KB),
+        resilience=resilience,
     )
 
 

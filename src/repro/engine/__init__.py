@@ -8,12 +8,14 @@ Three layers, each usable on its own:
 * :mod:`repro.engine.store` — a content-hash-keyed on-disk cache for block
   traces, profiles, and line-event traces (``REPRO_CACHE_DIR``, default
   ``.repro_cache/``), so fresh processes stop re-walking CFGs;
-* :mod:`repro.engine.grid` — a ``ProcessPoolExecutor``-backed experiment
-  grid runner, chunked by benchmark so each worker derives or loads every
-  trace at most once.
+* :mod:`repro.engine.grid` — a supervised process-parallel experiment grid
+  runner, chunked by benchmark so each worker derives or loads every trace
+  at most once; retries, worker crash isolation, engine fallback, and
+  checkpoint–resume come from :mod:`repro.resilience`.
 
 See ``docs/performance.md`` for the architecture and how to choose between
-the reference and vectorized paths.
+the reference and vectorized paths, and ``docs/robustness.md`` for the
+supervision and fault-injection story.
 """
 
 from repro.engine.arrays import geometry_arrays, page_numbers, way_hints, wpa_flags

@@ -10,18 +10,29 @@ ships the finished :class:`~repro.sim.report.SimulationReport` objects
 back.  The parent adopts them into its memo, so subsequent ``report()`` /
 ``normalised()`` calls are cache hits.
 
-``jobs <= 1`` runs everything in-process with no executor — identical
+Execution is **supervised** (see :mod:`repro.resilience.supervisor`):
+failing cells are retried with backoff, kernel/sanitizer failures degrade
+to the bit-identical reference engine, crashed or hung workers are killed
+and their remaining cells re-run on fresh workers (then in-process), and
+completed cells are checkpointed to a resume journal.  Every completed
+report is adopted into the runner's memo *before* any failure surfaces —
+a partial grid keeps all of its finished work, and a
+:class:`~repro.errors.CellFailure` carries structured
+:class:`~repro.resilience.policy.FailureReport` records for the rest.
+
+``jobs <= 1`` runs everything in-process with no workers — identical
 results, no pickling, the right default for tests and single-benchmark
 work.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.layout.placement import LayoutPolicy
+from repro.resilience.policy import ResilienceConfig
+from repro.resilience.supervisor import supervise_grid
 from repro.sim.machine import MachineConfig, XSCALE_BASELINE
 from repro.sim.report import SimulationReport
 
@@ -52,46 +63,23 @@ class GridCell:
         }
 
 
-def _run_benchmark_cells(
-    spec: dict, cells: Tuple[GridCell, ...]
-) -> List[SimulationReport]:
-    """Worker entry point: simulate one benchmark's cells in a fresh runner."""
-    from repro.experiments.runner import ExperimentRunner
-
-    runner = ExperimentRunner(**spec)
-    return [runner.report(**cell.report_kwargs()) for cell in cells]
-
-
 def run_grid(
-    runner, cells: Sequence[GridCell], jobs: int = 1
+    runner,
+    cells: Sequence[GridCell],
+    jobs: int = 1,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> List[SimulationReport]:
-    """Simulate ``cells`` (possibly in parallel); returns reports in order.
+    """Simulate ``cells`` under supervision; returns reports in input order.
 
     ``runner`` is an :class:`~repro.experiments.runner.ExperimentRunner`;
-    every result is also adopted into its report memo.
+    every result is also adopted into its report memo (even on partial
+    failure, before :class:`~repro.errors.CellFailure` is raised).  The
+    retry/timeout/fallback/resume behaviour comes from ``resilience``,
+    defaulting to the runner's own config
+    (:data:`~repro.resilience.policy.DEFAULT_RESILIENCE` otherwise); the
+    structured outcome lands on ``runner.last_grid`` and
+    ``runner.last_failures``.
     """
-    cells = list(cells)
-    jobs = max(1, int(jobs))
-    groups: Dict[str, List[GridCell]] = {}
-    for cell in cells:
-        groups.setdefault(cell.benchmark, []).append(cell)
-
-    # Workers only help across benchmarks (cells of one benchmark share
-    # sequential trace derivation), and cells the parent already simulated
-    # are free — don't ship those out again.
-    pending = {
-        benchmark: [cell for cell in group if not runner.has_report(cell)]
-        for benchmark, group in groups.items()
-    }
-    pending = {b: g for b, g in pending.items() if g}
-    if jobs > 1 and len(pending) > 1:
-        spec = runner.spawn_spec()
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                benchmark: pool.submit(_run_benchmark_cells, spec, tuple(group))
-                for benchmark, group in pending.items()
-            }
-            for benchmark, future in futures.items():
-                for cell, report in zip(pending[benchmark], future.result()):
-                    runner.adopt_report(cell, report)
-    return [runner.report(**cell.report_kwargs()) for cell in cells]
+    if resilience is None:
+        resilience = getattr(runner, "resilience", None)
+    return supervise_grid(runner, cells, jobs=jobs, config=resilience)

@@ -13,12 +13,23 @@ Safety properties:
 * the full key is stored inside each entry and verified on load, so a hash
   collision or a stale file silently re-derives instead of corrupting a run;
 * a bumped :data:`TraceStore.FORMAT_VERSION` invalidates every old entry;
-* corrupted or truncated files are deleted and treated as misses;
+* corrupted or truncated files are deleted and treated as misses; an entry
+  that cannot even be deleted (read-only cache) is quarantined to
+  ``<cache>/quarantine/`` so it can never be loaded again;
 * writes go through a temp file plus ``os.replace``, so concurrent workers
-  (the parallel grid runner) never observe partial entries.
+  (the parallel grid runner) never observe partial entries;
+* an environment write failure (``ENOSPC``, ``EACCES``, a read-only
+  mount) never kills a run: the store emits a one-time warning and
+  degrades to cache-off for the rest of the process — every artifact is
+  simply re-derived.
 
 Setting ``REPRO_CACHE_DIR`` to ``off`` (or ``0``/``none``/empty) disables
 persistence entirely.
+
+The load/save/discard paths are instrumented with
+:func:`repro.resilience.chaos.chaos_point` sites (``store.load``,
+``store.save``, ``store.discard``) so the fault-injection tests exercise
+exactly these code paths instead of monkeypatching globals.
 """
 
 from __future__ import annotations
@@ -26,13 +37,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.errors import TraceError
 from repro.layout.layouts import Layout
 from repro.profiling.profile_data import ProfileData
 from repro.program.program import Program
+from repro.resilience.chaos import chaos_point, corrupt_file
 from repro.trace import io as trace_io
 from repro.trace.events import LineEventTrace
 from repro.trace.executor import BlockTrace
@@ -42,6 +54,22 @@ __all__ = ["TraceStore", "layout_digest", "program_digest"]
 _DEFAULT_DIR = ".repro_cache"
 _DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
 _PROFILE_KIND = "repro-profile-cache-v1"
+
+_warned_write_failure = False
+
+
+def _warn_write_failure(root: Path, error: OSError) -> None:
+    """One warning per process: the cache went read-only, work continues."""
+    global _warned_write_failure
+    if _warned_write_failure:
+        return
+    _warned_write_failure = True
+    warnings.warn(
+        f"trace cache write to {root} failed ({error}); continuing without "
+        f"persistence — artifacts will be re-derived",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def program_digest(program: Program) -> str:
@@ -81,6 +109,9 @@ class TraceStore:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Set after an environment write failure: the store keeps serving
+        #: reads but stops persisting (degrade to cache-off for writes).
+        self.writes_disabled = False
 
     @classmethod
     def resolve(
@@ -107,8 +138,23 @@ class TraceStore:
         return self.root / f"{kind}-{name}{suffix}"
 
     def _discard(self, path: Path) -> None:
+        """Remove a corrupt/stale entry; quarantine it when removal fails.
+
+        A cache on a read-only mount cannot delete the bad entry, but it
+        must still never be loaded again — move it aside to
+        ``<cache>/quarantine/`` (whose entries no loader ever resolves).
+        """
         try:
+            chaos_point("store.discard", path.name)
             path.unlink()
+        except OSError:
+            self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            quarantine = self.root / "quarantine"
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
         except OSError:
             pass
 
@@ -120,6 +166,17 @@ class TraceStore:
         # Same suffix as the target so np.savez does not append another one.
         return path.with_name(f"{path.stem}.{os.getpid()}.tmp{path.suffix}")
 
+    def _disable_writes(self, error: OSError) -> None:
+        self.writes_disabled = True
+        _warn_write_failure(self.root, error)
+
+    @staticmethod
+    def _cleanup(tmp: Path) -> None:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
     # ------------------------------------------------------------------
     # Block traces and line-event traces (.npz, via repro.trace.io)
     # ------------------------------------------------------------------
@@ -129,20 +186,35 @@ class TraceStore:
             self.misses += 1
             return None
         try:
+            chaos_point("store.load", f"blocks:{key}")
             trace = trace_io.load_block_trace(path, expected_key=key)
-        except TraceError:
+        except OSError:
+            # Transient environment fault: miss, but keep the entry.
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt/truncated/stale entry (TraceError, BadZipFile, ...).
             self._discard(path)
             self.misses += 1
             return None
         self.hits += 1
         return trace
 
-    def save_block_trace(self, key: str, trace: BlockTrace) -> Path:
+    def save_block_trace(self, key: str, trace: BlockTrace) -> Optional[Path]:
+        if self.writes_disabled:
+            return None
         path = self.path_for("blocks", key)
         tmp = self._tmp_for(path)
-        self.root.mkdir(parents=True, exist_ok=True)
-        trace_io.save_block_trace(trace, tmp, key=key)
-        self._replace(tmp, path)
+        try:
+            chaos_point("store.save", f"blocks:{key}")
+            self.root.mkdir(parents=True, exist_ok=True)
+            trace_io.save_block_trace(trace, tmp, key=key)
+            corrupt_file("store.save", f"blocks:{key}", tmp)
+            self._replace(tmp, path)
+        except OSError as error:
+            self._cleanup(tmp)
+            self._disable_writes(error)
+            return None
         return path
 
     def load_events(self, key: str) -> Optional[LineEventTrace]:
@@ -151,20 +223,33 @@ class TraceStore:
             self.misses += 1
             return None
         try:
+            chaos_point("store.load", f"events:{key}")
             events = trace_io.load_events(path, expected_key=key)
-        except TraceError:
+        except OSError:
+            self.misses += 1
+            return None
+        except Exception:
             self._discard(path)
             self.misses += 1
             return None
         self.hits += 1
         return events
 
-    def save_events(self, key: str, events: LineEventTrace) -> Path:
+    def save_events(self, key: str, events: LineEventTrace) -> Optional[Path]:
+        if self.writes_disabled:
+            return None
         path = self.path_for("events", key)
         tmp = self._tmp_for(path)
-        self.root.mkdir(parents=True, exist_ok=True)
-        trace_io.save_events(events, tmp, key=key)
-        self._replace(tmp, path)
+        try:
+            chaos_point("store.save", f"events:{key}")
+            self.root.mkdir(parents=True, exist_ok=True)
+            trace_io.save_events(events, tmp, key=key)
+            corrupt_file("store.save", f"events:{key}", tmp)
+            self._replace(tmp, path)
+        except OSError as error:
+            self._cleanup(tmp)
+            self._disable_writes(error)
+            return None
         return path
 
     # ------------------------------------------------------------------
@@ -176,6 +261,7 @@ class TraceStore:
             self.misses += 1
             return None
         try:
+            chaos_point("store.load", f"profile:{key}")
             payload = json.loads(path.read_text())
             if (
                 payload.get("cache_kind") != _PROFILE_KIND
@@ -190,16 +276,25 @@ class TraceStore:
         self.hits += 1
         return profile
 
-    def save_profile(self, key: str, profile: ProfileData) -> Path:
+    def save_profile(self, key: str, profile: ProfileData) -> Optional[Path]:
+        if self.writes_disabled:
+            return None
         path = self.path_for("profile", key)
         tmp = self._tmp_for(path)
-        self.root.mkdir(parents=True, exist_ok=True)
-        profile.save(tmp)
-        payload = json.loads(tmp.read_text())
-        payload["cache_kind"] = _PROFILE_KIND
-        payload["cache_key"] = key
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        self._replace(tmp, path)
+        try:
+            chaos_point("store.save", f"profile:{key}")
+            self.root.mkdir(parents=True, exist_ok=True)
+            profile.save(tmp)
+            payload = json.loads(tmp.read_text())
+            payload["cache_kind"] = _PROFILE_KIND
+            payload["cache_key"] = key
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            corrupt_file("store.save", f"profile:{key}", tmp)
+            self._replace(tmp, path)
+        except OSError as error:
+            self._cleanup(tmp)
+            self._disable_writes(error)
+            return None
         return path
 
     # ------------------------------------------------------------------
@@ -234,6 +329,7 @@ class TraceStore:
             "total_bytes": total_bytes,
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "writes_disabled": self.writes_disabled,
         }
 
     def clear(self) -> int:

@@ -22,6 +22,9 @@ __all__ = [
     "ExperimentError",
     "AnalysisError",
     "SanitizerError",
+    "ResilienceError",
+    "CellFailure",
+    "RetriesExhausted",
 ]
 
 
@@ -95,3 +98,34 @@ class SanitizerError(ReproError):
     def __init__(self, message: str, violations=None):
         super().__init__(message)
         self.violations = list(violations) if violations is not None else []
+
+
+class ResilienceError(ReproError):
+    """Supervised execution was configured or driven incorrectly."""
+
+
+class RetriesExhausted(ResilienceError):
+    """One grid cell kept failing after every retry and fallback.
+
+    Raised with the last underlying exception chained as ``__cause__``;
+    the number of attempts made is attached as the ``attempts`` attribute.
+    """
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CellFailure(ResilienceError):
+    """A supervised grid finished with unrecovered cell failures.
+
+    Every completed cell's report was still adopted into the runner's memo
+    before this was raised.  The structured
+    :class:`~repro.resilience.policy.FailureReport` records (recovered and
+    unrecovered) are attached as the ``failures`` attribute; the first
+    underlying exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, failures=None):
+        super().__init__(message)
+        self.failures = list(failures) if failures is not None else []

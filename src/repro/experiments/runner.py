@@ -48,6 +48,8 @@ from repro.errors import ExperimentError
 from repro.layout.layouts import Layout
 from repro.layout.placement import LayoutPolicy, make_layout
 from repro.profiling.profile_data import ProfileData
+from repro.resilience.policy import FailureReport, ResilienceConfig
+from repro.resilience.supervisor import GridSummary
 from repro.profiling.profiler import dynamic_memory_fraction, profile_block_trace
 from repro.sim.machine import MachineConfig, XSCALE_BASELINE
 from repro.sim.report import NormalisedResult, SimulationReport
@@ -92,6 +94,7 @@ class ExperimentRunner:
         engine: Optional[str] = None,
         strict: bool = False,
         sanitize: bool = False,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.eval_instructions = (
             eval_instructions
@@ -112,6 +115,10 @@ class ExperimentRunner:
         self.engine = engine
         self.strict = strict
         self.sanitize = sanitize
+        self.resilience = resilience.validate() if resilience is not None else None
+        #: Structured outcome of the most recent :meth:`run_grid` call.
+        self.last_failures: List[FailureReport] = []
+        self.last_grid: Optional[GridSummary] = None
 
         self._workloads: Dict[str, Workload] = {}
         self._profiles: Dict[str, ProfileData] = {}
@@ -416,7 +423,10 @@ class ExperimentRunner:
         }
 
     def run_grid(
-        self, cells: Sequence[GridCell], jobs: int = 1
+        self,
+        cells: Sequence[GridCell],
+        jobs: int = 1,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> List[SimulationReport]:
         """Simulate many cells, fanning across ``jobs`` worker processes.
 
@@ -424,5 +434,13 @@ class ExperimentRunner:
         the persistent cache) every trace at most once; results land in this
         runner's memo and come back in input order.  ``jobs <= 1`` runs
         serially in-process.
+
+        Execution is supervised (retry/backoff, engine fallback, worker
+        crash isolation, checkpoint–resume) according to ``resilience``,
+        defaulting to this runner's own config; see
+        :mod:`repro.resilience.supervisor`.  Afterwards
+        ``self.last_grid`` / ``self.last_failures`` describe what happened.
         """
-        return run_grid(self, cells, jobs=jobs)
+        return run_grid(
+            self, cells, jobs=jobs, resilience=resilience or self.resilience
+        )

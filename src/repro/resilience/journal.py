@@ -1,0 +1,209 @@
+"""Checkpoint–resume journal for supervised experiment grids.
+
+A long grid that dies at cell 180 of 200 should not owe the world 180
+simulations.  The supervisor checkpoints every completed cell's full
+:class:`~repro.sim.report.SimulationReport` into a *grid journal*: one JSON
+file, content-keyed by a digest of the runner spec and the cell list, and
+rewritten atomically (temp file + ``os.replace``, the same discipline as
+:class:`~repro.engine.store.TraceStore`) so an interrupt can never publish
+a torn journal.
+
+Reports serialize losslessly: every field is an ``int``, ``str``, or IEEE
+double (JSON round-trips doubles exactly), so a resumed cell's report is
+bit-identical to the one the interrupted run computed.  ``--resume`` loads
+the journal, adopts the completed reports into the runner's memo, and
+re-executes only the missing cells; a grid that finishes cleanly deletes
+its journal.
+
+Journal I/O faults never kill a run: a journal that cannot be written
+degrades to no-checkpointing with a one-time warning, and a corrupt or
+foreign journal loads as empty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Union
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.energy.cache_model import EnergyBreakdown
+from repro.energy.processor import ProcessorReport
+from repro.sim.report import SimulationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.grid import GridCell
+
+__all__ = [
+    "ResumeJournal",
+    "cell_content_key",
+    "grid_digest",
+    "report_from_dict",
+    "report_to_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Content keys
+# ---------------------------------------------------------------------------
+def cell_content_key(cell: "GridCell") -> str:
+    """A stable string identifying one cell's full configuration."""
+    machine = cell.machine
+    geometry = machine.icache
+    policy = cell.layout_policy.value if cell.layout_policy is not None else "default"
+    return (
+        f"{cell.benchmark}|{cell.scheme}"
+        f"|icache={geometry.size_bytes}/{geometry.ways}/{geometry.line_size}"
+        f"/{geometry.address_bits}"
+        f"|wpa={cell.wpa_size}|layout={policy}|sls={cell.same_line_skip}"
+        f"|l0={cell.l0_size}|page={machine.page_size}|itlb={machine.itlb_entries}"
+    )
+
+
+def grid_digest(spec: Mapping[str, Any], cell_keys: Sequence[str]) -> str:
+    """Digest of (runner spec, cell set) identifying a resumable grid.
+
+    Only result-bearing spec fields participate: the cache directory,
+    engine choice, and strict/sanitize switches do not change the numbers
+    a grid produces, so changing them must not orphan a journal.
+    """
+    digest = hashlib.sha256()
+    for name in (
+        "eval_instructions",
+        "profile_instructions",
+        "organisation",
+        "seed",
+        "energy_params",
+    ):
+        digest.update(f"{name}={spec.get(name)!r}\n".encode())
+    for key in sorted(cell_keys):
+        digest.update(f"cell={key}\n".encode())
+    return digest.hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# Lossless SimulationReport serialization
+# ---------------------------------------------------------------------------
+def report_to_dict(report: SimulationReport) -> Dict[str, Any]:
+    """A JSON-able form of ``report`` that round-trips bit-identically."""
+    return {
+        "benchmark": report.benchmark,
+        "scheme": report.scheme,
+        "layout_description": report.layout_description,
+        "geometry": dataclasses.asdict(report.geometry),
+        "wpa_size": report.wpa_size,
+        "counters": dataclasses.asdict(report.counters),
+        "cycles": report.cycles,
+        "breakdown": dataclasses.asdict(report.breakdown),
+        "processor": {
+            "instructions": report.processor.instructions,
+            "cycles": report.processor.cycles,
+            "breakdown": dataclasses.asdict(report.processor.breakdown),
+            "core_pj": report.processor.core_pj,
+        },
+    }
+
+
+def report_from_dict(payload: Mapping[str, Any]) -> SimulationReport:
+    """Rebuild the exact :class:`SimulationReport` serialized by
+    :func:`report_to_dict`."""
+    processor = payload["processor"]
+    return SimulationReport(
+        benchmark=payload["benchmark"],
+        scheme=payload["scheme"],
+        layout_description=payload["layout_description"],
+        geometry=CacheGeometry(**payload["geometry"]),
+        wpa_size=payload["wpa_size"],
+        counters=FetchCounters(**payload["counters"]),
+        cycles=payload["cycles"],
+        breakdown=EnergyBreakdown(**payload["breakdown"]),
+        processor=ProcessorReport(
+            instructions=processor["instructions"],
+            cycles=processor["cycles"],
+            breakdown=EnergyBreakdown(**processor["breakdown"]),
+            core_pj=processor["core_pj"],
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The journal file
+# ---------------------------------------------------------------------------
+class ResumeJournal:
+    """Atomic on-disk record of a grid's completed cells."""
+
+    def __init__(self, path: Union[str, Path], grid_key: str):
+        self.path = Path(path)
+        self.grid_key = grid_key
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        self._disabled = False
+
+    @classmethod
+    def for_grid(
+        cls, root: Union[str, Path], grid_key: str
+    ) -> "ResumeJournal":
+        """The journal of grid ``grid_key`` under cache directory ``root``."""
+        return cls(Path(root) / "grids" / f"grid-{grid_key}.json", grid_key)
+
+    # -- reading ------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Completed cells of a previous identical run (empty when none).
+
+        Corrupt, unreadable, stale-format, or foreign-grid journals all
+        load as empty: resuming then simply re-executes everything.
+        """
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+            or payload.get("grid_key") != self.grid_key
+            or not isinstance(payload.get("completed"), dict)
+        ):
+            return {}
+        self.completed = dict(payload["completed"])
+        return self.completed
+
+    # -- writing ------------------------------------------------------------
+    def record(self, cell_key: str, report: SimulationReport) -> None:
+        """Checkpoint one completed cell (buffered until :meth:`flush`)."""
+        self.completed[cell_key] = report_to_dict(report)
+
+    def flush(self) -> None:
+        """Atomically publish the current completed set to disk."""
+        if self._disabled:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "grid_key": self.grid_key,
+            "completed": self.completed,
+        }
+        tmp = self.path.with_name(f"{self.path.stem}.{os.getpid()}.tmp.json")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.path)
+        except OSError as error:
+            self._disabled = True
+            warnings.warn(
+                f"grid journal write failed ({error}); continuing without "
+                f"checkpoints",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def discard(self) -> None:
+        """Delete the journal (a cleanly finished grid needs no checkpoint)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

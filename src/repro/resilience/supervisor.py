@@ -1,0 +1,540 @@
+"""Supervised grid execution: retry, timeout, crash isolation, fallback.
+
+This is the engine room behind :func:`repro.engine.grid.run_grid`.  Where
+the old fan-out handed hundreds of cells to a bare ``ProcessPoolExecutor``
+— one crash, hang, or disk fault aborting the whole grid and discarding
+every finished report — the supervisor walks a recovery ladder and keeps
+every success:
+
+1. **Per-cell retry** with exponential backoff and deterministic jitter
+   (:meth:`~repro.resilience.policy.ResilienceConfig.backoff_delay`);
+2. **Engine fallback**: a cell whose vectorized kernel raises, or whose
+   sanitizer fires, re-runs on the pure-Python reference schemes (they are
+   bit-identical, so the numbers cannot change);
+3. **Fresh worker**: a crashed or timed-out worker process's remaining
+   cells are requeued on a newly spawned worker;
+4. **In-process fallback**: a chunk that keeps dying in workers runs in the
+   parent itself before the supervisor gives up.
+
+Completed reports are always adopted into the runner's memo and
+checkpointed to the grid's :class:`~repro.resilience.journal.ResumeJournal`
+*before* any failure surfaces, so a partial grid is never wasted work.
+Every incident is recorded as a
+:class:`~repro.resilience.policy.FailureReport`; unrecovered failures raise
+:class:`~repro.errors.CellFailure` with those reports attached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import CellFailure, ResilienceError, RetriesExhausted, SanitizerError
+from repro.resilience import chaos
+from repro.resilience.journal import (
+    ResumeJournal,
+    cell_content_key,
+    grid_digest,
+    report_from_dict,
+)
+from repro.resilience.policy import (
+    FailureReport,
+    FallbackPolicy,
+    ResilienceConfig,
+    cause_chain,
+    is_retryable,
+    render_failures,
+)
+from repro.sim.report import SimulationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.grid import GridCell
+
+__all__ = ["GridSummary", "run_cell", "supervise_grid"]
+
+#: Seconds between scheduler polls of the active worker set.
+_POLL_INTERVAL_S = 0.01
+#: Grace period for draining a just-died worker's result pipe.
+_DRAIN_TIMEOUT_S = 0.2
+
+
+@dataclass(frozen=True)
+class GridSummary:
+    """What one supervised grid actually did, by cell content key."""
+
+    total: int
+    memoised: Tuple[str, ...]
+    resumed: Tuple[str, ...]
+    executed: Tuple[str, ...]
+    failed: Tuple[str, ...]
+    failures: Tuple[FailureReport, ...]
+
+
+# ---------------------------------------------------------------------------
+# Per-cell supervision (runs in the parent and inside every worker)
+# ---------------------------------------------------------------------------
+def run_cell(
+    runner: Any,
+    cell: "GridCell",
+    config: ResilienceConfig,
+    failures: List[FailureReport],
+    site: str = "cell",
+) -> SimulationReport:
+    """Simulate one cell under the retry/backoff/engine-fallback ladder.
+
+    Raises :class:`~repro.errors.RetriesExhausted` (with the last
+    underlying error chained) once every rung is spent; appends a
+    :class:`FailureReport` for both recovered and fatal incidents.
+    """
+    token = f"{cell.benchmark}:{cell.scheme}:wpa{cell.wpa_size}"
+    causes: List[str] = []
+    attempts = 0
+    downgraded = False
+    while True:
+        attempts += 1
+        previous_engine = runner.engine
+        if downgraded:
+            runner.engine = "reference"
+        try:
+            chaos.chaos_point("cell", token)
+            report = runner.report(**cell.report_kwargs())
+        except Exception as error:
+            causes.extend(cause_chain(error))
+            fallback_open = (
+                config.fallback is FallbackPolicy.REFERENCE
+                and not downgraded
+                and previous_engine != "reference"
+            )
+            if isinstance(error, SanitizerError) and fallback_open:
+                downgraded = True
+                continue
+            if is_retryable(error) and attempts <= config.retries:
+                time.sleep(config.backoff_delay(attempts - 1, token))
+                continue
+            if is_retryable(error) and fallback_open:
+                downgraded = True
+                continue
+            failures.append(
+                FailureReport(
+                    site=site,
+                    benchmark=cell.benchmark,
+                    cell=token,
+                    attempts=attempts,
+                    causes=tuple(causes),
+                    recovery="none",
+                    recovered=False,
+                )
+            )
+            raise RetriesExhausted(
+                f"cell {token} failed after {attempts} attempt(s)",
+                attempts=attempts,
+            ) from error
+        else:
+            if causes:
+                failures.append(
+                    FailureReport(
+                        site=site,
+                        benchmark=cell.benchmark,
+                        cell=token,
+                        attempts=attempts,
+                        causes=tuple(causes),
+                        recovery="engine-fallback" if downgraded else "retry",
+                        recovered=True,
+                    )
+                )
+            return report
+        finally:
+            runner.engine = previous_engine
+
+
+# ---------------------------------------------------------------------------
+# Worker processes (one per benchmark-chunk attempt)
+# ---------------------------------------------------------------------------
+def _chunk_worker_main(
+    spec: Dict[str, Any],
+    config: ResilienceConfig,
+    chaos_config: Optional[chaos.ChaosConfig],
+    benchmark: str,
+    attempt: int,
+    cells: Tuple["GridCell", ...],
+    conn: Connection,
+) -> None:
+    """Worker entry point: simulate one benchmark chunk, ship results back.
+
+    Sends ``(status, results, failures, error)`` where ``results`` maps
+    chunk indices to finished reports — partial on failure, so the parent
+    adopts whatever completed before anything went wrong.
+    """
+    results: List[Tuple[int, SimulationReport]] = []
+    failures: List[FailureReport] = []
+    error: Optional[str] = None
+    try:
+        if chaos_config is not None:
+            chaos.install(chaos_config)
+        chaos.chaos_point("worker", f"{benchmark}@{attempt}")
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(**spec)
+        for index, cell in enumerate(cells):
+            try:
+                results.append((index, run_cell(runner, cell, config, failures)))
+            except RetriesExhausted as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        conn.send(("done", results, failures, error))
+    except BaseException as exc:  # noqa: B036 - report, then die
+        try:
+            conn.send(("fatal", results, failures, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@dataclass
+class _Chunk:
+    """One benchmark's remaining cells plus its supervision state."""
+
+    benchmark: str
+    cells: List["GridCell"]
+    attempts: int = 0
+    ready_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.causes: List[str] = []
+
+
+@dataclass
+class _Active:
+    chunk: _Chunk
+    process: Any
+    conn: Connection
+    deadline: Optional[float]
+
+
+def _stop_worker(entry: _Active) -> None:
+    process = entry.process
+    try:
+        process.terminate()
+        process.join(2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(5.0)
+    finally:
+        try:
+            entry.conn.close()
+        except Exception:
+            pass
+
+
+Adopt = Callable[["GridCell", SimulationReport], None]
+
+
+def _run_parallel(
+    runner: Any,
+    chunks: List[_Chunk],
+    jobs: int,
+    config: ResilienceConfig,
+    failures: List[FailureReport],
+    adopt: Adopt,
+) -> List[_Chunk]:
+    """Fan chunks across supervised worker processes.
+
+    Returns the chunks that exhausted their worker attempts and must fall
+    back to in-process execution in the parent.
+    """
+    context = _mp_context()
+    spec = runner.spawn_spec()
+    chaos_config = chaos.current()
+    pending = list(chunks)
+    active: List[_Active] = []
+    exhausted: List[_Chunk] = []
+
+    def launch(chunk: _Chunk) -> None:
+        chunk.attempts += 1
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_chunk_worker_main,
+            args=(
+                spec,
+                config,
+                chaos_config,
+                chunk.benchmark,
+                chunk.attempts,
+                tuple(chunk.cells),
+                child_conn,
+            ),
+        )
+        process.daemon = True
+        process.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + config.timeout_s
+            if config.timeout_s is not None
+            else None
+        )
+        active.append(_Active(chunk, process, parent_conn, deadline))
+
+    def settle(chunk: _Chunk, cause: str) -> None:
+        """A worker attempt failed; requeue, or hand over to the parent."""
+        chunk.causes.append(cause)
+        if chunk.attempts <= config.retries:
+            chunk.ready_at = time.monotonic() + config.backoff_delay(
+                chunk.attempts - 1, chunk.benchmark
+            )
+            pending.append(chunk)
+        else:
+            exhausted.append(chunk)
+
+    def absorb(entry: _Active, message: Tuple[Any, ...]) -> None:
+        status, results, worker_failures, error = message
+        failures.extend(worker_failures)
+        chunk = entry.chunk
+        finished = set()
+        for index, report in results:
+            adopt(chunk.cells[index], report)
+            finished.add(index)
+        remaining = [
+            cell for index, cell in enumerate(chunk.cells) if index not in finished
+        ]
+        if not remaining and error is None and status == "done":
+            if chunk.causes:
+                failures.append(
+                    FailureReport(
+                        site="worker",
+                        benchmark=chunk.benchmark,
+                        cell=f"{chunk.benchmark} chunk",
+                        attempts=chunk.attempts,
+                        causes=tuple(chunk.causes),
+                        recovery="fresh-worker",
+                        recovered=True,
+                    )
+                )
+            return
+        chunk.cells = remaining if remaining else list(chunk.cells)
+        settle(chunk, error or f"worker finished without results ({status})")
+
+    while pending or active:
+        now = time.monotonic()
+        while len(active) < max(1, jobs):
+            index = next(
+                (i for i, chunk in enumerate(pending) if chunk.ready_at <= now),
+                None,
+            )
+            if index is None:
+                break
+            launch(pending.pop(index))
+        if not active:
+            if pending:
+                time.sleep(_POLL_INTERVAL_S)
+            continue
+        progressed = False
+        still_active: List[_Active] = []
+        for entry in active:
+            message: Optional[Tuple[Any, ...]] = None
+            if entry.conn.poll():
+                try:
+                    message = entry.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+            if message is not None:
+                entry.process.join(5.0)
+                try:
+                    entry.conn.close()
+                except Exception:
+                    pass
+                absorb(entry, message)
+                progressed = True
+            elif not entry.process.is_alive():
+                # Drain the pipe once more: the child may have sent its
+                # results in the instant before exiting.
+                if entry.conn.poll(_DRAIN_TIMEOUT_S):
+                    try:
+                        message = entry.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                entry.process.join(5.0)
+                try:
+                    entry.conn.close()
+                except Exception:
+                    pass
+                if message is not None:
+                    absorb(entry, message)
+                else:
+                    settle(
+                        entry.chunk,
+                        f"worker crashed (exit code {entry.process.exitcode})",
+                    )
+                progressed = True
+            elif entry.deadline is not None and now >= entry.deadline:
+                _stop_worker(entry)
+                settle(
+                    entry.chunk,
+                    f"worker timed out after {config.timeout_s}s",
+                )
+                progressed = True
+            else:
+                still_active.append(entry)
+        active = still_active
+        if not progressed:
+            time.sleep(_POLL_INTERVAL_S)
+    return exhausted
+
+
+# ---------------------------------------------------------------------------
+# The grid itself
+# ---------------------------------------------------------------------------
+def supervise_grid(
+    runner: Any,
+    cells: Sequence["GridCell"],
+    jobs: int = 1,
+    config: Optional[ResilienceConfig] = None,
+) -> List[SimulationReport]:
+    """Run a grid under supervision; returns reports in input order.
+
+    See the module docstring for the recovery ladder.  The runner's memo
+    is always left holding every report that completed, the run is
+    checkpointed to a resume journal when a persistent cache directory is
+    available, and the structured outcome lands on ``runner.last_grid`` /
+    ``runner.last_failures``.
+    """
+    from repro.resilience.policy import DEFAULT_RESILIENCE
+
+    cells = list(cells)
+    jobs = max(1, int(jobs))
+    config = (config or DEFAULT_RESILIENCE).validate()
+    failures: List[FailureReport] = []
+    executed: Set[str] = set()
+    failed: Set[str] = set()
+    resumed: Set[str] = set()
+    memoised: Set[str] = set()
+    first_error: Optional[BaseException] = None
+
+    # -- checkpoint journal -------------------------------------------------
+    journal: Optional[ResumeJournal] = None
+    store = getattr(runner, "store", None)
+    if store is not None:
+        key = grid_digest(
+            runner.spawn_spec(), [cell_content_key(cell) for cell in cells]
+        )
+        journal = ResumeJournal.for_grid(store.root, key)
+    elif config.resume:
+        raise ResilienceError(
+            "--resume needs a persistent cache directory to hold the grid "
+            "journal; enable the trace cache or drop --resume"
+        )
+    if journal is not None and config.resume:
+        completed = journal.load()
+        for cell in cells:
+            content = cell_content_key(cell)
+            if content in completed and not runner.has_report(cell):
+                runner.adopt_report(cell, report_from_dict(completed[content]))
+                resumed.add(content)
+
+    # -- figure out what still needs simulating -----------------------------
+    groups: Dict[str, List["GridCell"]] = {}
+    for cell in cells:
+        content = cell_content_key(cell)
+        if runner.has_report(cell):
+            if content not in resumed:
+                memoised.add(content)
+            continue
+        groups.setdefault(cell.benchmark, []).append(cell)
+
+    def adopt(cell: "GridCell", report: SimulationReport) -> None:
+        runner.adopt_report(cell, report)
+        content = cell_content_key(cell)
+        executed.add(content)
+        if journal is not None:
+            journal.record(content, report)
+
+    def run_in_process(benchmark: str, group: List["GridCell"]) -> None:
+        nonlocal first_error
+        for cell in group:
+            try:
+                adopt(cell, run_cell(runner, cell, config, failures))
+            except RetriesExhausted as error:
+                failed.add(cell_content_key(cell))
+                if first_error is None:
+                    first_error = error
+        if journal is not None:
+            journal.flush()
+
+    pending = {benchmark: group for benchmark, group in groups.items() if group}
+    if jobs > 1 and len(pending) > 1:
+        chunks = [
+            _Chunk(benchmark, list(group)) for benchmark, group in pending.items()
+        ]
+
+        def adopt_and_flush(cell: "GridCell", report: SimulationReport) -> None:
+            adopt(cell, report)
+            if journal is not None:
+                journal.flush()
+
+        exhausted = _run_parallel(
+            runner, chunks, jobs, config, failures, adopt_and_flush
+        )
+        for chunk in exhausted:
+            before = len(failed)
+            run_in_process(chunk.benchmark, chunk.cells)
+            failures.append(
+                FailureReport(
+                    site="worker",
+                    benchmark=chunk.benchmark,
+                    cell=f"{chunk.benchmark} chunk",
+                    attempts=chunk.attempts,
+                    causes=tuple(chunk.causes),
+                    recovery="in-process" if len(failed) == before else "none",
+                    recovered=len(failed) == before,
+                )
+            )
+    else:
+        for benchmark, group in pending.items():
+            run_in_process(benchmark, group)
+
+    # -- outcome ------------------------------------------------------------
+    runner.last_failures = list(failures)
+    runner.last_grid = GridSummary(
+        total=len(cells),
+        memoised=tuple(sorted(memoised)),
+        resumed=tuple(sorted(resumed)),
+        executed=tuple(sorted(executed)),
+        failed=tuple(sorted(failed)),
+        failures=tuple(failures),
+    )
+    if failed:
+        if journal is not None:
+            journal.flush()
+        print(render_failures(failures), file=sys.stderr)
+        raise CellFailure(
+            f"{len(failed)} grid cell(s) failed after retries; "
+            f"{len(executed) + len(resumed) + len(memoised)} of {len(cells)} "
+            f"cell(s) completed and were kept",
+            failures=failures,
+        ) from first_error
+    if journal is not None:
+        journal.discard()
+    if failures:
+        print(render_failures(failures), file=sys.stderr)
+    return [runner.report(**cell.report_kwargs()) for cell in cells]

@@ -21,6 +21,7 @@ from repro.engine.kernels import FAST_SCHEMES, fast_counters
 from repro.errors import SchemeError
 from repro.layout.layouts import Layout
 from repro.program.program import Program
+from repro.resilience.chaos import chaos_point
 from repro.schemes.base import make_scheme
 from repro.sim.machine import MachineConfig, XSCALE_BASELINE
 from repro.sim.report import SimulationReport
@@ -109,6 +110,10 @@ class Simulator:
 
         counters = None
         if self.engine != "reference" and scheme in FAST_SCHEMES:
+            # Chaos hook: lets the fault-injection harness fail the
+            # vectorized path specifically, exercising the supervisor's
+            # degrade-to-reference fallback (no-op unless chaos is active).
+            chaos_point("kernel", f"{benchmark}:{scheme}")
             counters = fast_counters(scheme, events, machine.icache, **options)
             if counters is not None and self.sanitize:
                 # Fast path: the kernels keep no live state to inspect, so

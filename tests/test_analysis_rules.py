@@ -212,6 +212,12 @@ def _trigger_c004():
     return AnalysisContext(subject="c", grid_cells=tuple(cells))
 
 
+def _trigger_c005():
+    return AnalysisContext(
+        subject="c", resilience={"retries": 3, "timeout_s": 0}
+    )
+
+
 TRIGGERS = {
     "P001": _trigger_p001,
     "P002": _trigger_p002,
@@ -232,6 +238,7 @@ TRIGGERS = {
     "C002": _trigger_c002,
     "C003": _trigger_c003,
     "C004": _trigger_c004,
+    "C005": _trigger_c005,
 }
 
 

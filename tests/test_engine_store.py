@@ -1,6 +1,8 @@
 """Tests for the persistent artifact cache and the parallel grid runner."""
 
 import json
+import os
+import warnings
 
 import numpy as np
 import pytest
@@ -9,6 +11,8 @@ from repro.engine.grid import GridCell
 from repro.engine.store import TraceStore, layout_digest, program_digest
 from repro.errors import TraceError
 from repro.experiments.runner import ExperimentRunner
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosConfig, ChaosRule
 from repro.layout import original_layout
 from repro.layout.placement import LayoutPolicy
 from repro.trace.executor import CfgWalker
@@ -138,6 +142,102 @@ class TestTraceStore:
         assert stats["total_bytes"] > 0
         assert store.clear() == 2
         assert store.stats()["entries"] == {"blocks": 0, "events": 0, "profile": 0}
+
+
+class TestStoreFailureModes:
+    """Environment faults injected through the chaos sites in the store
+    itself (``store.save``/``store.load``/``store.discard``) — the same
+    code paths the supervised grids exercise, not monkeypatched globals.
+    """
+
+    def test_truncated_entry_is_a_miss_and_rederives(self, store, traced):
+        trace, _ = traced
+        rule = ChaosRule("store.save", "truncate", match="blocks:k1", times=1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            path = store.save_block_trace("k1", trace)
+        assert path.exists()
+        # the torn archive is detected, discarded, and treated as a miss
+        assert store.load_block_trace("k1") is None
+        assert not path.exists()
+        # re-deriving and re-saving fully recovers the entry
+        store.save_block_trace("k1", trace)
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
+
+    def test_concurrent_writer_race_never_exposes_partial_entries(
+        self, store, traced
+    ):
+        """Writers stage under pid-unique tmp names and publish with the
+        atomic ``os.replace``; a racing writer's final swap yields a valid
+        entry and readers never observe a partial one."""
+        trace, _ = traced
+        path = store.save_block_trace("k1", trace)
+        # a second process writes the same key concurrently
+        rival_tmp = path.with_name(f"{path.stem}.99999.tmp{path.suffix}")
+        save_block_trace(trace, rival_tmp, key="k1")
+        os.replace(rival_tmp, path)
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
+        # stray tmp files (a writer that died mid-stage) are not entries
+        (store.root / "blocks-dead.12345.tmp.npz").write_bytes(b"partial")
+        assert store.entries()["blocks"] == 1
+
+    def test_write_failure_degrades_to_cache_off_with_one_warning(
+        self, store, traced, monkeypatch
+    ):
+        import repro.engine.store as store_module
+
+        monkeypatch.setattr(store_module, "_warned_write_failure", False)
+        trace, events = traced
+        store.save_block_trace("k1", trace)  # healthy write first
+        rule = ChaosRule("store.save", "enospc", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert store.save_events("k2", events) is None
+                assert store.save_events("k3", events) is None
+        relevant = [w for w in caught if "trace cache write" in str(w.message)]
+        assert len(relevant) == 1
+        assert store.writes_disabled
+        assert store.stats()["writes_disabled"] is True
+        # reads keep serving after writes degrade
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
+        # and no torn tmp file is left behind
+        assert not list(store.root.glob("*.tmp.*"))
+
+    def test_degraded_store_still_supports_a_full_run(self, tmp_path):
+        """End to end: a cache on a 'full disk' never fails the experiment."""
+        rule = ChaosRule("store.save", "enospc", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                runner = make_runner(tmp_path / "cache")
+                report = runner.report("crc", "baseline")
+        assert report == make_runner("off").report("crc", "baseline")
+        assert runner.store.writes_disabled
+
+    def test_undeletable_corrupt_entry_is_quarantined(self, store, traced):
+        trace, _ = traced
+        path = store.save_block_trace("k1", trace)
+        path.write_bytes(b"not an npz archive")
+        rule = ChaosRule("store.discard", "eacces", match=path.name, times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            assert store.load_block_trace("k1") is None
+        # moved aside, never resolvable again, invisible to management
+        assert not path.exists()
+        assert (store.root / "quarantine" / path.name).exists()
+        assert store.entries()["blocks"] == 0
+        assert store.clear() == 0
+        assert store.load_block_trace("k1") is None  # plain miss now
+
+    def test_transient_read_fault_keeps_the_entry(self, store, traced):
+        """An ``OSError`` during load is an environment hiccup, not a bad
+        entry: miss this time, but the entry survives for the next reader."""
+        trace, _ = traced
+        path = store.save_block_trace("k1", trace)
+        rule = ChaosRule("store.load", "eacces", match="blocks:k1", times=1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            assert store.load_block_trace("k1") is None
+        assert path.exists()
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
 
 
 class TestDigests:

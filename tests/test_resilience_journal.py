@@ -1,0 +1,149 @@
+"""Tests for grid checkpoint–resume: content keys, serialization, journal."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.engine.grid import GridCell
+from repro.experiments.runner import ExperimentRunner
+from repro.resilience.journal import (
+    ResumeJournal,
+    cell_content_key,
+    grid_digest,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.sim.machine import XSCALE_BASELINE
+
+KB = 1024
+
+
+def make_runner(cache_dir, **kwargs):
+    kwargs.setdefault("eval_instructions", 8_000)
+    kwargs.setdefault("profile_instructions", 4_000)
+    return ExperimentRunner(cache_dir=cache_dir, **kwargs)
+
+
+class TestContentKeys:
+    def test_key_distinguishes_every_cell_axis(self):
+        base = GridCell("crc", "baseline")
+        variants = [
+            GridCell("sha", "baseline"),
+            GridCell("crc", "way-placement"),
+            GridCell("crc", "baseline", wpa_size=8 * KB),
+            GridCell("crc", "baseline", l0_size=256),
+            GridCell(
+                "crc", "baseline", machine=XSCALE_BASELINE.with_icache(16 * KB, 16, 32)
+            ),
+        ]
+        keys = {cell_content_key(cell) for cell in variants}
+        assert cell_content_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_grid_digest_covers_result_bearing_spec_fields(self):
+        cells = [cell_content_key(GridCell("crc", "baseline"))]
+        spec = {"eval_instructions": 8000, "profile_instructions": 4000, "seed": 1}
+        assert grid_digest(spec, cells) == grid_digest(dict(spec), list(cells))
+        changed = dict(spec, eval_instructions=9000)
+        assert grid_digest(changed, cells) != grid_digest(spec, cells)
+        assert grid_digest(spec, cells + ["extra"]) != grid_digest(spec, cells)
+
+    def test_grid_digest_ignores_execution_only_settings(self):
+        """Changing cache dir / engine / strictness must not orphan a journal."""
+        cells = ["k"]
+        spec = {"eval_instructions": 8000, "seed": 1, "cache_dir": "/a", "engine": None}
+        other = dict(spec, cache_dir="/b", engine="reference", strict=True)
+        assert grid_digest(spec, cells) == grid_digest(other, cells)
+
+    def test_cell_order_does_not_matter(self):
+        spec = {"seed": 1}
+        assert grid_digest(spec, ["a", "b"]) == grid_digest(spec, ["b", "a"])
+
+
+class TestReportSerialization:
+    def test_report_roundtrips_bit_identically(self, fast_runner):
+        report = fast_runner.report("crc", "way-placement", wpa_size=8 * KB)
+        payload = json.loads(json.dumps(report_to_dict(report)))
+        assert report_from_dict(payload) == report
+
+
+class TestResumeJournal:
+    def test_record_flush_load_roundtrip(self, tmp_path, fast_runner):
+        report = fast_runner.report("crc", "baseline")
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("cell-key", report)
+        journal.flush()
+        fresh = ResumeJournal.for_grid(tmp_path, "g1")
+        completed = fresh.load()
+        assert set(completed) == {"cell-key"}
+        assert report_from_dict(completed["cell-key"]) == report
+
+    def test_foreign_or_corrupt_journal_loads_empty(self, tmp_path, fast_runner):
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("k", fast_runner.report("crc", "baseline"))
+        journal.flush()
+        assert ResumeJournal.for_grid(tmp_path, "other-grid").load() == {}
+        journal.path.write_text("{torn")
+        assert ResumeJournal.for_grid(tmp_path, "g1").load() == {}
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert ResumeJournal.for_grid(tmp_path, "g1").load() == {}
+
+    def test_discard_removes_the_file(self, tmp_path, fast_runner):
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("k", fast_runner.report("crc", "baseline"))
+        journal.flush()
+        assert journal.path.exists()
+        journal.discard()
+        assert not journal.path.exists()
+        journal.discard()  # idempotent
+
+    def test_unwritable_journal_degrades_with_one_warning(
+        self, tmp_path, fast_runner
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        journal = ResumeJournal(blocker / "grids" / "j.json", "g1")
+        journal.record("k", fast_runner.report("crc", "baseline"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            journal.flush()
+            journal.flush()
+        messages = [w for w in caught if "journal write failed" in str(w.message)]
+        assert len(messages) == 1
+        assert journal._disabled
+
+    def test_flush_is_atomic(self, tmp_path, fast_runner):
+        """No partially-written journal is ever visible under the final name."""
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("k", fast_runner.report("crc", "baseline"))
+        journal.flush()
+        leftovers = [
+            p for p in journal.path.parent.iterdir() if p.name != journal.path.name
+        ]
+        assert leftovers == []
+        assert json.loads(journal.path.read_text())["grid_key"] == "g1"
+
+
+class TestJournalLifecycleInGrids:
+    CELLS = [
+        GridCell("crc", "baseline"),
+        GridCell("crc", "way-placement", wpa_size=8 * KB),
+    ]
+
+    def test_clean_grid_leaves_no_journal(self, tmp_path):
+        runner = make_runner(tmp_path / "cache")
+        runner.run_grid(self.CELLS, jobs=1)
+        grids = tmp_path / "cache" / "grids"
+        assert not grids.exists() or list(grids.iterdir()) == []
+
+    def test_resume_without_store_is_rejected(self):
+        from repro.errors import ResilienceError
+        from repro.resilience.policy import DEFAULT_RESILIENCE
+        import dataclasses
+
+        runner = make_runner("off")
+        config = dataclasses.replace(DEFAULT_RESILIENCE, resume=True)
+        with pytest.raises(ResilienceError, match="resume"):
+            runner.run_grid(self.CELLS, jobs=1, resilience=config)

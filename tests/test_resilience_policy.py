@@ -1,0 +1,129 @@
+"""Tests for the resilience policy layer: configs, retryability, reports."""
+
+import pytest
+
+from repro.errors import (
+    ResilienceError,
+    SanitizerError,
+    SchemeError,
+    TraceError,
+    WorkloadError,
+)
+from repro.resilience.chaos import InjectedFault
+from repro.resilience.policy import (
+    DEFAULT_RESILIENCE,
+    FailureReport,
+    FallbackPolicy,
+    ResilienceConfig,
+    cause_chain,
+    is_retryable,
+    render_failures,
+)
+
+
+class TestRetryability:
+    def test_static_config_errors_are_not_retryable(self):
+        for error in (SchemeError("bad"), WorkloadError("bad")):
+            assert not is_retryable(error)
+
+    def test_sanitizer_errors_trigger_fallback_not_retry(self):
+        assert not is_retryable(SanitizerError("invariant"))
+
+    def test_environment_and_unknown_errors_are_retryable(self):
+        for error in (
+            OSError("disk"),
+            InjectedFault("chaos"),
+            TraceError("torn"),
+            RuntimeError("bug"),
+        ):
+            assert is_retryable(error)
+
+
+class TestCauseChain:
+    def test_walks_explicit_causes(self):
+        try:
+            try:
+                raise OSError("disk full")
+            except OSError as inner:
+                raise RuntimeError("save failed") from inner
+        except RuntimeError as error:
+            chain = cause_chain(error)
+        assert chain == ("RuntimeError: save failed", "OSError: disk full")
+
+    def test_limit_bounds_pathological_chains(self):
+        error: BaseException = ValueError("0")
+        for index in range(1, 20):
+            new = ValueError(str(index))
+            new.__cause__ = error
+            error = new
+        assert len(cause_chain(error, limit=8)) == 8
+
+
+class TestResilienceConfig:
+    def test_default_is_valid(self):
+        assert DEFAULT_RESILIENCE.validate() is DEFAULT_RESILIENCE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"backoff_s": -0.1},
+            {"jitter": -1.0},
+            {"timeout_s": -5.0},
+        ],
+    )
+    def test_invalid_settings_raise(self, kwargs):
+        with pytest.raises(ResilienceError):
+            ResilienceConfig(**kwargs).validate()
+
+    def test_backoff_is_exponential_and_deterministic(self):
+        config = ResilienceConfig(backoff_s=0.1, jitter=0.5, seed=3)
+        first = config.backoff_delay(0, "crc:baseline")
+        second = config.backoff_delay(1, "crc:baseline")
+        # exponential base, jitter bounded by [1, 1 + jitter)
+        assert 0.1 <= first < 0.1 * 1.5
+        assert 0.2 <= second < 0.2 * 1.5
+        assert first == config.backoff_delay(0, "crc:baseline")
+
+    def test_jitter_depends_on_seed_and_token(self):
+        a = ResilienceConfig(backoff_s=0.1, seed=1).backoff_delay(0, "t")
+        b = ResilienceConfig(backoff_s=0.1, seed=2).backoff_delay(0, "t")
+        c = ResilienceConfig(backoff_s=0.1, seed=1).backoff_delay(0, "u")
+        assert a != b and a != c
+
+    def test_zero_backoff_means_no_sleep(self):
+        config = ResilienceConfig(backoff_s=0.0)
+        assert config.backoff_delay(5, "t") == 0.0
+
+    def test_with_fallback_parses_cli_spellings(self):
+        assert DEFAULT_RESILIENCE.with_fallback("none").fallback is FallbackPolicy.NONE
+        assert (
+            DEFAULT_RESILIENCE.with_fallback("reference").fallback
+            is FallbackPolicy.REFERENCE
+        )
+        with pytest.raises(ResilienceError, match="unknown fallback policy"):
+            DEFAULT_RESILIENCE.with_fallback("gpu")
+
+
+class TestFailureReports:
+    def test_describe_names_the_recovery(self):
+        report = FailureReport(
+            site="cell",
+            benchmark="crc",
+            cell="crc:baseline:wpa0",
+            attempts=2,
+            causes=("InjectedFault: chaos",),
+            recovery="retry",
+            recovered=True,
+        )
+        text = report.describe()
+        assert "recovered via retry" in text
+        assert "2 attempt(s)" in text
+        assert "InjectedFault" in text
+
+    def test_render_counts_recovered_and_fatal(self):
+        ok = FailureReport("cell", "crc", "c", 2, recovery="retry", recovered=True)
+        bad = FailureReport("worker", "sha", "s", 3)
+        text = render_failures([ok, bad])
+        assert "NOT recovered" in text
+        assert "2 incident(s): 1 recovered, 1 fatal" in text

@@ -1,0 +1,307 @@
+"""Tests for supervised grid execution: the recovery ladder end to end.
+
+The acceptance bar (see docs/robustness.md): a seeded chaos run that
+crashes workers, hangs workers, and injects store faults mid-grid must
+still return reports bit-identical to a fault-free serial run, with a
+FailureReport describing every recovery; and an interrupted grid must
+resume from its journal, re-executing only the missing cells.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.grid import GridCell
+from repro.errors import CellFailure, RetriesExhausted, SchemeError
+from repro.experiments.runner import ExperimentRunner
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosConfig, ChaosRule
+from repro.resilience.journal import ResumeJournal, cell_content_key, grid_digest
+from repro.resilience.policy import FallbackPolicy, ResilienceConfig
+from repro.resilience.supervisor import run_cell
+
+KB = 1024
+
+CELLS = [
+    GridCell("crc", "baseline"),
+    GridCell("crc", "way-placement", wpa_size=8 * KB),
+    GridCell("sha", "baseline"),
+    GridCell("sha", "way-placement", wpa_size=8 * KB),
+]
+
+
+def make_runner(cache_dir="off", **kwargs):
+    kwargs.setdefault("eval_instructions", 8_000)
+    kwargs.setdefault("profile_instructions", 4_000)
+    return ExperimentRunner(cache_dir=cache_dir, **kwargs)
+
+
+def fault_free_reports():
+    return make_runner().run_grid(CELLS, jobs=1)
+
+
+class TestRunCell:
+    """The per-cell rung of the ladder, in isolation."""
+
+    def test_transient_fault_is_retried(self):
+        runner = make_runner()
+        config = ResilienceConfig(retries=2, backoff_s=0.0)
+        failures = []
+        rule = ChaosRule("cell", "raise", match="crc:baseline", times=1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            report = run_cell(runner, CELLS[0], config, failures)
+        assert report == make_runner().report("crc", "baseline")
+        assert len(failures) == 1
+        incident = failures[0]
+        assert incident.recovered and incident.recovery == "retry"
+        assert incident.attempts == 2
+        assert "InjectedFault" in incident.causes[0]
+
+    def test_sanitizer_failure_degrades_to_reference_engine(self):
+        runner = make_runner()
+        config = ResilienceConfig(retries=2, backoff_s=0.0)
+        failures = []
+        rule = ChaosRule("kernel", "sanitizer", match="crc:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            report = run_cell(runner, CELLS[1], config, failures)
+        # bit-identical despite running on the reference schemes
+        assert report == make_runner().report(
+            "crc", "way-placement", wpa_size=8 * KB
+        )
+        assert failures[0].recovery == "engine-fallback"
+        assert runner.engine is None  # original engine restored
+
+    def test_fallback_can_be_disabled(self):
+        runner = make_runner()
+        config = ResilienceConfig(
+            retries=1, backoff_s=0.0, fallback=FallbackPolicy.NONE
+        )
+        failures = []
+        rule = ChaosRule("kernel", "sanitizer", match="crc:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with pytest.raises(RetriesExhausted):
+                run_cell(runner, CELLS[1], config, failures)
+        assert not failures[0].recovered
+
+    def test_persistent_fault_exhausts_retries_then_falls_back(self):
+        """A retryable fault that never clears still recovers via the
+        reference engine (which skips the chaos-instrumented kernel)."""
+        runner = make_runner()
+        config = ResilienceConfig(retries=1, backoff_s=0.0)
+        failures = []
+        rule = ChaosRule("kernel", "raise", match="crc:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            report = run_cell(runner, CELLS[1], config, failures)
+        assert report.counters.fetches > 0
+        assert failures[0].recovery == "engine-fallback"
+        assert failures[0].attempts == 3  # 1 + 1 retry + 1 fallback
+
+    def test_static_errors_fail_immediately(self):
+        runner = make_runner()
+        failures = []
+        cell = GridCell("crc", "no-such-scheme")
+        with pytest.raises(RetriesExhausted) as info:
+            run_cell(runner, cell, ResilienceConfig(retries=3), failures)
+        assert info.value.attempts == 1  # no retry for config errors
+        assert isinstance(info.value.__cause__, SchemeError)
+        assert not failures[0].recovered
+
+
+class TestChaosGridAcceptance:
+    """Crash + hang + store faults mid-grid; results still bit-identical."""
+
+    def test_supervised_grid_survives_seeded_chaos(self, tmp_path):
+        want = fault_free_reports()
+        config = ChaosConfig(
+            seed=13,
+            rules=(
+                # first crc worker dies at its entry point
+                ChaosRule("worker", "crash", match="crc@1", times=1),
+                # first sha worker hangs until the supervisor kills it
+                ChaosRule("worker", "hang", match="sha@1", times=1, delay_s=60.0),
+                # the vectorized kernel trips the sanitizer once per process
+                ChaosRule("kernel", "sanitizer", match="crc:way-placement", times=1),
+                # and the trace store hits a full disk on first write
+                ChaosRule("store.save", "enospc", match="blocks:", times=1),
+            ),
+        )
+        runner = make_runner(
+            tmp_path / "cache",
+            resilience=ResilienceConfig(retries=2, backoff_s=0.01, timeout_s=2.0),
+        )
+        with chaos.active(config):
+            got = runner.run_grid(CELLS, jobs=2)
+
+        assert got == want  # bit-identical, not merely close
+        assert runner.last_failures, "chaos incidents must be reported"
+        assert all(failure.recovered for failure in runner.last_failures)
+        recoveries = {failure.recovery for failure in runner.last_failures}
+        assert "fresh-worker" in recoveries
+        causes = " ".join(
+            cause for failure in runner.last_failures for cause in failure.causes
+        )
+        assert "crashed" in causes
+        assert "timed out" in causes
+        summary = runner.last_grid
+        assert summary.total == len(CELLS)
+        assert summary.failed == ()
+        assert len(summary.executed) == len(CELLS)
+
+    def test_serial_chaos_grid_is_also_bit_identical(self):
+        want = fault_free_reports()
+        config = ChaosConfig(
+            seed=7,
+            rules=(
+                ChaosRule("cell", "raise", match="sha:baseline", times=1),
+                ChaosRule("kernel", "sanitizer", match="crc:way-placement", times=-1),
+            ),
+        )
+        runner = make_runner(
+            resilience=ResilienceConfig(retries=2, backoff_s=0.0)
+        )
+        with chaos.active(config):
+            got = runner.run_grid(CELLS, jobs=1)
+        assert got == want
+        recoveries = {f.recovery for f in runner.last_failures}
+        assert recoveries == {"retry", "engine-fallback"}
+
+
+class TestPartialCompletion:
+    """Satellite: completed work is adopted before a failure surfaces."""
+
+    def test_serial_failure_keeps_completed_cells(self):
+        runner = make_runner(
+            resilience=ResilienceConfig(
+                retries=0, backoff_s=0.0, fallback=FallbackPolicy.NONE
+            )
+        )
+        rule = ChaosRule("cell", "raise", match="sha:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with pytest.raises(CellFailure) as info:
+                runner.run_grid(CELLS, jobs=1)
+        for cell in CELLS[:3]:
+            assert runner.has_report(cell), "completed cells must be adopted"
+        assert not runner.has_report(CELLS[3])
+        assert runner.last_grid.failed == (cell_content_key(CELLS[3]),)
+        fatal = [f for f in info.value.failures if not f.recovered]
+        assert len(fatal) == 1 and fatal[0].benchmark == "sha"
+
+    def test_parallel_failure_keeps_other_chunks_and_partial_chunks(self):
+        """A chunk that fails mid-way ships its completed cells back; the
+        supervisor adopts them (and every other chunk) before raising."""
+        runner = make_runner(
+            resilience=ResilienceConfig(
+                retries=0, backoff_s=0.0, fallback=FallbackPolicy.NONE
+            )
+        )
+        rule = ChaosRule("cell", "raise", match="sha:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with pytest.raises(CellFailure):
+                runner.run_grid(CELLS, jobs=2)
+        for cell in CELLS[:3]:
+            assert runner.has_report(cell)
+        assert not runner.has_report(CELLS[3])
+
+    def test_cell_failure_chains_the_underlying_error(self):
+        runner = make_runner(
+            resilience=ResilienceConfig(retries=0, fallback=FallbackPolicy.NONE)
+        )
+        rule = ChaosRule("cell", "raise", match="crc", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with pytest.raises(CellFailure) as info:
+                runner.run_grid(CELLS[:2], jobs=1)
+        assert isinstance(info.value.__cause__, RetriesExhausted)
+
+
+class TestResumeAcceptance:
+    """Interrupt a grid, resume it, re-execute only the missing cells."""
+
+    def test_interrupted_grid_resumes_from_journal(self, tmp_path):
+        cache = tmp_path / "cache"
+        fail_fast = ResilienceConfig(
+            retries=0, backoff_s=0.0, fallback=FallbackPolicy.NONE
+        )
+        first = make_runner(cache, resilience=fail_fast)
+        rule = ChaosRule("cell", "raise", match="sha:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with pytest.raises(CellFailure):
+                first.run_grid(CELLS, jobs=1)
+
+        # the journal holds exactly the three completed cells
+        key = grid_digest(first.spawn_spec(), [cell_content_key(c) for c in CELLS])
+        journal = ResumeJournal.for_grid(cache, key)
+        completed = journal.load()
+        assert set(completed) == {cell_content_key(c) for c in CELLS[:3]}
+
+        # a fresh process resumes: only the missing cell re-executes
+        resumed = make_runner(
+            cache, resilience=dataclasses.replace(fail_fast, resume=True)
+        )
+        reports = resumed.run_grid(CELLS, jobs=1)
+        assert reports == fault_free_reports()
+        summary = resumed.last_grid
+        assert set(summary.resumed) == {cell_content_key(c) for c in CELLS[:3]}
+        assert summary.executed == (cell_content_key(CELLS[3]),)
+        # clean completion deletes the journal
+        assert not journal.path.exists()
+
+    def test_resume_of_a_different_grid_re_executes_everything(self, tmp_path):
+        cache = tmp_path / "cache"
+        config = ResilienceConfig(resume=True, backoff_s=0.0)
+        runner = make_runner(cache, resilience=config)
+        runner.run_grid(CELLS[:2], jobs=1)
+        # different eval budget => different grid digest => cold resume
+        other = make_runner(cache, eval_instructions=9_000, resilience=config)
+        other.run_grid(CELLS[:2], jobs=1)
+        assert other.last_grid.resumed == ()
+        assert len(other.last_grid.executed) == 2
+
+
+class TestRunnerSurface:
+    def test_runner_validates_resilience_config(self):
+        from repro.errors import ResilienceError
+
+        with pytest.raises(ResilienceError):
+            make_runner(resilience=ResilienceConfig(retries=-2))
+
+    def test_default_config_reports_clean_summary(self):
+        runner = make_runner()
+        runner.run_grid(CELLS[:2], jobs=1)
+        assert runner.last_failures == []
+        assert runner.last_grid.failed == ()
+        # re-running is all memo hits
+        runner.run_grid(CELLS[:2], jobs=1)
+        assert len(runner.last_grid.memoised) == 2
+        assert runner.last_grid.executed == ()
+
+
+class TestCliFlags:
+    def test_supervision_flags_reach_the_runner(self):
+        from repro.cli import _make_runner, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "figure4",
+                "--benchmarks",
+                "crc",
+                "--retries",
+                "5",
+                "--timeout",
+                "30",
+                "--resume",
+                "--fallback-policy",
+                "none",
+            ]
+        )
+        runner = _make_runner(args)
+        config = runner.resilience
+        assert config.retries == 5
+        assert config.timeout_s == 30.0
+        assert config.resume is True
+        assert config.fallback is FallbackPolicy.NONE
+
+    def test_no_flags_means_no_explicit_config(self):
+        from repro.cli import _make_runner, build_parser
+
+        args = build_parser().parse_args(["figure4", "--benchmarks", "crc"])
+        assert _make_runner(args).resilience is None
