@@ -13,6 +13,10 @@ to trade fidelity for speed.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.runner import ExperimentRunner
@@ -48,3 +52,25 @@ def emit(*args, **kwargs):
 def run_once(benchmark, function):
     """Run ``function`` exactly once under pytest-benchmark's timer."""
     return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def record_metric(name, value):
+    """Append a named metric to the JSON file ``$REPRO_BENCH_JSON`` points at.
+
+    A no-op when the variable is unset, so the benches stay self-contained;
+    ``scripts/bench_snapshot.py`` sets it to collect the numbers behind
+    ``BENCH_engine.json``.  Read-modify-write is fine here — the snapshot
+    script runs one pytest process at a time.
+    """
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if not target:
+        return
+    path = Path(target)
+    metrics = {}
+    if path.exists():
+        try:
+            metrics = json.loads(path.read_text())
+        except (OSError, ValueError):
+            metrics = {}
+    metrics[name] = value
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")

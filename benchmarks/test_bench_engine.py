@@ -1,20 +1,28 @@
-"""Benches for the fast engine: kernel speedup and warm-cache startup.
+"""Benches for the fast engine: kernel speedup, batching, warm-cache startup.
 
-Two acceptance properties of the engine live here:
+Three acceptance properties of the engine live here:
 
 * the vectorized kernels replay the 32KB/32-way way-placement configuration
   at least ~5x faster than the reference schemes (measured as events/sec on
   the same trace, same process);
+* the batched ``--engine batch`` grid replays a 16-point WPA sweep in at
+  most 1/3 the wall time of per-cell ``--engine vector`` replay (one trace
+  traversal per family instead of one per cell);
 * a second ``ExperimentRunner`` process with a warm persistent cache starts
   up much faster than a cold one because it performs no CFG walks at all.
+
+With ``$REPRO_BENCH_JSON`` set, the measured numbers are also recorded for
+``scripts/bench_snapshot.py`` (they end up in ``BENCH_engine.json``).
 """
 
 import time
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, record_metric, run_once
+from repro.engine.grid import GridCell
 from repro.engine.kernels import fast_counters
+from repro.layout.placement import LayoutPolicy
 from repro.layout import original_layout
 from repro.schemes.baseline import BaselineScheme
 from repro.schemes.way_placement import WayPlacementScheme
@@ -77,7 +85,71 @@ def test_bench_kernel_speedup(benchmark, events, scheme, options):
         f"[engine] {scheme}: reference {events.num_events / ref_time:,.0f} ev/s, "
         f"vectorized {events_per_sec:,.0f} ev/s ({speedup:.1f}x)"
     )
+    record_metric(
+        f"replay.{scheme}",
+        {
+            "events": events.num_events,
+            "reference_events_per_sec": round(events.num_events / ref_time),
+            "vector_events_per_sec": round(events_per_sec),
+            "vector_speedup": round(speedup, 2),
+        },
+    )
     assert speedup >= 5.0, f"vectorized {scheme} kernel only {speedup:.2f}x faster"
+
+
+def test_bench_batched_sweep(benchmark, tmp_path_factory):
+    """A 16-point WPA sweep: one batched traversal vs 16 per-cell replays."""
+    from repro.experiments.runner import ExperimentRunner
+
+    cache = tmp_path_factory.mktemp("batch-cache")
+    cells = [
+        GridCell("susan_c", "way-placement", wpa_size=point * KB)
+        for point in range(1, 17)
+    ]
+
+    def grid_time(engine):
+        runner = ExperimentRunner(engine=engine, cache_dir=cache)
+        # Warm the trace pipeline so the timing isolates replay, which is
+        # what the engines differ in; each round re-simulates every cell.
+        runner.events("susan_c", LayoutPolicy.WAY_PLACEMENT, 32)
+
+        def sweep():
+            runner._reports.clear()
+            return runner.run_grid(cells)
+
+        sweep()
+        _, best = _time(sweep)
+        return runner, best
+
+    vector_runner, vector_time = grid_time("vector")
+    (batch_runner, batch_time), _ = run_once(
+        benchmark, lambda: _time(lambda: grid_time("batch"), repeats=1)
+    )
+    for cell in cells:
+        kwargs = cell.report_kwargs()
+        assert (
+            batch_runner.report(**kwargs).counters
+            == vector_runner.report(**kwargs).counters
+        ), f"batched counters diverge for {cell}"
+
+    speedup = vector_time / batch_time
+    emit(
+        f"[engine] 16-point WPA sweep: vector {vector_time * 1000:.1f}ms, "
+        f"batch {batch_time * 1000:.1f}ms ({speedup:.1f}x)"
+    )
+    record_metric(
+        "grid.wpa_sweep_16",
+        {
+            "cells": len(cells),
+            "vector_wall_s": round(vector_time, 4),
+            "batch_wall_s": round(batch_time, 4),
+            "batch_speedup": round(speedup, 2),
+        },
+    )
+    assert batch_time <= vector_time / 3.0, (
+        f"batched sweep took {batch_time * 1000:.1f}ms, more than 1/3 of the "
+        f"per-cell vector sweep ({vector_time * 1000:.1f}ms)"
+    )
 
 
 def test_bench_warm_cache_startup(benchmark, tmp_path_factory):

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the engine/throughput benches and snapshot the numbers.
+
+Executes ``benchmarks/test_bench_engine.py`` (kernel speedup, the batched
+16-point WPA sweep, warm-cache startup) with ``$REPRO_BENCH_JSON`` pointed
+at a scratch file, then assembles ``BENCH_engine.json`` at the repository
+root: replay events/sec per engine, grid wall time per engine, and the
+batch speedup, plus enough environment metadata to compare snapshots
+across machines.  The file is meant to be checked in, so the bench
+trajectory of the repository is visible in history.
+
+Usage::
+
+    python scripts/bench_snapshot.py            # writes BENCH_engine.json
+    python scripts/bench_snapshot.py --output somewhere/else.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILES = ["benchmarks/test_bench_engine.py"]
+
+
+def run_benches(metrics_path: Path) -> int:
+    env = dict(os.environ)
+    env["REPRO_BENCH_JSON"] = str(metrics_path)
+    env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        *BENCH_FILES,
+    ]
+    print("+", " ".join(command), flush=True)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="where to write the snapshot (default: BENCH_engine.json)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        metrics_path = Path(scratch) / "metrics.json"
+        status = run_benches(metrics_path)
+        if status != 0:
+            print(f"benches failed (exit {status}); no snapshot written")
+            return status
+        try:
+            metrics = json.loads(metrics_path.read_text())
+        except (OSError, ValueError):
+            print("benches wrote no metrics; is record_metric wired up?")
+            return 1
+
+    import numpy
+
+    snapshot = {
+        "generated": datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "metrics": metrics,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

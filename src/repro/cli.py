@@ -37,7 +37,7 @@ import dataclasses
 import json
 import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, cast
 
 from repro.errors import ReproError
 from repro.experiments.figures import figure4, figure5, figure6
@@ -243,8 +243,9 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         default=None,
-        choices=["auto", "vector", "reference"],
-        help="replay engine (default auto or $REPRO_ENGINE; see docs/performance.md)",
+        choices=["auto", "vector", "reference", "batch"],
+        help="replay engine (default auto or $REPRO_ENGINE; 'batch' replays "
+        "trace-sharing grid cells in one traversal; see docs/performance.md)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -748,12 +749,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     if args.action == "stats":
         stats = store.stats()
-        counts = stats["entries"]
+        counts = cast(Dict[str, int], stats["entries"])
+        kind_bytes = cast(Dict[str, int], stats["kind_bytes"])
+        total_bytes = cast(int, stats["total_bytes"])
         print(f"cache directory : {stats['dir']}")
         print(f"entries         : {sum(counts.values())}")
-        print(f"size            : {stats['total_bytes'] / KB:.1f}KB")
+        print(f"size            : {total_bytes / KB:.1f}KB")
         for kind, count in sorted(counts.items()):
-            print(f"  {kind:<8}: {count}")
+            print(f"  {kind:<8}: {count} entries, {kind_bytes[kind] / KB:.1f}KB")
+        print(f"session hits    : {stats['session_hits']}")
+        print(f"session misses  : {stats['session_misses']}")
+        if stats["writes_disabled"]:
+            print("writes          : DISABLED (earlier write failure)")
     else:
         removed = store.clear()
         print(f"removed {removed} entries from {store.root}")

@@ -5,6 +5,10 @@ Three layers, each usable on its own:
 * :mod:`repro.engine.kernels` — NumPy fast paths replaying a
   :class:`~repro.trace.events.LineEventTrace` with counters bit-identical to
   the reference schemes (``baseline`` and ``way-placement``);
+* :mod:`repro.engine.batch` — the batched replay kernel: one traversal of a
+  trace emitting bit-identical counters for a whole family of
+  configurations at once (the ``batch`` engine's grid planner lives in
+  :mod:`repro.engine.grid`);
 * :mod:`repro.engine.store` — a content-hash-keyed on-disk cache for block
   traces, profiles, and line-event traces (``REPRO_CACHE_DIR``, default
   ``.repro_cache/``), so fresh processes stop re-walking CFGs;
@@ -18,8 +22,16 @@ the reference and vectorized paths, and ``docs/robustness.md`` for the
 supervision and fault-injection story.
 """
 
-from repro.engine.arrays import geometry_arrays, page_numbers, way_hints, wpa_flags
-from repro.engine.grid import GridCell, run_grid
+from repro.engine.arrays import (
+    geometry_arrays,
+    geometry_lists,
+    itlb_misses,
+    page_numbers,
+    way_hints,
+    wpa_flags,
+)
+from repro.engine.batch import BatchMember, batch_counters, batchable
+from repro.engine.grid import BatchFamily, GridCell, plan_families, run_grid
 from repro.engine.kernels import (
     FAST_SCHEMES,
     baseline_counters,
@@ -30,13 +42,20 @@ from repro.engine.store import TraceStore, layout_digest, program_digest
 
 __all__ = [
     "FAST_SCHEMES",
+    "BatchFamily",
+    "BatchMember",
     "GridCell",
     "TraceStore",
     "baseline_counters",
+    "batch_counters",
+    "batchable",
     "fast_counters",
     "geometry_arrays",
+    "geometry_lists",
+    "itlb_misses",
     "layout_digest",
     "page_numbers",
+    "plan_families",
     "program_digest",
     "run_grid",
     "way_hints",

@@ -9,6 +9,16 @@ memoises them per trace object, keyed by the geometry/WPA parameters they
 depend on — replaying the same trace under nine cache configurations or six
 WPA sizes recomputes only what actually changed.
 
+Beyond the arrays themselves, two *products* of the arrays are memoised
+because repeated cells on the same trace kept re-deriving them:
+
+* :func:`geometry_lists` — the ``.tolist()`` decomposition of
+  :func:`geometry_arrays` that the sequential kernel loops iterate (the
+  conversion costs about as much as a fifth of the loop itself);
+* :func:`itlb_misses` — the round-robin I-TLB miss count, which depends
+  only on ``(page_size, entries)`` and is therefore identical for every
+  cell of a WPA sweep.
+
 The memo holds weak references to the traces, so arrays die with the trace
 they describe.
 """
@@ -16,15 +26,23 @@ they describe.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.trace.events import LineEventTrace
-from repro.utils.bitops import mask
+from repro.utils.bitops import log2_exact, mask
 
-__all__ = ["geometry_arrays", "page_numbers", "way_hints", "wpa_flags"]
+__all__ = [
+    "geometry_arrays",
+    "geometry_lists",
+    "itlb_misses",
+    "page_numbers",
+    "way_hints",
+    "wpa_flag_list",
+    "wpa_flags",
+]
 
 # id(trace) -> (weakref keeping the id honest, {cache key: arrays}).  A plain
 # WeakKeyDictionary would be simpler but LineEventTrace is an eq=True frozen
@@ -62,6 +80,65 @@ def geometry_arrays(
     return store[key]
 
 
+def geometry_lists(
+    events: LineEventTrace, geometry: CacheGeometry
+) -> Tuple[List[int], List[int], List[int]]:
+    """:func:`geometry_arrays` decomposed to plain lists, memoised.
+
+    The sequential kernel loops iterate Python ints; converting the arrays
+    costs ~1ms per 60k events, which a WPA sweep used to pay once per cell.
+    Shares the geometry key of :func:`geometry_arrays` (way count does not
+    matter for set/tag slicing, and the mandated way only depends on
+    ``way_bits``).
+    """
+    key = ("geomlists", geometry.offset_bits, geometry.set_bits, geometry.way_bits)
+    store = _memo(events)
+    if key not in store:
+        set_indices, tags, mandated = geometry_arrays(events, geometry)
+        store[key] = (set_indices.tolist(), tags.tolist(), mandated.tolist())
+    return store[key]
+
+
+def itlb_misses(events: LineEventTrace, page_size: int, entries: int) -> int:
+    """Round-robin fully-associative TLB misses over the event stream.
+
+    Bit-identical to :class:`~repro.cache.itlb.InstructionTlb`: only events
+    whose page differs from the previous event's can miss, so the TLB state
+    machine runs over that (much shorter) subsequence.  Memoised per
+    ``(page_size, entries)`` — every cell of a sweep shares the count.
+    """
+    key = ("itlb", page_size, entries)
+    store = _memo(events)
+    if key in store:
+        return store[key]
+    n = events.num_events
+    if n == 0:
+        store[key] = 0
+        return 0
+    pages = page_numbers(events, log2_exact(page_size, "page size"))
+    changed = np.empty(n, dtype=bool)
+    changed[0] = True
+    np.not_equal(pages[1:], pages[:-1], out=changed[1:])
+    slots = [-1] * entries
+    resident = set()
+    pointer = 0
+    misses = 0
+    for page in pages[changed].tolist():
+        if page in resident:
+            continue
+        misses += 1
+        old = slots[pointer]
+        if old != -1:
+            resident.discard(old)
+        slots[pointer] = page
+        resident.add(page)
+        pointer += 1
+        if pointer == entries:
+            pointer = 0
+    store[key] = misses
+    return misses
+
+
 def wpa_flags(events: LineEventTrace, wpa_size: int) -> np.ndarray:
     """Boolean per-event array: does the line lie in ``[0, wpa_size)``?"""
     key = ("wpa", wpa_size)
@@ -88,6 +165,15 @@ def way_hints(
             hints[0] = hint_initial
             hints[1:] = flags[:-1]
         store[key] = hints
+    return store[key]
+
+
+def wpa_flag_list(events: LineEventTrace, wpa_size: int) -> List[bool]:
+    """:func:`wpa_flags` as a plain list, memoised (see :func:`geometry_lists`)."""
+    key = ("wpalist", wpa_size)
+    store = _memo(events)
+    if key not in store:
+        store[key] = wpa_flags(events, wpa_size).tolist()
     return store[key]
 
 

@@ -1,0 +1,312 @@
+"""Batched single-pass replay: one trace traversal for a family of configs.
+
+The paper's sweeps (Figures 4-6, the sensitivity study) replay the *same*
+:class:`~repro.trace.events.LineEventTrace` under many WPA sizes, schemes,
+and option combinations.  The per-config kernels in
+:mod:`repro.engine.kernels` traverse the event stream once per cell; this
+module traverses it **once per family** and emits bit-identical
+:class:`~repro.cache.access.FetchCounters` for every member simultaneously.
+
+Two observations make that possible:
+
+* **Event-independent reductions batch trivially.**  WPA membership for
+  all sweep points is one broadcast against the shared address array
+  (``addrs < thresholds[:, None]``), way hints are a shift of that matrix,
+  and the misprediction/search/precharge counts are row-wise reductions —
+  2-D NumPy over a ``(configs, events)`` axis.  The I-TLB miss count only
+  depends on ``(page_size, itlb_entries)`` and is memoised per trace.
+
+* **The sequential cache state is shared almost everywhere.**  All members
+  of a family see the same set index and tag per event (the geometry is
+  part of the family key), and their cache contents only diverge where
+  fill decisions diverge.  Residency is therefore tracked as one
+  ``{tag: config-bitmask}`` dict per set: the common case — the line is
+  resident in *every* config — is a single dict probe, and only configs
+  that actually miss pay per-config work (victim choice from a
+  struct-of-arrays ``tag_at[config][set][way]`` / ``pointer[config][set]``
+  residency, exactly the per-config kernel's round-robin or mandated-way
+  rule).  The Python-level loop runs once per event instead of once per
+  event per cell.
+
+The per-config kernels remain the oracle: every counter here is computed
+with the same integer arithmetic, so the equivalence suite can assert
+bit-identity field by field (``tests/test_engine_batch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.errors import SchemeError
+from repro.engine.arrays import geometry_lists, itlb_misses
+from repro.engine.kernels import (
+    _BASELINE_OPTIONS,
+    _WAY_PLACEMENT_OPTIONS,
+    _check_stream,
+    _check_tlb,
+    FAST_SCHEMES,
+)
+from repro.trace.events import LineEventTrace
+
+__all__ = ["BatchMember", "batch_counters", "batchable"]
+
+
+@dataclass(frozen=True)
+class BatchMember:
+    """One configuration of a batch family: a scheme plus its options.
+
+    ``options`` takes exactly the keyword arguments of the corresponding
+    per-config kernel (:func:`~repro.engine.kernels.baseline_counters` /
+    :func:`~repro.engine.kernels.way_placement_counters`); unknown options
+    make the member non-batchable, mirroring ``fast_counters``.
+    """
+
+    scheme: str
+    options: Mapping = field(default_factory=dict)
+
+
+def batchable(scheme: str, options: Mapping) -> bool:
+    """Can this (scheme, options) cell join a batch family?
+
+    Mirrors the gate of :func:`~repro.engine.kernels.fast_counters`: only
+    schemes with a vectorized kernel, and only options that kernel models.
+    """
+    if scheme == "baseline":
+        return set(options) <= _BASELINE_OPTIONS
+    if scheme == "way-placement":
+        return set(options) <= _WAY_PLACEMENT_OPTIONS
+    return False
+
+
+@dataclass
+class _Member:
+    """A member with defaults resolved, plus its loop bookkeeping slot."""
+
+    scheme: str
+    wpa_size: int
+    itlb_entries: int
+    page_size: int
+    same_line_skip: bool
+    hint_initial: bool
+
+    @property
+    def threshold(self) -> int:
+        """Effective WPA threshold for the fill rule (baseline has none)."""
+        return self.wpa_size if self.scheme == "way-placement" else 0
+
+
+def _resolve(member: BatchMember) -> _Member:
+    scheme, options = member.scheme, dict(member.options)
+    if scheme not in FAST_SCHEMES or not batchable(scheme, options):
+        raise SchemeError(
+            f"scheme {scheme!r} with options {sorted(options)} is not "
+            "batchable; run it on the per-config engines instead"
+        )
+    if scheme == "baseline":
+        return _Member(
+            scheme=scheme,
+            wpa_size=0,
+            itlb_entries=options.get("itlb_entries", 32),
+            page_size=options.get("page_size", 1024),
+            same_line_skip=bool(options.get("same_line_skip", False)),
+            hint_initial=False,
+        )
+    wpa_size = options.get("wpa_size", 0)
+    if wpa_size < 0:
+        raise SchemeError(f"way-placement area size must be >= 0, got {wpa_size}")
+    if options.get("wpa_base", 0) != 0:
+        raise SchemeError(
+            "the way-placement area must start at the beginning of the "
+            "binary (address 0 in this model)"
+        )
+    return _Member(
+        scheme=scheme,
+        wpa_size=wpa_size,
+        itlb_entries=options.get("itlb_entries", 32),
+        page_size=options.get("page_size", 1024),
+        same_line_skip=bool(options.get("same_line_skip", True)),
+        hint_initial=bool(options.get("hint_initial", False)),
+    )
+
+
+def _replay_states(
+    events: LineEventTrace,
+    geometry: CacheGeometry,
+    thresholds: List[int],
+) -> Tuple[List[int], List[int], List[int]]:
+    """The one pass: per-config ``(misses, evictions, wp_fills)``.
+
+    ``thresholds`` must be ascending; config ``c`` fills addresses below
+    ``thresholds[c]`` into their mandated way and everything else round-
+    robin — exactly the per-config kernel's rule (a threshold of 0 is the
+    baseline).  Residency is a ``{tag: bitmask-of-configs}`` dict per set;
+    an event whose tag is resident everywhere (the overwhelmingly common
+    case) costs one dict probe for the whole family.
+    """
+    num_configs = len(thresholds)
+    ways = geometry.ways
+    num_sets = geometry.num_sets
+    full_mask = (1 << num_configs) - 1
+
+    # Per-event bitmask of configs whose WPA contains the address: with
+    # ascending thresholds the flag column is a suffix, found for all sweep
+    # points at once by one searchsorted against the address array.
+    positions = np.searchsorted(
+        np.asarray(thresholds, dtype=np.int64), events.line_addrs, side="right"
+    )
+    suffix_masks = [(full_mask >> k) << k for k in range(num_configs + 1)]
+    wpa_masks = [suffix_masks[k] for k in positions.tolist()]
+
+    set_indices, tags, mandated = geometry_lists(events, geometry)
+    resident: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+    tag_at = [[[-1] * ways for _ in range(num_sets)] for _ in range(num_configs)]
+    pointer = [[0] * num_sets for _ in range(num_configs)]
+    misses = [0] * num_configs
+    evictions = [0] * num_configs
+    wp_fills = [0] * num_configs
+
+    for s, t, m, wpa_mask in zip(set_indices, tags, mandated, wpa_masks):
+        res = resident[s]
+        have = res.get(t, 0)
+        if have == full_mask:
+            continue  # resident in every config: the whole family hits
+        missing = full_mask & ~have
+        while missing:
+            low = missing & -missing
+            missing ^= low
+            c = low.bit_length() - 1
+            if low & wpa_mask:
+                way = m
+                wp_fills[c] += 1
+            else:
+                row_pointer = pointer[c]
+                way = row_pointer[s]
+                row_pointer[s] = way + 1 if way + 1 < ways else 0
+            row = tag_at[c][s]
+            old = row[way]
+            if old != -1:
+                evictions[c] += 1
+                old_mask = res[old] & ~low
+                if old_mask:
+                    res[old] = old_mask
+                else:
+                    del res[old]
+            row[way] = t
+            misses[c] += 1
+            have |= low
+        res[t] = have
+    return misses, evictions, wp_fills
+
+
+def batch_counters(
+    events: LineEventTrace,
+    geometry: CacheGeometry,
+    members: Sequence[BatchMember],
+) -> List[FetchCounters]:
+    """Replay ``events`` once for every member; counters in input order.
+
+    Every member must be :func:`batchable` (the planner guarantees this;
+    direct callers get a :class:`~repro.errors.SchemeError` otherwise), and
+    every returned :class:`FetchCounters` is bit-identical — field by
+    field — to the member's per-config kernel and reference scheme.
+    """
+    _check_stream(events, geometry)
+    resolved = [_resolve(member) for member in members]
+    for member in resolved:
+        _check_tlb(member.itlb_entries, member.page_size, member.wpa_size)
+    if not resolved:
+        return []
+
+    n = events.num_events
+    ways = geometry.ways
+    fetches = events.num_fetches
+
+    # -- the one sequential pass, configs sorted by effective threshold ----
+    order = sorted(range(len(resolved)), key=lambda i: resolved[i].threshold)
+    misses_s, evictions_s, wp_fills_s = _replay_states(
+        events, geometry, [resolved[i].threshold for i in order]
+    )
+    misses = [0] * len(resolved)
+    evictions = [0] * len(resolved)
+    wp_fills = [0] * len(resolved)
+    for slot, index in enumerate(order):
+        misses[index] = misses_s[slot]
+        evictions[index] = evictions_s[slot]
+        wp_fills[index] = wp_fills_s[slot]
+
+    # -- event-independent reductions, 2-D across way-placement members ----
+    wp_indices = [i for i, member in enumerate(resolved) if member.scheme == "way-placement"]
+    predicted = {}
+    false_pos = {}
+    false_neg = {}
+    wpa_extra = {}
+    if wp_indices and n:
+        thresholds = np.asarray(
+            [[resolved[i].wpa_size] for i in wp_indices], dtype=np.int64
+        )
+        flags = events.line_addrs[None, :] < thresholds  # (members, events)
+        hints = np.empty_like(flags)
+        hints[:, 0] = [resolved[i].hint_initial for i in wp_indices]
+        hints[:, 1:] = flags[:, :-1]
+        predicted_rows = np.count_nonzero(hints, axis=1)
+        false_pos_rows = np.count_nonzero(hints & ~flags, axis=1)
+        false_neg_rows = np.count_nonzero(flags & ~hints, axis=1)
+        extra = (events.counts - 1).astype(np.int64)
+        wpa_extra_rows = flags @ extra
+        for slot, index in enumerate(wp_indices):
+            predicted[index] = int(predicted_rows[slot])
+            false_pos[index] = int(false_pos_rows[slot])
+            false_neg[index] = int(false_neg_rows[slot])
+            wpa_extra[index] = int(wpa_extra_rows[slot])
+
+    # -- assemble per-member counters with the per-config formulas ---------
+    results: List[FetchCounters] = []
+    for index, member in enumerate(resolved):
+        counters = FetchCounters()
+        counters.fetches = fetches
+        counters.line_events = n
+        counters.itlb_accesses = n
+        counters.itlb_misses = itlb_misses(events, member.page_size, member.itlb_entries)
+        counters.hits = n - misses[index]
+        counters.misses = misses[index]
+        counters.fills = misses[index]
+        counters.evictions = evictions[index]
+        if member.scheme == "baseline":
+            if member.same_line_skip:
+                counters.same_line_fetches = fetches - n
+                counters.full_searches = n
+                counters.ways_precharged = ways * n
+            else:
+                counters.full_searches = fetches
+                counters.ways_precharged = ways * fetches
+        else:
+            hinted = predicted.get(index, 0)
+            fp = false_pos.get(index, 0)
+            full_searches = (n - hinted) + fp
+            single_way = hinted
+            ways_precharged = hinted + ways * full_searches
+            counters.second_accesses = fp
+            counters.extra_access_cycles = fp
+            counters.hint_false_positives = fp
+            counters.hint_false_negatives = false_neg.get(index, 0)
+            if member.same_line_skip:
+                counters.same_line_fetches = fetches - n
+            elif n:
+                in_wpa_extra = wpa_extra.get(index, 0)
+                other_extra = (fetches - n) - in_wpa_extra
+                single_way += in_wpa_extra
+                ways_precharged += in_wpa_extra
+                full_searches += other_extra
+                ways_precharged += ways * other_extra
+            counters.full_searches = full_searches
+            counters.single_way_searches = single_way
+            counters.ways_precharged = ways_precharged
+            counters.wp_fills = wp_fills[index]
+        counters.validate()
+        results.append(counters)
+    return results

@@ -29,7 +29,13 @@ import numpy as np
 from repro.cache.access import FetchCounters
 from repro.cache.geometry import CacheGeometry
 from repro.errors import CacheConfigError, SchemeError
-from repro.engine.arrays import geometry_arrays, page_numbers, way_hints, wpa_flags
+from repro.engine.arrays import (
+    geometry_lists,
+    itlb_misses,
+    way_hints,
+    wpa_flag_list,
+    wpa_flags,
+)
 from repro.trace.events import LineEventTrace
 from repro.utils.bitops import log2_exact, mask
 
@@ -68,37 +74,9 @@ def _check_tlb(itlb_entries: int, page_size: int, wpa_size: int) -> None:
         )
 
 
-def _itlb_misses(events: LineEventTrace, page_size: int, entries: int) -> int:
-    """Round-robin fully-associative TLB misses over the event stream.
-
-    Bit-identical to :class:`~repro.cache.itlb.InstructionTlb`: only events
-    whose page differs from the previous event's can miss, so the TLB state
-    machine runs over that (much shorter) subsequence.
-    """
-    n = events.num_events
-    if n == 0:
-        return 0
-    pages = page_numbers(events, log2_exact(page_size, "page size"))
-    changed = np.empty(n, dtype=bool)
-    changed[0] = True
-    np.not_equal(pages[1:], pages[:-1], out=changed[1:])
-    slots = [-1] * entries
-    resident = set()
-    pointer = 0
-    misses = 0
-    for page in pages[changed].tolist():
-        if page in resident:
-            continue
-        misses += 1
-        old = slots[pointer]
-        if old != -1:
-            resident.discard(old)
-        slots[pointer] = page
-        resident.add(page)
-        pointer += 1
-        if pointer == entries:
-            pointer = 0
-    return misses
+# Backwards-compatible alias: the TLB state machine now lives (memoised per
+# trace) in repro.engine.arrays so every cell of a sweep shares the count.
+_itlb_misses = itlb_misses
 
 
 def baseline_counters(
@@ -126,14 +104,14 @@ def baseline_counters(
         counters.full_searches = fetches
         counters.ways_precharged = ways * fetches
     counters.itlb_accesses = n
-    counters.itlb_misses = _itlb_misses(events, page_size, itlb_entries)
+    counters.itlb_misses = itlb_misses(events, page_size, itlb_entries)
 
-    set_indices, tags, _ = geometry_arrays(events, geometry)
+    set_indices, tags, _ = geometry_lists(events, geometry)
     way_of = [dict() for _ in range(geometry.num_sets)]
     tag_at = [[-1] * ways for _ in range(geometry.num_sets)]
     pointer = [0] * geometry.num_sets
     hits = misses = evictions = 0
-    for s, t in zip(set_indices.tolist(), tags.tolist()):
+    for s, t in zip(set_indices, tags):
         resident = way_of[s]
         if t in resident:
             hits += 1
@@ -184,7 +162,7 @@ def way_placement_counters(
     counters.fetches = fetches
     counters.line_events = n
     counters.itlb_accesses = n
-    counters.itlb_misses = _itlb_misses(events, page_size, itlb_entries)
+    counters.itlb_misses = itlb_misses(events, page_size, itlb_entries)
 
     flags = wpa_flags(events, wpa_size)
     hints = way_hints(events, wpa_size, hint_initial)
@@ -221,13 +199,13 @@ def way_placement_counters(
     # only ever resident in its mandated way) makes the single-way probe of
     # a correctly predicted access equivalent to a membership test, so one
     # loop covers all three prediction branches of the reference scheme.
-    set_indices, tags, _ = geometry_arrays(events, geometry)
+    set_indices, tags, _ = geometry_lists(events, geometry)
     way_mask = mask(geometry.way_bits)
     way_of = [dict() for _ in range(geometry.num_sets)]
     tag_at = [[-1] * ways for _ in range(geometry.num_sets)]
     pointer = [0] * geometry.num_sets
     hits = misses = wp_fills = evictions = 0
-    for s, t, in_wpa in zip(set_indices.tolist(), tags.tolist(), flags.tolist()):
+    for s, t, in_wpa in zip(set_indices, tags, wpa_flag_list(events, wpa_size)):
         resident = way_of[s]
         if t in resident:
             hits += 1

@@ -105,10 +105,15 @@ class TraceStore:
     #: semantic change in how artifacts are derived.
     FORMAT_VERSION = 1
 
+    _KINDS = ("blocks", "events", "profile")
+
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Session hit/miss counters per artifact kind (aggregated above).
+        self.kind_hits = {kind: 0 for kind in self._KINDS}
+        self.kind_misses = {kind: 0 for kind in self._KINDS}
         #: Set after an environment write failure: the store keeps serving
         #: reads but stops persisting (degrade to cache-off for writes).
         self.writes_disabled = False
@@ -170,6 +175,14 @@ class TraceStore:
         self.writes_disabled = True
         _warn_write_failure(self.root, error)
 
+    def _hit(self, kind: str) -> None:
+        self.hits += 1
+        self.kind_hits[kind] += 1
+
+    def _miss(self, kind: str) -> None:
+        self.misses += 1
+        self.kind_misses[kind] += 1
+
     @staticmethod
     def _cleanup(tmp: Path) -> None:
         try:
@@ -183,21 +196,21 @@ class TraceStore:
     def load_block_trace(self, key: str) -> Optional[BlockTrace]:
         path = self.path_for("blocks", key)
         if not path.exists():
-            self.misses += 1
+            self._miss("blocks")
             return None
         try:
             chaos_point("store.load", f"blocks:{key}")
             trace = trace_io.load_block_trace(path, expected_key=key)
         except OSError:
             # Transient environment fault: miss, but keep the entry.
-            self.misses += 1
+            self._miss("blocks")
             return None
         except Exception:
             # Corrupt/truncated/stale entry (TraceError, BadZipFile, ...).
             self._discard(path)
-            self.misses += 1
+            self._miss("blocks")
             return None
-        self.hits += 1
+        self._hit("blocks")
         return trace
 
     def save_block_trace(self, key: str, trace: BlockTrace) -> Optional[Path]:
@@ -220,19 +233,19 @@ class TraceStore:
     def load_events(self, key: str) -> Optional[LineEventTrace]:
         path = self.path_for("events", key)
         if not path.exists():
-            self.misses += 1
+            self._miss("events")
             return None
         try:
             chaos_point("store.load", f"events:{key}")
             events = trace_io.load_events(path, expected_key=key)
         except OSError:
-            self.misses += 1
+            self._miss("events")
             return None
         except Exception:
             self._discard(path)
-            self.misses += 1
+            self._miss("events")
             return None
-        self.hits += 1
+        self._hit("events")
         return events
 
     def save_events(self, key: str, events: LineEventTrace) -> Optional[Path]:
@@ -258,7 +271,7 @@ class TraceStore:
     def load_profile(self, key: str) -> Optional[ProfileData]:
         path = self.path_for("profile", key)
         if not path.exists():
-            self.misses += 1
+            self._miss("profile")
             return None
         try:
             chaos_point("store.load", f"profile:{key}")
@@ -271,9 +284,9 @@ class TraceStore:
             profile = ProfileData.load(path)
         except Exception:
             self._discard(path)
-            self.misses += 1
+            self._miss("profile")
             return None
-        self.hits += 1
+        self._hit("profile")
         return profile
 
     def save_profile(self, key: str, profile: ProfileData) -> Optional[Path]:
@@ -312,23 +325,26 @@ class TraceStore:
         return counts
 
     def stats(self) -> Dict[str, object]:
-        """Directory, per-kind counts, and total size in bytes."""
+        """Directory, per-kind counts/bytes, and this session's hit rates."""
         counts = self.entries()
-        total_bytes = 0
+        kind_bytes = {kind: 0 for kind in self._KINDS}
         if self.root.is_dir():
             for path in self.root.iterdir():
                 kind = path.name.split("-", 1)[0]
                 if kind in counts:
                     try:
-                        total_bytes += path.stat().st_size
+                        kind_bytes[kind] += path.stat().st_size
                     except OSError:
                         pass
         return {
             "dir": str(self.root),
             "entries": counts,
-            "total_bytes": total_bytes,
+            "kind_bytes": kind_bytes,
+            "total_bytes": sum(kind_bytes.values()),
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_kind_hits": dict(self.kind_hits),
+            "session_kind_misses": dict(self.kind_misses),
             "writes_disabled": self.writes_disabled,
         }
 

@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 _SITES = frozenset(
-    {"store.load", "store.save", "store.discard", "worker", "kernel", "cell"}
+    {"store.load", "store.save", "store.discard", "worker", "kernel", "cell", "family"}
 )
 _FAULTS = frozenset(
     {"crash", "hang", "raise", "enospc", "eacces", "sanitizer", "truncate"}

@@ -64,7 +64,7 @@ from repro.sim.report import SimulationReport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.grid import GridCell
 
-__all__ = ["GridSummary", "run_cell", "supervise_grid"]
+__all__ = ["GridSummary", "run_cell", "run_cells", "supervise_grid"]
 
 #: Seconds between scheduler polls of the active worker set.
 _POLL_INTERVAL_S = 0.01
@@ -162,6 +162,83 @@ def run_cell(
 
 
 # ---------------------------------------------------------------------------
+# Chunk execution: batch families first, then the per-cell ladder
+# ---------------------------------------------------------------------------
+def _batch_planning_enabled(runner: Any) -> bool:
+    """Should this chunk coalesce cells into batched families?
+
+    Only when the runner's engine resolves to ``batch`` and the runner can
+    actually execute a family.  An invalid engine name returns ``False`` so
+    the per-cell path surfaces the proper error.
+    """
+    if not hasattr(runner, "report_family"):
+        return False
+    try:
+        from repro.sim.simulator import resolve_engine
+
+        return resolve_engine(getattr(runner, "engine", None)) == "batch"
+    except Exception:
+        return False
+
+
+def run_cells(
+    runner: Any,
+    cells: Sequence["GridCell"],
+    config: ResilienceConfig,
+    failures: List[FailureReport],
+    emit: Callable[[int, SimulationReport], None],
+    fail: Callable[[int, BaseException], None],
+) -> None:
+    """Simulate a chunk of cells, batching trace-sharing families.
+
+    ``emit(index, report)`` is called for every completed cell and
+    ``fail(index, error)`` for every cell that exhausted the ladder, both
+    with indices into ``cells``.  Under the ``batch`` engine, cells are
+    first coalesced into families (:func:`repro.engine.grid.plan_families`)
+    and each family replays with one trace traversal; a family that fails
+    for *any* reason — sanitizer trip, kernel bug, injected fault — records
+    a recovered :class:`FailureReport` and its members degrade to the
+    per-cell retry/backoff/engine-fallback ladder of :func:`run_cell`, so
+    batching never weakens supervision.
+    """
+    singles = list(range(len(cells)))
+    if len(cells) > 1 and _batch_planning_enabled(runner):
+        from repro.engine.grid import plan_families
+
+        families, singles = plan_families(cells, runner._resolve_layout_policy)
+        for family in families:
+            members = [cells[index] for index in family.indices]
+            token = (
+                f"{family.benchmark}:{family.layout_policy.value}"
+                f":{len(members)}-cell family"
+            )
+            try:
+                reports = runner.report_family(members)
+            except Exception as error:
+                failures.append(
+                    FailureReport(
+                        site="family",
+                        benchmark=family.benchmark,
+                        cell=token,
+                        attempts=1,
+                        causes=tuple(cause_chain(error)),
+                        recovery="per-cell",
+                        recovered=True,
+                    )
+                )
+                singles.extend(family.indices)
+                continue
+            for index, report in zip(family.indices, reports):
+                emit(index, report)
+        singles.sort()
+    for index in singles:
+        try:
+            emit(index, run_cell(runner, cells[index], config, failures))
+        except RetriesExhausted as error:
+            fail(index, error)
+
+
+# ---------------------------------------------------------------------------
 # Worker processes (one per benchmark-chunk attempt)
 # ---------------------------------------------------------------------------
 def _chunk_worker_main(
@@ -189,11 +266,15 @@ def _chunk_worker_main(
         from repro.experiments.runner import ExperimentRunner
 
         runner = ExperimentRunner(**spec)
-        for index, cell in enumerate(cells):
-            try:
-                results.append((index, run_cell(runner, cell, config, failures)))
-            except RetriesExhausted as exc:
-                error = f"{type(exc).__name__}: {exc}"
+
+        def emit(index: int, report: SimulationReport) -> None:
+            results.append((index, report))
+
+        def fail(index: int, exc: BaseException) -> None:
+            nonlocal error
+            error = f"{type(exc).__name__}: {exc}"
+
+        run_cells(runner, cells, config, failures, emit, fail)
         conn.send(("done", results, failures, error))
     except BaseException as exc:  # noqa: B036 - report, then die
         try:
@@ -471,13 +552,17 @@ def supervise_grid(
 
     def run_in_process(benchmark: str, group: List["GridCell"]) -> None:
         nonlocal first_error
-        for cell in group:
-            try:
-                adopt(cell, run_cell(runner, cell, config, failures))
-            except RetriesExhausted as error:
-                failed.add(cell_content_key(cell))
-                if first_error is None:
-                    first_error = error
+
+        def emit(index: int, report: SimulationReport) -> None:
+            adopt(group[index], report)
+
+        def fail(index: int, error: BaseException) -> None:
+            nonlocal first_error
+            failed.add(cell_content_key(group[index]))
+            if first_error is None:
+                first_error = error
+
+        run_cells(runner, group, config, failures, emit, fail)
         if journal is not None:
             journal.flush()
 

@@ -31,16 +31,19 @@ from repro.trace.events import LineEventTrace
 from repro.trace.executor import CfgWalker
 from repro.trace.fetch import line_events_from_block_trace
 
-__all__ = ["Simulator", "simulate"]
+__all__ = ["Simulator", "resolve_engine", "scheme_options", "simulate"]
 
 #: Replay engine choices: ``auto`` uses a vectorized kernel when one exists
 #: and falls back to the reference scheme; ``vector`` demands the kernel
 #: (raising when there is none); ``reference`` always runs the pure-Python
-#: scheme objects.
-_ENGINES = ("auto", "vector", "reference")
+#: scheme objects; ``batch`` behaves like ``auto`` for a single replay but
+#: additionally lets the grid planner coalesce cells sharing a trace into
+#: one batched traversal (see :mod:`repro.engine.batch`).
+_ENGINES = ("auto", "vector", "reference", "batch")
 
 
-def _resolve_engine(engine: Optional[str]) -> str:
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine name, defaulting to ``$REPRO_ENGINE`` then ``auto``."""
     if engine is None:
         engine = os.environ.get("REPRO_ENGINE", "auto")
     if engine not in _ENGINES:
@@ -48,6 +51,47 @@ def _resolve_engine(engine: Optional[str]) -> str:
             f"unknown replay engine {engine!r}; choose from {', '.join(_ENGINES)}"
         )
     return engine
+
+
+# Backwards-compatible alias (pre-batch-engine name).
+_resolve_engine = resolve_engine
+
+
+def scheme_options(
+    machine: MachineConfig,
+    scheme: str,
+    wpa_size: int = 0,
+    same_line_skip: Optional[bool] = None,
+    l0_size: int = 512,
+    memo_invalidation: str = "exact",
+) -> dict:
+    """The validated option dict a scheme constructor/kernel takes.
+
+    This is the single place the (machine, cell) -> scheme-options mapping
+    lives: ``Simulator.run_events`` uses it per replay and the batch planner
+    uses it to decide family membership (an option set the batched kernel
+    does not model keeps the cell on the per-cell engines).
+    """
+    options: dict = {
+        "itlb_entries": machine.itlb_entries,
+        "page_size": machine.page_size,
+    }
+    if scheme == "way-placement":
+        if wpa_size % machine.page_size:
+            raise SchemeError(
+                f"way-placement area ({wpa_size}B) must be a multiple of "
+                f"the page size ({machine.page_size}B)"
+            )
+        options["wpa_size"] = wpa_size
+    elif wpa_size:
+        raise SchemeError(f"scheme {scheme!r} does not take a way-placement area")
+    if scheme == "filter-cache":
+        options["l0_size"] = l0_size
+    elif same_line_skip is not None:
+        options["same_line_skip"] = same_line_skip
+    if scheme == "way-memoization":
+        options["invalidation"] = memo_invalidation
+    return options
 
 
 class Simulator:
@@ -66,7 +110,7 @@ class Simulator:
             energy_params if energy_params is not None else EnergyParams()
         )
         self.organisation = organisation
-        self.engine = _resolve_engine(engine)
+        self.engine = resolve_engine(engine)
         self.sanitize = sanitize
         self._processor_model = ProcessorEnergyModel(self.energy_params)
 
@@ -88,25 +132,14 @@ class Simulator:
         the rest-of-core energy term (see ``ProcessorEnergyModel``).
         """
         machine = self.machine
-        options = {
-            "itlb_entries": machine.itlb_entries,
-            "page_size": machine.page_size,
-        }
-        if scheme == "way-placement":
-            if wpa_size % machine.page_size:
-                raise SchemeError(
-                    f"way-placement area ({wpa_size}B) must be a multiple of "
-                    f"the page size ({machine.page_size}B)"
-                )
-            options["wpa_size"] = wpa_size
-        elif wpa_size:
-            raise SchemeError(f"scheme {scheme!r} does not take a way-placement area")
-        if scheme == "filter-cache":
-            options["l0_size"] = l0_size
-        elif same_line_skip is not None:
-            options["same_line_skip"] = same_line_skip
-        if scheme == "way-memoization":
-            options["invalidation"] = memo_invalidation
+        options = scheme_options(
+            machine,
+            scheme,
+            wpa_size=wpa_size,
+            same_line_skip=same_line_skip,
+            l0_size=l0_size,
+            memo_invalidation=memo_invalidation,
+        )
 
         counters = None
         if self.engine != "reference" and scheme in FAST_SCHEMES:
@@ -138,6 +171,34 @@ class Simulator:
             else:
                 counters = fetch_scheme.run(events)
 
+        return self.price(
+            counters,
+            scheme,
+            benchmark=benchmark,
+            layout_description=layout_description,
+            wpa_size=wpa_size,
+            l0_size=l0_size,
+            mem_fraction=mem_fraction,
+        )
+
+    def price(
+        self,
+        counters,
+        scheme: str,
+        benchmark: str = "unnamed",
+        layout_description: str = "",
+        wpa_size: int = 0,
+        l0_size: int = 512,
+        mem_fraction: float = 0.25,
+    ) -> SimulationReport:
+        """Price already-computed counters into a :class:`SimulationReport`.
+
+        The pricing tail of :meth:`run_events`, factored out so the batched
+        replay path (:mod:`repro.engine.batch`, which produces counters for
+        a whole family at once) shares the energy/cycle models and the
+        sanitizer's energy cross-check with the per-cell paths.
+        """
+        machine = self.machine
         cache_model = CacheEnergyModel(
             machine.icache,
             self.energy_params,

@@ -1,0 +1,264 @@
+"""Batched replay equivalence: one traversal, bit-identical per member.
+
+The batched kernel (:mod:`repro.engine.batch`) is only allowed to exist
+because it is indistinguishable from the engines it accelerates.  This
+suite pins that down three ways:
+
+* **kernel equivalence** — for mixed families (a WPA sweep, baseline and
+  way-placement together, ``same_line_skip`` on and off, divergent I-TLB
+  shapes), every :class:`~repro.cache.access.FetchCounters` field from
+  ``batch_counters`` equals the per-config kernel *and* the reference
+  scheme, on Hypothesis-generated and large seeded streams;
+* **planner behaviour** — :func:`~repro.engine.grid.plan_families` groups
+  exactly the cells sharing (benchmark, resolved layout policy, geometry),
+  and leaves non-batchable, invalid, and lone cells on the per-cell path;
+* **supervision** — a chaos fault injected at the new ``family`` site
+  degrades the family to per-cell replay with a recovered
+  :class:`~repro.resilience.policy.FailureReport`, and the grid results
+  stay bit-identical to the reference engine.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.access import FetchCounters
+from repro.engine.batch import BatchMember, batch_counters, batchable
+from repro.engine.grid import GridCell, plan_families
+from repro.engine.kernels import fast_counters
+from repro.errors import ExperimentError, SchemeError
+from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosConfig, ChaosRule
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from repro.trace.events import SEQUENTIAL_SLOT
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+from tests.test_schemes_equivalence import event_streams
+
+KB = 1024
+
+# A deliberately adversarial family: baseline and way-placement mixed, a WPA
+# sweep with a duplicate point, same_line_skip toggled against each kernel's
+# default, a non-default hint seed, and a tiny I-TLB.  Listed out of
+# threshold order so the results must be mapped back to input order.
+MIXED_FAMILY = [
+    BatchMember("way-placement", {"wpa_size": 256, "page_size": 16}),
+    BatchMember("baseline", {"page_size": 16}),
+    BatchMember("way-placement", {"wpa_size": 0, "page_size": 16}),
+    BatchMember("way-placement", {"wpa_size": 64, "page_size": 16}),
+    BatchMember(
+        "way-placement",
+        {"wpa_size": 256, "page_size": 16, "same_line_skip": False},
+    ),
+    BatchMember("baseline", {"page_size": 16, "same_line_skip": True}),
+    BatchMember(
+        "way-placement",
+        {"wpa_size": 128, "page_size": 16, "hint_initial": True},
+    ),
+    BatchMember(
+        "way-placement",
+        {"wpa_size": 64, "page_size": 16, "itlb_entries": 2},
+    ),
+    BatchMember("way-placement", {"wpa_size": 64, "page_size": 16}),
+]
+
+
+def reference_counters(member, events):
+    cls = BaselineScheme if member.scheme == "baseline" else WayPlacementScheme
+    return cls(TINY_GEOMETRY, **dict(member.options)).run(events)
+
+
+def assert_identical(actual, expected, member):
+    for field in dataclasses.fields(FetchCounters):
+        assert getattr(actual, field.name) == getattr(expected, field.name), (
+            f"{field.name} diverges for {member}: "
+            f"{getattr(actual, field.name)} != {getattr(expected, field.name)}"
+        )
+
+
+class TestKernelEquivalence:
+    @given(event_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_family_matches_kernels_and_reference(self, specs):
+        events = events_from(specs)
+        batched = batch_counters(events, TINY_GEOMETRY, MIXED_FAMILY)
+        assert len(batched) == len(MIXED_FAMILY)
+        for member, counters in zip(MIXED_FAMILY, batched):
+            kernel = fast_counters(
+                member.scheme, events, TINY_GEOMETRY, **dict(member.options)
+            )
+            assert_identical(counters, kernel, member)
+            assert_identical(counters, reference_counters(member, events), member)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_seeded_large_streams(self, seed):
+        rng = random.Random(seed)
+        specs = []
+        previous = None
+        for _ in range(600):
+            line = rng.randrange(120)
+            if line == previous:
+                line = (line + 1) % 120
+            previous = line
+            specs.append(
+                (
+                    line * 16,
+                    rng.randint(1, 8),
+                    rng.choice([SEQUENTIAL_SLOT, 0, 1, 2, 3]),
+                )
+            )
+        events = events_from(specs)
+        for member, counters in zip(
+            MIXED_FAMILY, batch_counters(events, TINY_GEOMETRY, MIXED_FAMILY)
+        ):
+            kernel = fast_counters(
+                member.scheme, events, TINY_GEOMETRY, **dict(member.options)
+            )
+            assert_identical(counters, kernel, member)
+
+    def test_empty_trace(self):
+        empty = events_from([])
+        for member, counters in zip(
+            MIXED_FAMILY, batch_counters(empty, TINY_GEOMETRY, MIXED_FAMILY)
+        ):
+            assert_identical(
+                counters,
+                fast_counters(
+                    member.scheme, empty, TINY_GEOMETRY, **dict(member.options)
+                ),
+                member,
+            )
+
+    def test_no_members_is_empty(self):
+        events = events_from([(0, 1), (16, 2)])
+        assert batch_counters(events, TINY_GEOMETRY, []) == []
+
+
+class TestBatchableGate:
+    def test_gate(self):
+        assert batchable("baseline", {})
+        assert batchable("baseline", {"page_size": 16, "same_line_skip": True})
+        assert batchable("way-placement", {"wpa_size": 64, "hint_initial": True})
+        assert not batchable("baseline", {"l0_size": 64})
+        assert not batchable("way-placement", {"invalidation": "exact"})
+        assert not batchable("way-memoization", {})
+        assert not batchable("filter-cache", {"l0_size": 64})
+
+    def test_non_batchable_member_raises(self):
+        events = events_from([(0, 1)])
+        with pytest.raises(SchemeError, match="not\\s+batchable"):
+            batch_counters(
+                events, TINY_GEOMETRY, [BatchMember("way-memoization", {})]
+            )
+
+    def test_wpa_base_rejected(self):
+        events = events_from([(0, 1)])
+        member = BatchMember(
+            "way-placement", {"wpa_size": 64, "page_size": 16, "wpa_base": 64}
+        )
+        with pytest.raises(SchemeError, match="beginning"):
+            batch_counters(events, TINY_GEOMETRY, [member])
+
+    def test_negative_wpa_rejected(self):
+        events = events_from([(0, 1)])
+        member = BatchMember("way-placement", {"wpa_size": -16, "page_size": 16})
+        with pytest.raises(SchemeError):
+            batch_counters(events, TINY_GEOMETRY, [member])
+
+
+def make_runner(**kwargs):
+    kwargs.setdefault("eval_instructions", 8_000)
+    kwargs.setdefault("profile_instructions", 4_000)
+    return ExperimentRunner(cache_dir="off", **kwargs)
+
+
+SWEEP_CELLS = [
+    GridCell("crc", "baseline"),
+    GridCell("crc", "way-placement", wpa_size=4 * KB),
+    GridCell("crc", "way-placement", wpa_size=8 * KB),
+    GridCell("crc", "way-placement", wpa_size=16 * KB),
+]
+
+
+class TestPlanner:
+    def test_groups_by_benchmark_policy_and_geometry(self):
+        runner = make_runner()
+        cells = SWEEP_CELLS + [
+            GridCell("sha", "way-placement", wpa_size=8 * KB),
+            GridCell("crc", "way-memoization"),
+        ]
+        families, singles = plan_families(cells, runner._resolve_layout_policy)
+        assert len(families) == 1
+        family = families[0]
+        assert family.benchmark == "crc"
+        assert family.layout_policy is LayoutPolicy.WAY_PLACEMENT
+        assert family.geometry == cells[1].machine.icache
+        assert family.indices == (1, 2, 3)
+        # baseline is alone in its (crc, ORIGINAL) group; the sha sweep
+        # point is alone in its trace group; way-memoization has no kernel.
+        assert singles == [0, 4, 5]
+
+    def test_two_baselines_form_a_family(self):
+        runner = make_runner()
+        cells = [
+            GridCell("crc", "baseline"),
+            GridCell("crc", "baseline", same_line_skip=True),
+        ]
+        families, singles = plan_families(cells, runner._resolve_layout_policy)
+        assert len(families) == 1 and families[0].indices == (0, 1)
+        assert families[0].layout_policy is LayoutPolicy.ORIGINAL
+        assert singles == []
+
+    def test_invalid_cell_left_for_per_cell_diagnosis(self):
+        runner = make_runner()
+        # 1000B is not a multiple of the 1KB page size: scheme_options
+        # raises, and the planner must leave the cell on the per-cell path
+        # so the error surfaces with the usual supervision context.
+        cells = SWEEP_CELLS + [GridCell("crc", "way-placement", wpa_size=1000)]
+        families, singles = plan_families(cells, runner._resolve_layout_policy)
+        assert families and families[0].indices == (1, 2, 3)
+        assert 4 in singles
+
+
+class TestFamilyExecution:
+    def test_report_family_rejects_mixed_traces(self):
+        runner = make_runner()
+        with pytest.raises(ExperimentError, match="sharing"):
+            runner.report_family(
+                [
+                    GridCell("crc", "way-placement", wpa_size=4 * KB),
+                    GridCell("sha", "way-placement", wpa_size=4 * KB),
+                ]
+            )
+
+    def test_run_grid_batch_matches_reference(self):
+        batch_reports = make_runner(engine="batch").run_grid(SWEEP_CELLS)
+        reference_reports = make_runner(engine="reference").run_grid(SWEEP_CELLS)
+        for cell, batch_report, reference_report in zip(
+            SWEEP_CELLS, batch_reports, reference_reports
+        ):
+            assert batch_report.counters == reference_report.counters, cell
+            assert batch_report.breakdown == reference_report.breakdown, cell
+            assert batch_report.cycles == reference_report.cycles, cell
+
+    def test_family_failure_degrades_to_per_cell(self):
+        runner = make_runner(engine="batch")
+        rule = ChaosRule("family", "raise", match="crc", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            reports = runner.run_grid(SWEEP_CELLS)
+
+        incidents = [f for f in runner.last_failures if f.site == "family"]
+        assert incidents, "family fault left no FailureReport"
+        incident = incidents[0]
+        assert incident.recovered and incident.recovery == "per-cell"
+        assert incident.benchmark == "crc"
+        assert "3-cell family" in incident.cell
+        assert "InjectedFault" in incident.causes[0]
+
+        reference_reports = make_runner(engine="reference").run_grid(SWEEP_CELLS)
+        for report, reference_report in zip(reports, reference_reports):
+            assert report.counters == reference_report.counters

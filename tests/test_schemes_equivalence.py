@@ -99,13 +99,22 @@ def test_way_placement_invariant_holds_for_any_stream(specs):
 
 @given(event_streams())
 @settings(max_examples=40, deadline=None)
-def test_way_placement_never_precharges_more_than_baseline(specs):
+def test_way_placement_precharge_bound_vs_baseline(specs):
+    """Way placement beats baseline precharge up to misprediction overhead.
+
+    Each hint false positive costs a corrective full search (`ways` extra
+    precharges), so an adversarial stream that mispredicts on nearly every
+    transition can precharge *more* than baseline — the unconditional
+    "never more than baseline" claim only holds for streams with locality.
+    The bound that holds for any stream is baseline + ways * false_positives.
+    """
     events = events_from(specs)
     base = BaselineScheme(TINY_GEOMETRY, page_size=16).run(events)
     placed = WayPlacementScheme(
         TINY_GEOMETRY, wpa_size=256, page_size=16
     ).run(events)
-    assert placed.ways_precharged <= base.ways_precharged
+    slack = TINY_GEOMETRY.ways * placed.hint_false_positives
+    assert placed.ways_precharged <= base.ways_precharged + slack
 
 
 @given(event_streams())
