@@ -2,17 +2,21 @@
 """Run the engine/throughput benches and snapshot the numbers.
 
 Executes ``benchmarks/test_bench_engine.py`` (kernel speedup, the batched
-16-point WPA sweep, warm-cache startup) with ``$REPRO_BENCH_JSON`` pointed
-at a scratch file, then assembles ``BENCH_engine.json`` at the repository
-root: replay events/sec per engine, grid wall time per engine, and the
-batch speedup, plus enough environment metadata to compare snapshots
-across machines.  The file is meant to be checked in, so the bench
-trajectory of the repository is visible in history.
+16-point WPA sweep, the differential 256-point sweep, warm-cache startup)
+with ``$REPRO_BENCH_JSON`` pointed at a scratch file, then assembles
+``BENCH_engine.json`` at the repository root: replay events/sec per
+engine, grid wall time per engine, and the batch/differential speedups,
+plus enough environment metadata to compare snapshots across machines.
+Wall times are best-of-N (``--repeats``, default 3) so the checked-in
+speedup claims aren't single-run noise; N is recorded in the snapshot's
+``environment`` block.  The file is meant to be checked in, so the bench
+trajectory of the repository is visible in history — and
+``scripts/bench_compare.py`` gates CI on it.
 
 Usage::
 
     python scripts/bench_snapshot.py            # writes BENCH_engine.json
-    python scripts/bench_snapshot.py --output somewhere/else.json
+    python scripts/bench_snapshot.py --output somewhere/else.json --repeats 5
 """
 
 from __future__ import annotations
@@ -31,9 +35,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILES = ["benchmarks/test_bench_engine.py"]
 
 
-def run_benches(metrics_path: Path) -> int:
+def run_benches(metrics_path: Path, repeats: int) -> int:
     env = dict(os.environ)
     env["REPRO_BENCH_JSON"] = str(metrics_path)
+    env["REPRO_BENCH_REPEATS"] = str(repeats)
     env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
     command = [
         sys.executable,
@@ -55,11 +60,20 @@ def main() -> int:
         default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the snapshot (default: BENCH_engine.json)",
     )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N wall times per metric (default: 3; recorded in the "
+        "snapshot's environment block)",
+    )
     args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
 
     with tempfile.TemporaryDirectory() as scratch:
         metrics_path = Path(scratch) / "metrics.json"
-        status = run_benches(metrics_path)
+        status = run_benches(metrics_path, args.repeats)
         if status != 0:
             print(f"benches failed (exit {status}); no snapshot written")
             return status
@@ -80,6 +94,7 @@ def main() -> int:
             "numpy": numpy.__version__,
             "machine": platform.machine(),
             "system": platform.system(),
+            "bench_repeats": args.repeats,
         },
         "metrics": metrics,
     }

@@ -243,9 +243,11 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         default=None,
-        choices=["auto", "vector", "reference", "batch"],
+        choices=["auto", "vector", "reference", "batch", "differential"],
         help="replay engine (default auto or $REPRO_ENGINE; 'batch' replays "
-        "trace-sharing grid cells in one traversal; see docs/performance.md)",
+        "trace-sharing grid cells in one traversal, 'differential' also "
+        "shares state between adjacent sweep configs; see "
+        "docs/performance.md)",
     )
     parser.add_argument(
         "--cache-dir",

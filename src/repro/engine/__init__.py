@@ -9,6 +9,10 @@ Three layers, each usable on its own:
   trace emitting bit-identical counters for a whole family of
   configurations at once (the ``batch`` engine's grid planner lives in
   :mod:`repro.engine.grid`);
+* :mod:`repro.engine.differential` — the delta-driven family tier: sweep
+  families replay with adjacent configs sharing per-set state snapshots,
+  paying per-config work only inside divergence windows (the
+  ``differential`` engine);
 * :mod:`repro.engine.store` — a content-hash-keyed on-disk cache for block
   traces, profiles, and line-event traces (``REPRO_CACHE_DIR``, default
   ``.repro_cache/``), so fresh processes stop re-walking CFGs;
@@ -27,10 +31,12 @@ from repro.engine.arrays import (
     geometry_lists,
     itlb_misses,
     page_numbers,
+    sweep_aggregates,
     way_hints,
     wpa_flags,
 )
 from repro.engine.batch import BatchMember, batch_counters, batchable
+from repro.engine.differential import differential_counters
 from repro.engine.grid import BatchFamily, GridCell, plan_families, run_grid
 from repro.engine.kernels import (
     FAST_SCHEMES,
@@ -49,6 +55,7 @@ __all__ = [
     "baseline_counters",
     "batch_counters",
     "batchable",
+    "differential_counters",
     "fast_counters",
     "geometry_arrays",
     "geometry_lists",
@@ -58,6 +65,7 @@ __all__ = [
     "plan_families",
     "program_digest",
     "run_grid",
+    "sweep_aggregates",
     "way_hints",
     "way_placement_counters",
     "wpa_flags",

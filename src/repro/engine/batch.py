@@ -36,7 +36,7 @@ bit-identity field by field (``tests/test_engine_batch.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,27 @@ from repro.engine.kernels import (
 from repro.trace.events import LineEventTrace
 
 __all__ = ["BatchMember", "batch_counters", "batchable"]
+
+#: Signature of a sequential family replay: ascending effective thresholds in,
+#: per-config ``(misses, evictions, wp_fills)`` out.  ``_replay_states`` below
+#: is the bitmask implementation; :mod:`repro.engine.differential` plugs in a
+#: delta-driven one.  Both feed the same assembly (:func:`_family_counters`),
+#: so everything outside the sequential pass is shared by construction.
+FamilyReplay = Callable[
+    [LineEventTrace, CacheGeometry, List[int]],
+    Tuple[List[int], List[int], List[int]],
+]
+
+#: Signature of the event-independent sweep reductions: given the resolved
+#: members and the indices of the way-placement ones, return per-index dicts
+#: ``(predicted, false_pos, false_neg, wpa_extra)``.  ``_dense_reductions``
+#: below is the 2-D ``(configs, events)`` implementation; the differential
+#: tier substitutes threshold-indexed lookups into per-trace sorted
+#: aggregates (:func:`repro.engine.arrays.sweep_aggregates`).
+FamilyReductions = Callable[
+    [LineEventTrace, List["_Member"], List[int]],
+    Tuple[Dict[int, int], Dict[int, int], Dict[int, int], Dict[int, int]],
+]
 
 
 @dataclass(frozen=True)
@@ -153,28 +174,35 @@ def _replay_states(
     num_sets = geometry.num_sets
     full_mask = (1 << num_configs) - 1
 
-    # Per-event bitmask of configs whose WPA contains the address: with
-    # ascending thresholds the flag column is a suffix, found for all sweep
-    # points at once by one searchsorted against the address array.
+    # Per-event *position* of the address among the ascending thresholds:
+    # configs ``>= position`` contain the address in their WPA, so the flag
+    # column is the suffix mask ``suffix_masks[position]``.  The mask itself
+    # is looked up lazily on the miss path — materializing one
+    # arbitrary-precision int per trace event (as earlier revisions did)
+    # costs O(events * configs/64) memory for no speedup, since resident-
+    # everywhere events (the common case) never consult it.
     positions = np.searchsorted(
         np.asarray(thresholds, dtype=np.int64), events.line_addrs, side="right"
     )
     suffix_masks = [(full_mask >> k) << k for k in range(num_configs + 1)]
-    wpa_masks = [suffix_masks[k] for k in positions.tolist()]
 
     set_indices, tags, mandated = geometry_lists(events, geometry)
     resident: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
-    tag_at = [[[-1] * ways for _ in range(num_sets)] for _ in range(num_configs)]
+    # Residency as struct-of-arrays: one preallocated (configs, sets, ways)
+    # NumPy block instead of nested Python lists (a 256-config sweep over a
+    # 1024-set cache would otherwise allocate millions of boxed ints).
+    tag_at = np.full((num_configs, num_sets, ways), -1, dtype=np.int64)
     pointer = [[0] * num_sets for _ in range(num_configs)]
     misses = [0] * num_configs
     evictions = [0] * num_configs
     wp_fills = [0] * num_configs
 
-    for s, t, m, wpa_mask in zip(set_indices, tags, mandated, wpa_masks):
+    for s, t, m, position in zip(set_indices, tags, mandated, positions.tolist()):
         res = resident[s]
         have = res.get(t, 0)
         if have == full_mask:
             continue  # resident in every config: the whole family hits
+        wpa_mask = suffix_masks[position]
         missing = full_mask & ~have
         while missing:
             low = missing & -missing
@@ -187,8 +215,8 @@ def _replay_states(
                 row_pointer = pointer[c]
                 way = row_pointer[s]
                 row_pointer[s] = way + 1 if way + 1 < ways else 0
-            row = tag_at[c][s]
-            old = row[way]
+            row = tag_at[c, s]
+            old = int(row[way])
             if old != -1:
                 evictions[c] += 1
                 old_mask = res[old] & ~low
@@ -203,17 +231,58 @@ def _replay_states(
     return misses, evictions, wp_fills
 
 
-def batch_counters(
+def _dense_reductions(
+    events: LineEventTrace,
+    resolved: List[_Member],
+    wp_indices: List[int],
+) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, int], Dict[int, int]]:
+    """Event-independent reductions as 2-D NumPy over ``(members, events)``.
+
+    One broadcast of the shared address array against every way-placement
+    threshold; hints are the flag matrix shifted one event right.  Linear in
+    ``members x events`` — ideal for the handful-of-points sweeps the batch
+    tier serves, and the oracle the differential tier's O(log events)
+    per-member lookups must match bit for bit.
+    """
+    thresholds = np.asarray(
+        [[resolved[i].wpa_size] for i in wp_indices], dtype=np.int64
+    )
+    flags = events.line_addrs[None, :] < thresholds  # (members, events)
+    hints = np.empty_like(flags)
+    hints[:, 0] = [resolved[i].hint_initial for i in wp_indices]
+    hints[:, 1:] = flags[:, :-1]
+    predicted_rows = np.count_nonzero(hints, axis=1)
+    false_pos_rows = np.count_nonzero(hints & ~flags, axis=1)
+    false_neg_rows = np.count_nonzero(flags & ~hints, axis=1)
+    extra = (events.counts - 1).astype(np.int64)
+    wpa_extra_rows = flags @ extra
+    predicted = {}
+    false_pos = {}
+    false_neg = {}
+    wpa_extra = {}
+    for slot, index in enumerate(wp_indices):
+        predicted[index] = int(predicted_rows[slot])
+        false_pos[index] = int(false_pos_rows[slot])
+        false_neg[index] = int(false_neg_rows[slot])
+        wpa_extra[index] = int(wpa_extra_rows[slot])
+    return predicted, false_pos, false_neg, wpa_extra
+
+
+def _family_counters(
     events: LineEventTrace,
     geometry: CacheGeometry,
     members: Sequence[BatchMember],
+    replay: FamilyReplay,
+    reductions: FamilyReductions = _dense_reductions,
 ) -> List[FetchCounters]:
-    """Replay ``events`` once for every member; counters in input order.
+    """Shared family assembly around pluggable pass and reduction stages.
 
-    Every member must be :func:`batchable` (the planner guarantees this;
-    direct callers get a :class:`~repro.errors.SchemeError` otherwise), and
-    every returned :class:`FetchCounters` is bit-identical — field by
-    field — to the member's per-config kernel and reference scheme.
+    Everything else is identical for every family engine: option
+    resolution, the threshold sort, and the per-member counter formulas.
+    ``replay`` supplies the per-config ``(misses, evictions, wp_fills)``
+    for the ascending threshold list; ``reductions`` supplies the
+    event-independent per-member counts — the two parts the ``batch`` and
+    ``differential`` tiers implement differently.
     """
     _check_stream(events, geometry)
     resolved = [_resolve(member) for member in members]
@@ -228,7 +297,7 @@ def batch_counters(
 
     # -- the one sequential pass, configs sorted by effective threshold ----
     order = sorted(range(len(resolved)), key=lambda i: resolved[i].threshold)
-    misses_s, evictions_s, wp_fills_s = _replay_states(
+    misses_s, evictions_s, wp_fills_s = replay(
         events, geometry, [resolved[i].threshold for i in order]
     )
     misses = [0] * len(resolved)
@@ -239,30 +308,16 @@ def batch_counters(
         evictions[index] = evictions_s[slot]
         wp_fills[index] = wp_fills_s[slot]
 
-    # -- event-independent reductions, 2-D across way-placement members ----
+    # -- event-independent reductions across way-placement members ---------
     wp_indices = [i for i, member in enumerate(resolved) if member.scheme == "way-placement"]
     predicted = {}
     false_pos = {}
     false_neg = {}
     wpa_extra = {}
     if wp_indices and n:
-        thresholds = np.asarray(
-            [[resolved[i].wpa_size] for i in wp_indices], dtype=np.int64
+        predicted, false_pos, false_neg, wpa_extra = reductions(
+            events, resolved, wp_indices
         )
-        flags = events.line_addrs[None, :] < thresholds  # (members, events)
-        hints = np.empty_like(flags)
-        hints[:, 0] = [resolved[i].hint_initial for i in wp_indices]
-        hints[:, 1:] = flags[:, :-1]
-        predicted_rows = np.count_nonzero(hints, axis=1)
-        false_pos_rows = np.count_nonzero(hints & ~flags, axis=1)
-        false_neg_rows = np.count_nonzero(flags & ~hints, axis=1)
-        extra = (events.counts - 1).astype(np.int64)
-        wpa_extra_rows = flags @ extra
-        for slot, index in enumerate(wp_indices):
-            predicted[index] = int(predicted_rows[slot])
-            false_pos[index] = int(false_pos_rows[slot])
-            false_neg[index] = int(false_neg_rows[slot])
-            wpa_extra[index] = int(wpa_extra_rows[slot])
 
     # -- assemble per-member counters with the per-config formulas ---------
     results: List[FetchCounters] = []
@@ -310,3 +365,18 @@ def batch_counters(
         counters.validate()
         results.append(counters)
     return results
+
+
+def batch_counters(
+    events: LineEventTrace,
+    geometry: CacheGeometry,
+    members: Sequence[BatchMember],
+) -> List[FetchCounters]:
+    """Replay ``events`` once for every member; counters in input order.
+
+    Every member must be :func:`batchable` (the planner guarantees this;
+    direct callers get a :class:`~repro.errors.SchemeError` otherwise), and
+    every returned :class:`FetchCounters` is bit-identical — field by
+    field — to the member's per-config kernel and reference scheme.
+    """
+    return _family_counters(events, geometry, members, _replay_states)

@@ -1,0 +1,259 @@
+"""Incremental differential replay: delta-driven state evolution for sweeps.
+
+The ``batch`` tier (:mod:`repro.engine.batch`) already traverses a trace
+once per family, but its sequential pass still pays **per config** on every
+miss: a 256-point WPA sweep whose members each take ~2k cold misses runs
+the victim-choice arithmetic half a million times.  This module exploits
+what those sweep points have in common instead: *adjacent configurations
+share almost all of their state evolution*.
+
+Sort the family by effective WPA threshold (a baseline member is the
+degenerate threshold 0).  Two neighbouring configs ``k`` and ``k + 1``
+apply **identical** fill rules to every event except those whose line
+address falls in the threshold gap ``[t_k, t_{k+1})`` — config ``k + 1``
+mandates the way, config ``k`` round-robins.  So, starting from one shared
+baseline state evolution, per-set cache states can only *diverge* at a
+gap-straddling miss, and the divergence persists exactly until the
+eviction cascade it seeds dies out and the states reconverge.
+
+The implementation makes that sharing literal:
+
+* Each cache set holds an ordered list of **runs** — maximal intervals of
+  the (threshold-sorted) config axis whose members currently have
+  bit-identical set state.  A run owns one state snapshot (``tags`` per
+  way, the round-robin pointer, a residency dict), memoised for every
+  config in the interval at once: the whole family starts as a single run
+  per set, which *is* the baseline state evolution computed once.
+* A hit touches no state, so the overwhelmingly common event — the line is
+  resident in *every* run — costs one probe of a per-set ``tag ->
+  containing-run count`` dict for the whole family, like the batch tier's
+  ``full_mask`` test, however many runs the set has diverged into.
+* A miss is processed **per run, not per config**: counters are range
+  updates on difference arrays over the config axis (O(1) per run), and
+  the fill mutates the one shared snapshot.  Only when the event's
+  threshold position ``p`` falls strictly inside a run — the delta event
+  subset — does the run split in two (clone the snapshot; round-robin fill
+  below ``p``, mandated fill at and above), which is the only place the
+  family ever pays more than O(runs) work.
+* After any miss the set's dirty run list is swept for **reconvergence**:
+  adjacent runs whose snapshots became equal again merge back into one, so
+  a divergence costs only its own cascade, never the rest of the trace.
+
+Duplicate thresholds can never be split apart (no position falls strictly
+between equal thresholds), so repeated sweep points are free, and a sweep
+whose tail thresholds all exceed the binary's extent collapses those
+configs into one permanently-shared run.  The cost of a family is thus
+``O(events + Σ_sets misses × live runs)`` — for realistic sweeps the live
+run count hovers near 1, which is where the ≥5x over the batch tier on
+256-point sweeps comes from (``BENCH_engine.json``).
+
+The event-independent reductions get the same adjacency treatment: every
+per-member sweep count (predicted hints, false positives/negatives, extra
+in-WPA fetches) is a monotone step function of the threshold, so instead
+of the batch tier's ``(members, events)`` boolean broadcast the family
+does O(log events) ``searchsorted`` lookups into per-trace sorted
+aggregates (:func:`repro.engine.arrays.sweep_aggregates`) — sorted once
+per trace, shared by every family over it.
+
+Bit-identity is inherited, not re-proven: option resolution, threshold
+sorting, and the per-member counter formulas are the *same code* as the
+batch tier (:func:`repro.engine.batch._family_counters`); the sequential
+pass performs the per-config kernels' integer arithmetic on
+interval-shared state, and the reduction lookups count the same integer
+sets via exact pair-counting identities.
+``tests/test_engine_differential.py`` pins differential ≡ batch ≡
+per-cell per :class:`FetchCounters` field, and the engine-agreement suite
+extends the check across all bundled workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.access import FetchCounters
+from repro.cache.geometry import CacheGeometry
+from repro.engine.arrays import geometry_lists, sweep_aggregates
+from repro.engine.batch import BatchMember, _family_counters, _Member
+from repro.trace.events import LineEventTrace
+
+__all__ = ["differential_counters"]
+
+
+def _delta_reductions(
+    events: LineEventTrace,
+    resolved: List[_Member],
+    wp_indices: List[int],
+) -> Tuple[dict, dict, dict, dict]:
+    """Event-independent counts as threshold lookups, not event scans.
+
+    The batch tier's dense reductions broadcast the address array against
+    every sweep point — O(members x events), which dominates a 256-point
+    sweep.  Every one of those counts is a monotone function of the
+    threshold, so the differential tier looks each member up in the
+    per-trace sorted aggregates (:func:`repro.engine.arrays.sweep_aggregates`)
+    instead: O(log events) per member after a once-per-trace sort, with the
+    event-0 hint seeding handled as an explicit boundary term.  Integer
+    arithmetic throughout — bit-identical to ``_dense_reductions`` by the
+    pair-counting identities documented on ``sweep_aggregates``.
+    """
+    prefix_sorted, up_a, up_b, dn_a, dn_b, addr_sorted, extra_cumsum = (
+        sweep_aggregates(events)
+    )
+    first_addr = int(events.line_addrs[0])
+    thresholds = np.asarray(
+        [resolved[i].wpa_size for i in wp_indices], dtype=np.int64
+    )
+    predicted_rows = np.searchsorted(prefix_sorted, thresholds, side="left")
+    false_pos_rows = np.searchsorted(up_a, thresholds, side="left") - np.searchsorted(
+        up_b, thresholds, side="left"
+    )
+    false_neg_rows = np.searchsorted(dn_b, thresholds, side="left") - np.searchsorted(
+        dn_a, thresholds, side="left"
+    )
+    wpa_extra_rows = extra_cumsum[np.searchsorted(addr_sorted, thresholds, side="left")]
+    predicted = {}
+    false_pos = {}
+    false_neg = {}
+    wpa_extra = {}
+    for slot, index in enumerate(wp_indices):
+        hint_initial = resolved[index].hint_initial
+        first_in_wpa = first_addr < resolved[index].wpa_size
+        predicted[index] = int(predicted_rows[slot]) + int(hint_initial)
+        false_pos[index] = int(false_pos_rows[slot]) + int(hint_initial and not first_in_wpa)
+        false_neg[index] = int(false_neg_rows[slot]) + int(first_in_wpa and not hint_initial)
+        wpa_extra[index] = int(wpa_extra_rows[slot])
+    return predicted, false_pos, false_neg, wpa_extra
+
+
+def _replay_runs(
+    events: LineEventTrace,
+    geometry: CacheGeometry,
+    thresholds: List[int],
+) -> Tuple[List[int], List[int], List[int]]:
+    """The delta-driven pass: per-config ``(misses, evictions, wp_fills)``.
+
+    ``thresholds`` must be ascending (the shared assembly sorts them).  A
+    run is a plain list ``[start, tags, pointer, resident]`` — the config
+    interval starts at ``start`` and ends where the next run begins;
+    ``tags``/``pointer``/``resident`` are the shared per-set snapshot in
+    exactly the per-config kernel's representation.  Counters are
+    difference arrays over the config axis, prefix-summed at the end.
+    """
+    num_configs = len(thresholds)
+    ways = geometry.ways
+    num_sets = geometry.num_sets
+
+    # Threshold position per event: configs >= position hold the address in
+    # their WPA (one searchsorted against the shared address array).
+    positions = np.searchsorted(
+        np.asarray(thresholds, dtype=np.int64), events.line_addrs, side="right"
+    )
+
+    set_indices, tags, mandated = geometry_lists(events, geometry)
+    runs_by_set: List[List[list]] = [
+        [[0, [-1] * ways, 0, {}]] for _ in range(num_sets)
+    ]
+    # Per-set aggregate residency: tag -> number of runs whose snapshot
+    # holds the tag.  ``res_count[t] == len(runs)`` means every config
+    # hits, whatever the current divergence — the O(1) fast path that keeps
+    # transparent events from paying O(runs) probes.
+    res_count_by_set: List[dict] = [dict() for _ in range(num_sets)]
+    misses_diff = [0] * (num_configs + 1)
+    evictions_diff = [0] * (num_configs + 1)
+    wp_fills_diff = [0] * (num_configs + 1)
+
+    for s, t, m, p in zip(set_indices, tags, mandated, positions.tolist()):
+        runs = runs_by_set[s]
+        res_count = res_count_by_set[s]
+        if res_count.get(t, 0) == len(runs):
+            continue  # resident in every run's snapshot: everyone hits
+        i = 0
+        while i < len(runs):
+            run = runs[i]
+            if t in run[3]:
+                i += 1
+                continue
+            start = run[0]
+            end = runs[i + 1][0] if i + 1 < len(runs) else num_configs
+            if start < p < end:
+                # The delta case: the threshold gap straddles this run, so
+                # its halves fill differently from here on.  Clone the
+                # snapshot for [p, end); this iteration fills [start, p).
+                clone_resident = dict(run[3])
+                runs.insert(i + 1, [p, run[1][:], run[2], clone_resident])
+                for tag in clone_resident:
+                    res_count[tag] += 1
+                end = p
+            if p <= start:
+                way = m  # whole run inside the WPA: mandated-way fill
+                wp_fills_diff[start] += 1
+                wp_fills_diff[end] -= 1
+            else:
+                way = run[2]  # whole run outside: shared round-robin fill
+                run[2] = way + 1 if way + 1 < ways else 0
+            row = run[1]
+            resident = run[3]
+            old = row[way]
+            if old != -1:
+                evictions_diff[start] += 1
+                evictions_diff[end] -= 1
+                del resident[old]
+                remaining = res_count[old] - 1
+                if remaining:
+                    res_count[old] = remaining
+                else:
+                    del res_count[old]
+            row[way] = t
+            resident[t] = way
+            res_count[t] = res_count.get(t, 0) + 1
+            misses_diff[start] += 1
+            misses_diff[end] -= 1
+            i += 1
+        if len(runs) > 1:
+            # Reconvergence sweep: only misses mutate snapshots, so this is
+            # the one place adjacent runs can have become equal again.
+            j = len(runs) - 1
+            while j:
+                left, right = runs[j - 1], runs[j]
+                if left[2] == right[2] and left[1] == right[1]:
+                    for tag in right[3]:
+                        remaining = res_count[tag] - 1
+                        if remaining:
+                            res_count[tag] = remaining
+                        else:
+                            del res_count[tag]
+                    del runs[j]
+                j -= 1
+
+    misses = [0] * num_configs
+    evictions = [0] * num_configs
+    wp_fills = [0] * num_configs
+    acc_m = acc_e = acc_w = 0
+    for c in range(num_configs):
+        acc_m += misses_diff[c]
+        acc_e += evictions_diff[c]
+        acc_w += wp_fills_diff[c]
+        misses[c] = acc_m
+        evictions[c] = acc_e
+        wp_fills[c] = acc_w
+    return misses, evictions, wp_fills
+
+
+def differential_counters(
+    events: LineEventTrace,
+    geometry: CacheGeometry,
+    members: Sequence[BatchMember],
+) -> List[FetchCounters]:
+    """Replay ``events`` once for the family, sharing adjacent-config state.
+
+    Drop-in replacement for :func:`~repro.engine.batch.batch_counters`:
+    same membership rules (every member must be
+    :func:`~repro.engine.batch.batchable`), same input-order results, and
+    bit-identical :class:`FetchCounters` field by field — only the
+    sequential pass and the sweep reductions differ: interval-shared state
+    snapshots instead of per-config residency bitmasks, and sorted-
+    aggregate lookups instead of ``(members, events)`` broadcasts.
+    """
+    return _family_counters(events, geometry, members, _replay_runs, _delta_reductions)

@@ -87,12 +87,20 @@ class BatchFamily:
     decomposition shared by every member.  Everything else a cell varies —
     WPA size, ``same_line_skip``, page size, I-TLB entries — is a per-member
     option of the batched kernel.
+
+    ``engine`` names the family tier the planner picked: ``"batch"`` (one
+    bitmask traversal, :func:`repro.engine.batch.batch_counters`) or
+    ``"differential"`` (delta-driven adjacent-config state sharing,
+    :func:`repro.engine.differential.differential_counters`) — the latter
+    only when the runner asked for it and the family actually sweeps a
+    threshold axis.
     """
 
     benchmark: str
     layout_policy: LayoutPolicy
     geometry: CacheGeometry
     indices: Tuple[int, ...]
+    engine: str = "batch"
 
 
 PolicyResolver = Callable[[str, Optional[LayoutPolicy]], LayoutPolicy]
@@ -101,6 +109,7 @@ PolicyResolver = Callable[[str, Optional[LayoutPolicy]], LayoutPolicy]
 def plan_families(
     cells: Sequence[GridCell],
     resolve_policy: PolicyResolver,
+    engine: Optional[str] = None,
 ) -> Tuple[List[BatchFamily], List[int]]:
     """Coalesce grid cells into batch families.
 
@@ -111,6 +120,13 @@ def plan_families(
     traversal would only add overhead.  ``resolve_policy`` maps a cell's
     ``(scheme, layout_policy)`` to the layout actually simulated (the
     runner's scheme/layout pairing).
+
+    ``engine`` is the runner's requested family tier.  Under
+    ``"differential"``, a family whose members form an adjacency chain —
+    two or more *distinct* effective WPA thresholds (a baseline member is
+    threshold 0) — is marked for delta-driven replay; a family with a
+    single effective threshold has no adjacent configs to share state
+    between, so it stays on the batch tier.
     """
     # Imported lazily: repro.sim.simulator itself imports the engine
     # package, so a module-level import here would be circular.
@@ -138,19 +154,26 @@ def plan_families(
             resolve_policy(cell.scheme, cell.layout_policy),
             cell.machine.icache,
         )
-        groups.setdefault(key, []).append(index)
+        threshold = cell.wpa_size if cell.scheme == "way-placement" else 0
+        groups.setdefault(key, []).append((index, threshold))
 
     families: List[BatchFamily] = []
-    for (benchmark, policy, geometry), indices in groups.items():
-        if len(indices) < 2:
-            singles.extend(indices)
+    for (benchmark, policy, geometry), entries in groups.items():
+        if len(entries) < 2:
+            singles.extend(index for index, _ in entries)
             continue
+        adjacency_chain = len({threshold for _, threshold in entries}) >= 2
         families.append(
             BatchFamily(
                 benchmark=benchmark,
                 layout_policy=policy,
                 geometry=geometry,
-                indices=tuple(indices),
+                indices=tuple(index for index, _ in entries),
+                engine=(
+                    "differential"
+                    if engine == "differential" and adjacency_chain
+                    else "batch"
+                ),
             )
         )
     singles.sort()

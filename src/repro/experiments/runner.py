@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.energy.params import EnergyParams
 from repro.engine.batch import BatchMember, batch_counters
+from repro.engine.differential import differential_counters
 from repro.engine.grid import GridCell, run_grid
 from repro.engine.store import TraceStore, layout_digest, program_digest
 from repro.errors import ExperimentError
@@ -337,7 +338,9 @@ class ExperimentRunner:
             )
         return self._reports[key]
 
-    def report_family(self, cells: Sequence[GridCell]) -> List[SimulationReport]:
+    def report_family(
+        self, cells: Sequence[GridCell], engine: Optional[str] = None
+    ) -> List[SimulationReport]:
         """Simulate a batch family of cells with **one** trace traversal.
 
         Every cell must share the family key — benchmark, resolved layout
@@ -345,11 +348,18 @@ class ExperimentRunner:
         over the same set/tag decomposition (the planner,
         :func:`~repro.engine.grid.plan_families`, guarantees this; direct
         callers get an :class:`~repro.errors.ExperimentError` otherwise).
-        Counters come from :func:`~repro.engine.batch.batch_counters` and
-        are bit-identical to the per-cell engines; each member is then
-        priced, sanitized, and memoised exactly as :meth:`report` would.
-        Reports return in cell order.
+        Counters come from :func:`~repro.engine.batch.batch_counters`, or
+        from :func:`~repro.engine.differential.differential_counters` when
+        ``engine="differential"`` — either way bit-identical to the
+        per-cell engines; each member is then priced, sanitized, and
+        memoised exactly as :meth:`report` would.  Reports return in cell
+        order.
         """
+        if engine not in (None, "batch", "differential"):
+            raise ExperimentError(
+                f"report_family runs on the 'batch' or 'differential' family "
+                f"tiers, not {engine!r}"
+            )
         if not cells:
             return []
         first = cells[0]
@@ -383,11 +393,19 @@ class ExperimentRunner:
             )
 
         events = self.events(first.benchmark, policy, geometry.line_size)
-        # Chaos hook: lets the fault-injection harness fail the batched
-        # family specifically, exercising the supervisor's degrade-to-
-        # per-cell fallback (no-op unless chaos is active).
-        chaos_point("family", f"{first.benchmark}:{policy.value}:{len(cells)}")
-        counters_list = batch_counters(events, geometry, members)
+        # Chaos hooks: "family" covers every family-tier replay (both
+        # engines), "differential" only the delta-driven tier — so the
+        # fault-injection harness can exercise each rung of the
+        # differential -> batch -> per-cell ladder independently (no-ops
+        # unless chaos is active).
+        token = f"{first.benchmark}:{policy.value}:{len(cells)}"
+        if engine == "differential":
+            chaos_point("differential", token)
+            chaos_point("family", token)
+            counters_list = differential_counters(events, geometry, members)
+        else:
+            chaos_point("family", token)
+            counters_list = batch_counters(events, geometry, members)
 
         layout_description = self.layout(first.benchmark, policy).description
         mem_fraction = self.mem_fraction(first.benchmark)

@@ -15,6 +15,10 @@ site           where it fires
 ``worker``       a grid worker process's entry point (key ``bench@attempt``)
 ``kernel``       the vectorized fast path in ``Simulator.run_events``
 ``cell``         one supervised cell simulation (parent or worker)
+``family``       a family-tier replay in ``ExperimentRunner.report_family``
+``differential``  the delta-driven family tier specifically (fires before
+                 ``family`` on the same replay, so each rung of the
+                 differential → batch → per-cell ladder is addressable)
 =============  ==========================================================
 
 Faults model the real failure surface: ``crash`` (the process dies with
@@ -60,7 +64,16 @@ __all__ = [
 ]
 
 _SITES = frozenset(
-    {"store.load", "store.save", "store.discard", "worker", "kernel", "cell", "family"}
+    {
+        "store.load",
+        "store.save",
+        "store.discard",
+        "worker",
+        "kernel",
+        "cell",
+        "family",
+        "differential",
+    }
 )
 _FAULTS = frozenset(
     {"crash", "hang", "raise", "enospc", "eacces", "sanitizer", "truncate"}

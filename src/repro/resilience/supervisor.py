@@ -164,21 +164,23 @@ def run_cell(
 # ---------------------------------------------------------------------------
 # Chunk execution: batch families first, then the per-cell ladder
 # ---------------------------------------------------------------------------
-def _batch_planning_enabled(runner: Any) -> bool:
-    """Should this chunk coalesce cells into batched families?
+def _family_engine(runner: Any) -> Optional[str]:
+    """The family tier this chunk should plan for, or ``None`` for per-cell.
 
-    Only when the runner's engine resolves to ``batch`` and the runner can
-    actually execute a family.  An invalid engine name returns ``False`` so
-    the per-cell path surfaces the proper error.
+    ``"batch"`` or ``"differential"`` when the runner's engine resolves to
+    that tier and the runner can actually execute a family.  An invalid
+    engine name returns ``None`` so the per-cell path surfaces the proper
+    error.
     """
     if not hasattr(runner, "report_family"):
-        return False
+        return None
     try:
         from repro.sim.simulator import resolve_engine
 
-        return resolve_engine(getattr(runner, "engine", None)) == "batch"
+        engine = resolve_engine(getattr(runner, "engine", None))
     except Exception:
-        return False
+        return None
+    return engine if engine in ("batch", "differential") else None
 
 
 def run_cells(
@@ -193,41 +195,63 @@ def run_cells(
 
     ``emit(index, report)`` is called for every completed cell and
     ``fail(index, error)`` for every cell that exhausted the ladder, both
-    with indices into ``cells``.  Under the ``batch`` engine, cells are
-    first coalesced into families (:func:`repro.engine.grid.plan_families`)
-    and each family replays with one trace traversal; a family that fails
-    for *any* reason — sanitizer trip, kernel bug, injected fault — records
-    a recovered :class:`FailureReport` and its members degrade to the
-    per-cell retry/backoff/engine-fallback ladder of :func:`run_cell`, so
-    batching never weakens supervision.
+    with indices into ``cells``.  Under the ``batch`` and ``differential``
+    engines, cells are first coalesced into families
+    (:func:`repro.engine.grid.plan_families`) and each family replays with
+    one trace traversal; a family that fails for *any* reason — sanitizer
+    trip, kernel bug, injected fault — records a recovered
+    :class:`FailureReport` and degrades one rung: a differential family
+    re-runs as a plain batch family, and a batch family's members fall to
+    the per-cell retry/backoff/engine-fallback ladder of :func:`run_cell`.
+    Batching never weakens supervision.
     """
     singles = list(range(len(cells)))
-    if len(cells) > 1 and _batch_planning_enabled(runner):
+    family_engine = _family_engine(runner)
+    if len(cells) > 1 and family_engine is not None:
         from repro.engine.grid import plan_families
 
-        families, singles = plan_families(cells, runner._resolve_layout_policy)
+        families, singles = plan_families(
+            cells, runner._resolve_layout_policy, engine=family_engine
+        )
         for family in families:
             members = [cells[index] for index in family.indices]
             token = (
                 f"{family.benchmark}:{family.layout_policy.value}"
                 f":{len(members)}-cell family"
             )
-            try:
-                reports = runner.report_family(members)
-            except Exception as error:
-                failures.append(
-                    FailureReport(
-                        site="family",
-                        benchmark=family.benchmark,
-                        cell=token,
-                        attempts=1,
-                        causes=tuple(cause_chain(error)),
-                        recovery="per-cell",
-                        recovered=True,
+            reports: Optional[List[SimulationReport]] = None
+            if family.engine == "differential":
+                try:
+                    reports = runner.report_family(members, engine="differential")
+                except Exception as error:
+                    failures.append(
+                        FailureReport(
+                            site="differential",
+                            benchmark=family.benchmark,
+                            cell=token,
+                            attempts=1,
+                            causes=tuple(cause_chain(error)),
+                            recovery="batch",
+                            recovered=True,
+                        )
                     )
-                )
-                singles.extend(family.indices)
-                continue
+            if reports is None:
+                try:
+                    reports = runner.report_family(members, engine="batch")
+                except Exception as error:
+                    failures.append(
+                        FailureReport(
+                            site="family",
+                            benchmark=family.benchmark,
+                            cell=token,
+                            attempts=1,
+                            causes=tuple(cause_chain(error)),
+                            recovery="per-cell",
+                            recovered=True,
+                        )
+                    )
+                    singles.extend(family.indices)
+                    continue
             for index, report in zip(family.indices, reports):
                 emit(index, report)
         singles.sort()

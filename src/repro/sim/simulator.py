@@ -38,8 +38,11 @@ __all__ = ["Simulator", "resolve_engine", "scheme_options", "simulate"]
 #: (raising when there is none); ``reference`` always runs the pure-Python
 #: scheme objects; ``batch`` behaves like ``auto`` for a single replay but
 #: additionally lets the grid planner coalesce cells sharing a trace into
-#: one batched traversal (see :mod:`repro.engine.batch`).
-_ENGINES = ("auto", "vector", "reference", "batch")
+#: one batched traversal (see :mod:`repro.engine.batch`); ``differential``
+#: extends ``batch`` by replaying threshold-sweep families with
+#: delta-driven adjacent-config state sharing
+#: (see :mod:`repro.engine.differential`).
+_ENGINES = ("auto", "vector", "reference", "batch", "differential")
 
 
 def resolve_engine(engine: Optional[str]) -> str:

@@ -2,16 +2,20 @@
 
 Every bundled workload's evaluation trace replays through the vectorized
 ``engine.kernels`` and then through the full post-hoc sanitizer array
-checks — zero violations expected.  One session-scoped runner serves all
-parametrized cases so profiling, layout, and trace generation happen once
-per benchmark.
+checks — zero violations expected — and through the family tiers: a WPA
+sweep family must come back from ``differential_counters`` and
+``batch_counters`` bit-identical to the per-cell kernels on every
+workload.  One session-scoped runner serves all parametrized cases so
+profiling, layout, and trace generation happen once per benchmark.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.engine.kernels import way_placement_counters
+from repro.engine.batch import BatchMember, batch_counters
+from repro.engine.differential import differential_counters
+from repro.engine.kernels import fast_counters, way_placement_counters
 from repro.errors import SanitizerError
 from repro.experiments.runner import ExperimentRunner
 from repro.layout.placement import LayoutPolicy
@@ -52,6 +56,36 @@ def test_kernels_satisfy_every_invariant(agreement_runner, workload):
         organisation=agreement_runner.organisation,
     )
     assert violations == []
+
+
+@pytest.mark.parametrize("workload", benchmark_names())
+def test_family_tiers_agree_with_the_kernels(agreement_runner, workload):
+    """differential ≡ batch ≡ per-cell on every bundled workload's trace."""
+    events = agreement_runner.events(
+        workload, LayoutPolicy.WAY_PLACEMENT, MACHINE.icache.line_size
+    )
+    fitted = _fitted_wpa(agreement_runner, workload)
+    shared = {
+        "page_size": MACHINE.page_size,
+        "itlb_entries": MACHINE.itlb_entries,
+    }
+    members = [
+        BatchMember("baseline", dict(shared)),
+        BatchMember("way-placement", {"wpa_size": 4096, **shared}),
+        BatchMember(
+            "way-placement",
+            {"wpa_size": align_up(max(fitted // 2, 4096), MACHINE.page_size), **shared},
+        ),
+        BatchMember("way-placement", {"wpa_size": fitted, **shared}),
+    ]
+    batched = batch_counters(events, MACHINE.icache, members)
+    differential = differential_counters(events, MACHINE.icache, members)
+    for member, diff, batch in zip(members, differential, batched):
+        assert diff == batch, f"differential != batch for {member} on {workload}"
+        kernel = fast_counters(
+            member.scheme, events, MACHINE.icache, **dict(member.options)
+        )
+        assert diff == kernel, f"differential != kernel for {member} on {workload}"
 
 
 def test_hooked_reference_schemes_match_the_kernels(agreement_runner):
