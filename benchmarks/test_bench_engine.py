@@ -1,6 +1,6 @@
 """Benches for the fast engine: kernel speedup, batching, warm-cache startup.
 
-Four acceptance properties of the engine live here:
+Five acceptance properties of the engine live here:
 
 * the vectorized kernels replay the 32KB/32-way way-placement configuration
   at least ~5x faster than the reference schemes (measured as events/sec on
@@ -11,6 +11,9 @@ Four acceptance properties of the engine live here:
 * the delta-driven ``--engine differential`` kernel replays a 256-point WPA
   sweep at least 5x faster than the batched kernel (adjacent configs share
   state snapshots, so dense sweeps cost little more than their divergences);
+* the static pruning certificate (``--prune-static``) collapses at least
+  20% of that 256-point sweep to representatives with bit-identical
+  reports, at least halving the batch tier's wall time;
 * a second ``ExperimentRunner`` process with a warm persistent cache starts
   up much faster than a cold one because it performs no CFG walks at all.
 
@@ -209,6 +212,76 @@ def test_bench_differential_sweep_256(benchmark, events):
     assert diff_time <= batch_time / 5.0, (
         f"differential sweep took {diff_time * 1000:.1f}ms, less than 5x "
         f"faster than the batched sweep ({batch_time * 1000:.1f}ms)"
+    )
+
+
+def test_bench_pruned_sweep_256(benchmark, tmp_path_factory):
+    """A 256-point WPA sweep behind a static pruning certificate.
+
+    Runner-level on purpose: pruning lives in the grid planner, not the
+    counter kernels, and its payoff is every replay *not* performed.
+    Measured against the batch tier, where replays dominate the family
+    wall time.  Two load-bearing claims: the certificate collapses at
+    least 20% of the cells, and every pruned cell's report is
+    bit-identical to the unpruned run's.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    cache = tmp_path_factory.mktemp("prune-cache")
+    cells = [
+        GridCell("susan_c", "way-placement", wpa_size=point * KB)
+        for point in range(1, 257)
+    ]
+
+    def grid_time(prune):
+        runner = ExperimentRunner(engine="batch", cache_dir=cache, prune=prune)
+        runner.events("susan_c", LayoutPolicy.WAY_PLACEMENT, 32)
+
+        def sweep():
+            runner._reports.clear()
+            return runner.run_grid(cells)
+
+        sweep()
+        _, best = _time(sweep)
+        return runner, best
+
+    unpruned_runner, unpruned_time = grid_time(prune=False)
+    (pruned_runner, pruned_time), _ = run_once(
+        benchmark, lambda: _time(lambda: grid_time(prune=True), repeats=1)
+    )
+    for cell in cells:
+        kwargs = cell.report_kwargs()
+        assert (
+            pruned_runner.report(**kwargs).counters
+            == unpruned_runner.report(**kwargs).counters
+        ), f"pruned counters diverge for {cell}"
+
+    summary = pruned_runner.last_grid
+    assert summary is not None and summary.family_cells >= len(cells)
+    pruned_fraction = summary.pruned / summary.family_cells
+    speedup = unpruned_time / pruned_time
+    emit(
+        f"[engine] 256-point pruned sweep: unpruned batch "
+        f"{unpruned_time * 1000:.1f}ms, pruned {pruned_time * 1000:.1f}ms "
+        f"({speedup:.1f}x, {pruned_fraction:.0%} of cells pruned)"
+    )
+    record_metric(
+        "grid.wpa_sweep_256_pruned",
+        {
+            "cells": len(cells),
+            "pruned": summary.pruned,
+            "pruned_fraction": round(pruned_fraction, 4),
+            "unpruned_wall_s": round(unpruned_time, 4),
+            "pruned_wall_s": round(pruned_time, 4),
+            "prune_speedup": round(speedup, 2),
+        },
+    )
+    assert pruned_fraction >= 0.20, (
+        f"certificate pruned only {pruned_fraction:.0%} of the sweep"
+    )
+    assert pruned_time <= unpruned_time / 2.0, (
+        f"pruned sweep took {pruned_time * 1000:.1f}ms, more than half of "
+        f"the unpruned batch sweep ({unpruned_time * 1000:.1f}ms)"
     )
 
 

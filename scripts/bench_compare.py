@@ -9,7 +9,11 @@ more stable across runner hardware than the raw walls:
 
 * ``grid.wpa_sweep_16.batch_speedup`` — batched vs per-cell replay;
 * ``grid.wpa_sweep_256.differential_speedup`` — delta-driven vs batched
-  replay.
+  replay;
+* ``grid.wpa_sweep_256_pruned.pruned_fraction`` — the share of the
+  256-point sweep the static pruning certificate collapses.  Not a wall
+  time at all: the certificate is derived purely from the layout, so the
+  fraction is deterministic and any drop means the analysis got weaker.
 
 A guarded speedup may drift or improve freely; dropping more than
 ``--tolerance`` (default 20%) below the baseline fails the gate.  A metric
@@ -33,10 +37,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: (metric name, speedup field) pairs the gate guards.
+#: (metric name, ratio field) pairs the gate guards.
 GUARDED = [
     ("grid.wpa_sweep_16", "batch_speedup"),
     ("grid.wpa_sweep_256", "differential_speedup"),
+    ("grid.wpa_sweep_256_pruned", "pruned_fraction"),
 ]
 
 

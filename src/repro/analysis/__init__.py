@@ -11,7 +11,9 @@ is simulated:
 * :mod:`~repro.analysis.registry` — rule registration with
   ``--select``/``--ignore`` resolution and severity overrides;
 * :mod:`~repro.analysis.rules` — the concrete rule catalog: ``P``
-  (program structure), ``L`` (layout/WPA), ``C`` (config);
+  (program structure), ``L`` (layout/WPA), ``C`` (config), ``A``
+  (abstract-interpretation cache behaviour, backed by
+  :mod:`repro.analysis.absint`);
 * :mod:`~repro.analysis.engine` — the :class:`Analyzer` driver;
 * :mod:`~repro.analysis.reporters` — deterministic text and JSON output.
 

@@ -1,0 +1,269 @@
+"""Analysis certification: the ``repro analyze`` back end.
+
+An *analysis certificate* for one workload bundles, per replay
+configuration (the plain baseline and the fitted-WPA way-placement run):
+
+1. the abstract-interpretation fixpoint over the interprocedural CFG —
+   convergence, per-site hit/miss classification totals, proven
+   never-hit lines, loop headers (:mod:`repro.analysis.absint.analysis`);
+2. static lower/upper bounds on every :class:`FetchCounters` field and
+   on the priced energy (:mod:`repro.analysis.absint.bounds`), refined
+   with the fixpoint's never-hit lines;
+3. a cross-check of the engine's *measured* counters against those
+   bounds — the certificate's verdict; and
+4. the ``A``-layer diagnostics the fixpoint supports.
+
+A workload is **analyzed clean** when every configuration's measured
+counters fall inside their static bounds.  The JSON rendering is
+byte-for-byte deterministic for a given input (sorted keys, sorted
+workloads), so CI can diff two consecutive runs, mirroring
+``repro verify``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import Analyzer
+from repro.analysis.absint.analysis import CacheBehavior, analyze_cache
+from repro.analysis.absint.bounds import (
+    BoundsViolation,
+    CounterBounds,
+    energy_bounds,
+    footprint_bounds,
+)
+from repro.energy.cache_model import CacheEnergyModel
+from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
+from repro.sim.machine import MachineConfig, XSCALE_BASELINE
+from repro.verify.certify import fitted_wpa_size
+
+__all__ = [
+    "AnalysisCertificate",
+    "ConfigAnalysis",
+    "analyze_workload",
+    "render_analysis_json",
+    "render_analysis_text",
+]
+
+
+@dataclass(frozen=True)
+class ConfigAnalysis:
+    """One ``(scheme, layout, wpa)`` configuration's static verdict."""
+
+    scheme: str
+    layout_policy: str
+    wpa_size: int
+    behavior: Optional[CacheBehavior]
+    bounds: Optional[CounterBounds]
+    violations: Tuple[BoundsViolation, ...]
+    #: Priced totals of the bracket endpoints (icache_pj), when bounded.
+    energy_low_pj: Optional[float]
+    energy_high_pj: Optional[float]
+    #: The measured engine energy, for the bracket cross-check.
+    energy_pj: Optional[float]
+
+    @property
+    def bounds_hold(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        behavior = self.behavior
+        payload: Dict[str, Any] = {
+            "scheme": self.scheme,
+            "layout": self.layout_policy,
+            "wpa_size": self.wpa_size,
+            "bounds_hold": self.bounds_hold,
+            "violations": [v.render() for v in self.violations],
+            "fixpoint": None,
+            "bounds": self.bounds.to_dict() if self.bounds else None,
+            "energy_bracket_pj": (
+                [self.energy_low_pj, self.energy_high_pj]
+                if self.energy_low_pj is not None
+                else None
+            ),
+            "energy_pj": self.energy_pj,
+        }
+        if behavior is not None:
+            payload["fixpoint"] = {
+                "converged": behavior.converged,
+                "rounds": behavior.rounds,
+                "lines": len(behavior.universe.lines),
+                "reachable_sites": behavior.reachable_sites,
+                "guaranteed_hit_sites": behavior.guaranteed_hit_sites,
+                "unknown_sites": behavior.unknown_sites,
+                "unknown_fraction": round(behavior.unknown_fraction, 6),
+                "never_hit_lines": len(behavior.never_hit),
+                "unreachable_lines": len(behavior.unreachable_lines),
+                "loop_headers": len(behavior.loop_headers),
+            }
+        return payload
+
+
+@dataclass(frozen=True)
+class AnalysisCertificate:
+    """The static analyzer's verdict on one workload."""
+
+    benchmark: str
+    configs: Tuple[ConfigAnalysis, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(config.bounds_hold for config in self.configs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "ok": self.ok,
+            "configs": [config.to_dict() for config in self.configs],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _analyze_config(
+    runner: ExperimentRunner,
+    benchmark: str,
+    scheme: str,
+    policy: LayoutPolicy,
+    machine: MachineConfig,
+    wpa_size: int,
+) -> ConfigAnalysis:
+    context = AnalysisContext.for_experiment(
+        program=runner.workload(benchmark).program,
+        layout=runner.layout(benchmark, policy),
+        geometry=machine.icache,
+        wpa_size=wpa_size or None,
+        page_size=machine.page_size,
+        subject=benchmark,
+    )
+    behavior = analyze_cache(
+        context.program, context.layout, context.geometry, scheme, wpa_size
+    )
+    events = runner.events(benchmark, policy, machine.icache.line_size)
+    bounds = footprint_bounds(
+        scheme,
+        events,
+        machine.icache,
+        wpa_size=wpa_size,
+        itlb_entries=machine.itlb_entries,
+        page_size=machine.page_size,
+        never_hit=behavior.never_hit if behavior is not None else None,
+    )
+    report = runner.report(
+        benchmark, scheme, machine, wpa_size=wpa_size, layout_policy=policy
+    )
+    violations: Tuple[BoundsViolation, ...] = ()
+    energy_low = energy_high = None
+    if bounds is not None:
+        violations = tuple(bounds.violations(report.counters))
+        model = CacheEnergyModel(
+            machine.icache,
+            runner.energy_params,
+            organisation=runner.organisation,
+            wayhint=scheme == "way-placement",
+        )
+        low, high = energy_bounds(bounds, model)
+        energy_low, energy_high = low.icache_pj, high.icache_pj
+    return ConfigAnalysis(
+        scheme=scheme,
+        layout_policy=policy.value,
+        wpa_size=wpa_size,
+        behavior=behavior,
+        bounds=bounds,
+        violations=violations,
+        energy_low_pj=energy_low,
+        energy_high_pj=energy_high,
+        energy_pj=report.breakdown.icache_pj,
+    )
+
+
+def analyze_workload(
+    runner: ExperimentRunner,
+    benchmark: str,
+    machine: MachineConfig = XSCALE_BASELINE,
+    analyzer: Optional[Analyzer] = None,
+) -> AnalysisCertificate:
+    """Build one workload's analysis certificate (see module docstring).
+
+    Covers the paper's two first-class configurations: the baseline on
+    the original layout and way-placement on the profile-chained layout
+    with the fitted (whole-binary, page-aligned) WPA.
+    """
+    wpa_size = fitted_wpa_size(
+        runner, benchmark, LayoutPolicy.WAY_PLACEMENT, machine
+    )
+    configs = (
+        _analyze_config(
+            runner, benchmark, "baseline", LayoutPolicy.ORIGINAL, machine, 0
+        ),
+        _analyze_config(
+            runner,
+            benchmark,
+            "way-placement",
+            LayoutPolicy.WAY_PLACEMENT,
+            machine,
+            wpa_size,
+        ),
+    )
+    if analyzer is None:
+        analyzer = Analyzer(select=("A",))
+    context = AnalysisContext.for_experiment(
+        program=runner.workload(benchmark).program,
+        layout=runner.layout(benchmark, LayoutPolicy.WAY_PLACEMENT),
+        geometry=machine.icache,
+        wpa_size=wpa_size or None,
+        page_size=machine.page_size,
+        subject=benchmark,
+    )
+    return AnalysisCertificate(
+        benchmark=benchmark,
+        configs=configs,
+        diagnostics=tuple(analyzer.run(context)),
+    )
+
+
+def render_analysis_json(certificates: List[AnalysisCertificate]) -> str:
+    """Deterministic JSON report over many certificates."""
+    ordered = sorted(certificates, key=lambda c: c.benchmark)
+    payload = {
+        "certificates": [certificate.to_dict() for certificate in ordered],
+        "summary": {
+            "total": len(ordered),
+            "clean": sum(1 for c in ordered if c.ok),
+            "violated": sum(1 for c in ordered if not c.ok),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_analysis_text(certificates: List[AnalysisCertificate]) -> str:
+    """Human-readable per-workload verdict lines."""
+    lines: List[str] = []
+    for certificate in sorted(certificates, key=lambda c: c.benchmark):
+        status = "bounded" if certificate.ok else "VIOLATED"
+        wp = certificate.configs[-1]
+        fixpoint = wp.behavior
+        detail = (
+            f"unknown={fixpoint.unknown_fraction:.2f} "
+            f"never_hit={len(fixpoint.never_hit)}"
+            if fixpoint is not None
+            else "fixpoint=unavailable"
+        )
+        lines.append(
+            f"{certificate.benchmark:<14} {status:<9} "
+            f"wpa={wp.wpa_size // 1024}KB {detail} "
+            f"diagnostics={len(certificate.diagnostics)}"
+        )
+        for config in certificate.configs:
+            for violation in config.violations:
+                lines.append(f"    {config.scheme}: {violation.render()}")
+        for diagnostic in certificate.diagnostics:
+            lines.append(f"    {diagnostic.render()}")
+    clean = sum(1 for c in certificates if c.ok)
+    lines.append(f"{clean}/{len(certificates)} workload(s) inside static bounds")
+    return "\n".join(lines)

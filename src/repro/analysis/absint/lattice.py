@@ -1,0 +1,182 @@
+"""Join-semilattice of abstract cache-set states for the must/may analysis.
+
+The concrete domain is the contents of every cache set after some prefix
+of the fetch stream.  The abstract domain tracks, per program point, two
+bitmasks over the *line universe* (every line the resolved layout can
+ever fetch, sorted by address):
+
+* ``must`` — lines guaranteed resident on **every** path to this point;
+* ``may`` — lines possibly resident on **some** path to this point.
+
+``must`` under-approximates and ``may`` over-approximates the concrete
+contents, so ``must <= contents <= may`` is the soundness invariant; the
+join is ``(must1 & must2, may1 | may2)`` and the partial order is
+"smaller ``must`` and larger ``may`` is less precise".
+
+The transfer function models the two replay schemes exactly as the
+reference implementations do (see ``repro.schemes``):
+
+* **baseline** — every miss fills the per-set round-robin way and the
+  pointer advances only on policy fills;
+* **way-placement** — a line below ``wpa_size`` ("WPA line") is only ever
+  resident in its address-mandated way (forced fills bypass the
+  round-robin pointer), everything else takes the policy path.
+
+Precision comes from two structural facts proved per set over the line
+universe:
+
+* **Budget-one sets.**  If the lines mapping to a set can never cause an
+  eviction — for baseline, at most ``ways`` distinct lines; for
+  way-placement, pairwise-distinct mandated ways for the WPA lines and
+  few enough policy lines that the round-robin pointer can never reach a
+  mandated way — then every fill is permanent and ``must`` only grows.
+* **Definite forced evictions.**  A *guaranteed* miss on a WPA line
+  force-fills its mandated way on every path, so any other WPA line with
+  the same (set, way) home is definitely evicted and leaves ``may``.
+  This is what lets the analysis *prove* way-placement thrash.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.context import GeometrySpec
+
+__all__ = ["AbstractState", "CacheUniverse", "Classification"]
+
+
+class Classification(enum.Enum):
+    """Static verdict for one (block, line) access site."""
+
+    HIT = "hit"
+    MISS = "miss"
+    UNKNOWN = "unknown"
+    UNREACHABLE = "unreachable"
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """One point's abstract cache contents: ``must``/``may`` line bitmasks."""
+
+    must: int
+    may: int
+
+    def join(self, other: "AbstractState") -> "AbstractState":
+        return AbstractState(self.must & other.must, self.may | other.may)
+
+    @staticmethod
+    def empty() -> "AbstractState":
+        """The entry state: a cold cache holds nothing, certainly."""
+        return AbstractState(0, 0)
+
+
+class CacheUniverse:
+    """Line universe of one ``(layout, geometry, scheme, wpa)`` config.
+
+    Precomputes, per line index, everything the transfer function needs:
+    set membership masks, mandated-way conflict masks, and the per-set
+    budget-one proof described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        line_addrs: Sequence[int],
+        geometry: GeometrySpec,
+        scheme: str,
+        wpa_size: int,
+    ):
+        self.geometry = geometry
+        self.scheme = scheme
+        self.wpa_size = wpa_size
+        self.lines: List[int] = sorted(dict.fromkeys(line_addrs))
+        self.index: Dict[int, int] = {addr: i for i, addr in enumerate(self.lines)}
+        ways = max(geometry.ways, 1)
+        place = scheme == "way-placement"
+        self.is_wpa: List[bool] = [place and addr < wpa_size for addr in self.lines]
+        self.home: List[int] = [geometry.mandated_way(addr) for addr in self.lines]
+        self.set_of: List[int] = [geometry.set_index(addr) for addr in self.lines]
+
+        members_of: Dict[int, List[int]] = {}
+        for i, set_index in enumerate(self.set_of):
+            members_of.setdefault(set_index, []).append(i)
+
+        size = len(self.lines)
+        #: Per set: True when no access sequence over the universe can evict.
+        self.set_budget_one: Dict[int, bool] = {}
+        self.budget_one: List[bool] = [False] * size
+        #: Other lines of the same set (cleared by an unconstrained policy fill).
+        self._others_mask: List[int] = [0] * size
+        #: WPA lines sharing this WPA line's (set, mandated way) home.
+        self._same_home_mask: List[int] = [0] * size
+        #: Lines a forced fill of this WPA line can possibly evict.
+        self._conflict_mask: List[int] = [0] * size
+
+        for set_index, members in members_of.items():
+            wpa_members = [i for i in members if self.is_wpa[i]]
+            policy = [i for i in members if not self.is_wpa[i]]
+            homes = [self.home[i] for i in wpa_members]
+            budget_one = (
+                len(set(homes)) == len(homes)
+                and len(policy) <= ways
+                and (not wpa_members or not policy or min(homes) >= len(policy))
+            )
+            self.set_budget_one[set_index] = budget_one
+            set_mask = 0
+            for i in members:
+                set_mask |= 1 << i
+            for i in members:
+                self.budget_one[i] = budget_one
+                self._others_mask[i] = set_mask & ~(1 << i)
+                if self.is_wpa[i]:
+                    same_home = 0
+                    for j in wpa_members:
+                        if j != i and self.home[j] == self.home[i]:
+                            same_home |= 1 << j
+                    self._same_home_mask[i] = same_home
+                    conflict = same_home
+                    if not budget_one:
+                        for j in policy:
+                            conflict |= 1 << j
+                    self._conflict_mask[i] = conflict
+
+    @property
+    def num_lines(self) -> int:
+        return len(self.lines)
+
+    def classify(self, state: AbstractState, line_index: int) -> Classification:
+        bit = 1 << line_index
+        if state.must & bit:
+            return Classification.HIT
+        if not state.may & bit:
+            return Classification.MISS
+        return Classification.UNKNOWN
+
+    def access(self, state: AbstractState, line_index: int) -> AbstractState:
+        """Abstract effect of one line access (join of hit/fill branches)."""
+        bit = 1 << line_index
+        must, may = state.must, state.may
+        if must & bit:  # guaranteed hit: replacement state is untouched
+            return state
+        if self.is_wpa[line_index]:
+            # Possible (or certain) forced fill into the mandated way: any
+            # line that could occupy that way is no longer guaranteed, and
+            # on a *certain* miss the same-home WPA lines — resident in
+            # that way or nowhere — are definitely evicted.
+            new_must = (must & ~self._conflict_mask[line_index]) | bit
+            new_may = may | bit
+            if not may & bit:
+                new_may &= ~self._same_home_mask[line_index]
+            return AbstractState(new_must, new_may)
+        if self.budget_one[line_index]:
+            # Proven eviction-free set: a fill is permanent.
+            return AbstractState(must | bit, may | bit)
+        # Unconstrained round-robin fill: the pointer may target any way,
+        # so only the accessed line itself is guaranteed afterwards.
+        return AbstractState((must & ~self._others_mask[line_index]) | bit, may | bit)
+
+    def run_block(self, state: AbstractState, line_indices: Sequence[int]) -> AbstractState:
+        for line_index in line_indices:
+            state = self.access(state, line_index)
+        return state

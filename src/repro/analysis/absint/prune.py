@@ -1,0 +1,123 @@
+"""Sweep-pruning certificates: prove family members outcome-equivalent.
+
+Every way-placement counter is a function of the event stream, the
+geometry, and the per-event *WPA flag* vector ``line_addr < wpa_size``
+(the hint vector is the flag vector shifted by one event, and every
+other option enters the kernels verbatim).  Two members of a batch
+family therefore produce **bit-identical** :class:`FetchCounters` when
+they agree on scheme and non-threshold options and their thresholds cut
+the address line at the same place — i.e. when no line the program can
+fetch lies between the two ``wpa_size`` values.
+
+The proof is static: the candidate lines are the distinct line-aligned
+addresses the resolved *layout* covers, a superset of any trace's lines
+(the walker only fetches placed blocks), so equal flag vectors over the
+layout lines imply equal flag vectors over every trace.  Each member's
+threshold is classified by ``bisect_left(layout_line_starts, wpa_size)``;
+members with equal ``(scheme, options - wpa_size, class)`` keys collapse
+to the first member of the class, and the certificate records the
+mapping so pruned cells are reconstructed from the representative's
+counters bit-identically (only the report's own ``wpa_size`` metadata
+differs, which pricing re-applies per cell).
+
+A certificate is re-validated against the members it is applied to; a
+mismatch (or an injected fault at the ``prune`` chaos site) makes the
+supervisor fall back to unpruned execution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+__all__ = ["PruneCertificate", "layout_line_starts", "plan_prune"]
+
+
+class FamilyMember(Protocol):
+    """Shape shared by ``engine.batch.BatchMember`` and grid cells."""
+
+    scheme: str
+    options: Mapping[str, Any]
+
+
+def layout_line_starts(
+    addresses: Mapping[int, int], sizes: Mapping[int, int], line_size: int
+) -> Tuple[int, ...]:
+    """Sorted distinct line-start addresses the placed blocks cover."""
+    lines = set()
+    for uid, address in addresses.items():
+        size = sizes.get(uid, 0)
+        if size <= 0:
+            continue
+        first = address // line_size
+        last = (address + size - 1) // line_size
+        lines.update(range(first, last + 1))
+    return tuple(line * line_size for line in sorted(lines))
+
+
+def _member_key(
+    member: FamilyMember, line_starts: Sequence[int]
+) -> Tuple[Any, ...]:
+    options = dict(member.options)
+    threshold: Any = options.pop("wpa_size", 0)
+    if member.scheme == "way-placement":
+        # Equal cut position => equal WPA flag vector on any trace.
+        threshold = bisect_left(line_starts, threshold)
+    return (member.scheme, tuple(sorted(options.items())), threshold)
+
+
+class PruneCertificate:
+    """Which members of one family are provably outcome-equivalent."""
+
+    def __init__(
+        self,
+        line_starts: Sequence[int],
+        members: Sequence[FamilyMember],
+    ):
+        self.line_starts: Tuple[int, ...] = tuple(line_starts)
+        self.total: int = len(members)
+        representative_of: Dict[Tuple[Any, ...], int] = {}
+        clone_of: List[int] = []
+        for index, member in enumerate(members):
+            key = _member_key(member, self.line_starts)
+            clone_of.append(representative_of.setdefault(key, index))
+        #: For each member index, the index it is reconstructed from
+        #: (itself when it runs for real).
+        self.clone_of: Tuple[int, ...] = tuple(clone_of)
+        self.representatives: Tuple[int, ...] = tuple(
+            sorted(representative_of.values())
+        )
+
+    @property
+    def pruned(self) -> int:
+        return self.total - len(self.representatives)
+
+    @property
+    def pruned_fraction(self) -> float:
+        return self.pruned / self.total if self.total else 0.0
+
+    def validate(self, members: Sequence[FamilyMember]) -> bool:
+        """Does the recorded mapping still describe these members?"""
+        if len(members) != self.total:
+            return False
+        fresh = PruneCertificate(self.line_starts, members)
+        return fresh.clone_of == self.clone_of
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clone_of": list(self.clone_of),
+            "line_starts": len(self.line_starts),
+            "pruned": self.pruned,
+            "representatives": list(self.representatives),
+            "total": self.total,
+        }
+
+
+def plan_prune(
+    line_starts: Sequence[int], members: Sequence[FamilyMember]
+) -> Optional[PruneCertificate]:
+    """Certificate for a family, or ``None`` when nothing can be pruned."""
+    certificate = PruneCertificate(line_starts, members)
+    if certificate.pruned == 0:
+        return None
+    return certificate

@@ -28,6 +28,11 @@ Commands
     Full workload certification (see docs/verification.md): every lint
     and dataflow-verifier rule, the symbolic WPA placement proof, and a
     sanitized kernel replay.  Exit 2 when any workload fails.
+``analyze``
+    Abstract-interpretation certification (see docs/static_analysis.md):
+    the must/may cache fixpoint, static counter/energy bounds checked
+    against the engine's measured counters, and the ``A`` rule layer.
+    Exit 2 when any measured counter escapes its static bounds.
 """
 
 from __future__ import annotations
@@ -224,6 +229,25 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--page-kb", type=int, default=1)
     _add_budget_arguments(verify)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="abstract-interpretation certificates: cache fixpoint + "
+        "static counter/energy bounds + A rules",
+    )
+    analyze.add_argument(
+        "targets",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmarks to analyze (default: every built-in benchmark)",
+    )
+    analyze.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="analyze the full benchmark suite (explicit form of the default)",
+    )
+    analyze.add_argument("--format", default="text", choices=["text", "json"])
+    _add_budget_arguments(analyze)
+
     return parser
 
 
@@ -314,6 +338,17 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             f"{DEFAULT_RESILIENCE.fallback.value})"
         ),
     )
+    parser.add_argument(
+        "--prune-static",
+        action="store_true",
+        help=(
+            "collapse sweep cells the static analysis proves "
+            "outcome-equivalent to one representative replay, "
+            "reconstructing the rest bit-identically under a certificate "
+            "(see docs/static_analysis.md); a failed certificate falls "
+            "back to unpruned execution"
+        ),
+    )
 
 
 def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig]:
@@ -345,7 +380,24 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         strict=getattr(args, "strict", False),
         sanitize=getattr(args, "sanitize", False),
         resilience=_resilience_from_args(args),
+        prune=getattr(args, "prune_static", False),
     )
+
+
+def _print_grid_summary(runner: ExperimentRunner) -> None:
+    """Planner decisions of the last grid, to stderr (stdout stays data)."""
+    summary = runner.last_grid
+    if summary is None or not summary.families:
+        return
+    line = (
+        f"grid planner: {summary.families} family(ies) covering "
+        f"{summary.family_cells} of {summary.total} cell(s)"
+    )
+    if summary.pruned:
+        line += f"; {summary.pruned} cell(s) statically pruned"
+    print(line, file=sys.stderr)
+    for certificate in summary.prune_certificates:
+        print(f"  certificate {certificate}", file=sys.stderr)
 
 
 def _cmd_list_benchmarks() -> int:
@@ -393,6 +445,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(figure5(runner, benchmarks=benchmarks, jobs=args.jobs).render())
     else:
         print(figure6(runner, benchmarks=benchmarks, jobs=args.jobs).render())
+    _print_grid_summary(runner)
     return 0
 
 
@@ -532,9 +585,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import reproduction_report
 
     _validate_benchmarks(args.benchmarks)
-    text = reproduction_report(
-        _make_runner(args), benchmarks=args.benchmarks, jobs=args.jobs
-    )
+    runner = _make_runner(args)
+    text = reproduction_report(runner, benchmarks=args.benchmarks, jobs=args.jobs)
+    _print_grid_summary(runner)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -567,6 +620,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         records = figure6_records(
             figure6(runner, benchmarks=args.benchmarks, jobs=args.jobs)
         )
+    _print_grid_summary(runner)
     text = records_to_csv(records) if args.format == "csv" else records_to_json(records)
     if args.output:
         with open(args.output, "w") as handle:
@@ -742,6 +796,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all(certificate.ok for certificate in certificates) else 2
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.absint import (
+        analyze_workload,
+        render_analysis_json,
+        render_analysis_text,
+    )
+
+    if args.all_workloads and args.targets:
+        raise ReproError("--all-workloads cannot be combined with explicit targets")
+    targets = args.targets or list(benchmark_names())
+    _validate_benchmarks(targets)
+    runner = _make_runner(args)
+    started = time.perf_counter()
+    certificates = [analyze_workload(runner, benchmark) for benchmark in targets]
+    elapsed = time.perf_counter() - started
+    if args.format == "json":
+        print(render_analysis_json(certificates))
+    else:
+        print(render_analysis_text(certificates))
+    # Wall time goes to stderr so stdout stays byte-for-byte deterministic.
+    print(
+        f"analyzed {len(certificates)} workload(s) in {elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    return 0 if all(certificate.ok for certificate in certificates) else 2
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine.store import TraceStore
 
@@ -795,6 +878,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -38,6 +38,7 @@ __all__ = [
     "geometry_arrays",
     "geometry_lists",
     "itlb_misses",
+    "line_census",
     "page_numbers",
     "sweep_aggregates",
     "way_hints",
@@ -223,6 +224,30 @@ def sweep_aggregates(
             addrs[order],
             extra_cumsum,
         )
+    return store[key]
+
+
+def line_census(
+    events: LineEventTrace, geometry: CacheGeometry
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct-line footprint of the trace under ``geometry``.
+
+    Returns ``(lines, occurrences, set_indices, mandated_ways)``: the
+    sorted distinct line addresses, how many events touch each, and each
+    line's set index and mandated way.  This is the input to the static
+    counter bounds (``repro.analysis.absint.bounds``), which the S008
+    sanitizer invariant recomputes on every sanitized run — hence the
+    same per-trace memo the kernels use.
+    """
+    key = ("census", geometry.offset_bits, geometry.set_bits, geometry.way_bits)
+    store = _memo(events)
+    if key not in store:
+        lines, occurrences = np.unique(events.line_addrs, return_counts=True)
+        set_indices = (lines >> geometry.offset_bits) & mask(geometry.set_bits)
+        mandated = (lines >> (geometry.offset_bits + geometry.set_bits)) & mask(
+            geometry.way_bits
+        )
+        store[key] = (lines, occurrences, set_indices, mandated)
     return store[key]
 
 

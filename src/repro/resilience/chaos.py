@@ -19,6 +19,9 @@ site           where it fires
 ``differential``  the delta-driven family tier specifically (fires before
                  ``family`` on the same replay, so each rung of the
                  differential → batch → per-cell ladder is addressable)
+``prune``        applying a static sweep-pruning certificate in
+                 ``ExperimentRunner.report_family_pruned`` (the topmost
+                 ladder rung; recovery is unpruned family execution)
 =============  ==========================================================
 
 Faults model the real failure surface: ``crash`` (the process dies with
@@ -73,6 +76,7 @@ _SITES = frozenset(
         "cell",
         "family",
         "differential",
+        "prune",
     }
 )
 _FAULTS = frozenset(

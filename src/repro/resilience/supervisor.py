@@ -82,6 +82,26 @@ class GridSummary:
     executed: Tuple[str, ...]
     failed: Tuple[str, ...]
     failures: Tuple[FailureReport, ...]
+    #: Planner decisions: batch families formed, the cells they covered,
+    #: cells collapsed by static pruning certificates, and one compact
+    #: descriptor per certificate applied.  Counts include retried chunk
+    #: attempts (they describe planner activity, not distinct cells).
+    families: int = 0
+    family_cells: int = 0
+    pruned: int = 0
+    prune_certificates: Tuple[str, ...] = ()
+
+
+def _new_stats() -> Dict[str, Any]:
+    """Mutable planner-stats accumulator threaded through :func:`run_cells`."""
+    return {"families": 0, "family_cells": 0, "pruned": 0, "certificates": []}
+
+
+def _merge_stats(into: Dict[str, Any], other: Dict[str, Any]) -> None:
+    into["families"] += other.get("families", 0)
+    into["family_cells"] += other.get("family_cells", 0)
+    into["pruned"] += other.get("pruned", 0)
+    into["certificates"].extend(other.get("certificates", []))
 
 
 # ---------------------------------------------------------------------------
@@ -190,6 +210,7 @@ def run_cells(
     failures: List[FailureReport],
     emit: Callable[[int, SimulationReport], None],
     fail: Callable[[int, BaseException], None],
+    stats: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Simulate a chunk of cells, batching trace-sharing families.
 
@@ -200,10 +221,18 @@ def run_cells(
     (:func:`repro.engine.grid.plan_families`) and each family replays with
     one trace traversal; a family that fails for *any* reason — sanitizer
     trip, kernel bug, injected fault — records a recovered
-    :class:`FailureReport` and degrades one rung: a differential family
-    re-runs as a plain batch family, and a batch family's members fall to
-    the per-cell retry/backoff/engine-fallback ladder of :func:`run_cell`.
-    Batching never weakens supervision.
+    :class:`FailureReport` and degrades one rung: a pruned family re-runs
+    unpruned, a differential family re-runs as a plain batch family, and a
+    batch family's members fall to the per-cell retry/backoff/engine-
+    fallback ladder of :func:`run_cell`.  Batching never weakens
+    supervision.
+
+    When the runner was built with ``prune=True``, each family first runs
+    through :meth:`ExperimentRunner.report_family_pruned`, which collapses
+    statically outcome-equivalent cells to one representative under a
+    certificate (see :mod:`repro.analysis.absint.prune`).  ``stats``, when
+    given, accumulates the planner decisions (families, cells covered,
+    cells pruned, certificates) for :class:`GridSummary`.
     """
     singles = list(range(len(cells)))
     family_engine = _family_engine(runner)
@@ -213,14 +242,44 @@ def run_cells(
         families, singles = plan_families(
             cells, runner._resolve_layout_policy, engine=family_engine
         )
+        use_prune = bool(getattr(runner, "prune", False)) and hasattr(
+            runner, "report_family_pruned"
+        )
         for family in families:
             members = [cells[index] for index in family.indices]
             token = (
                 f"{family.benchmark}:{family.layout_policy.value}"
                 f":{len(members)}-cell family"
             )
+            if stats is not None:
+                stats["families"] += 1
+                stats["family_cells"] += len(members)
             reports: Optional[List[SimulationReport]] = None
-            if family.engine == "differential":
+            if use_prune:
+                try:
+                    reports, certificate = runner.report_family_pruned(
+                        members, engine=family.engine
+                    )
+                except Exception as error:
+                    failures.append(
+                        FailureReport(
+                            site="prune",
+                            benchmark=family.benchmark,
+                            cell=token,
+                            attempts=1,
+                            causes=tuple(cause_chain(error)),
+                            recovery="unpruned",
+                            recovered=True,
+                        )
+                    )
+                else:
+                    if certificate is not None and stats is not None:
+                        stats["pruned"] += certificate.pruned
+                        stats["certificates"].append(
+                            f"{family.benchmark}:{family.layout_policy.value}:"
+                            f"{certificate.pruned}/{certificate.total} pruned"
+                        )
+            if reports is None and family.engine == "differential":
                 try:
                     reports = runner.report_family(members, engine="differential")
                 except Exception as error:
@@ -276,12 +335,15 @@ def _chunk_worker_main(
 ) -> None:
     """Worker entry point: simulate one benchmark chunk, ship results back.
 
-    Sends ``(status, results, failures, error)`` where ``results`` maps
-    chunk indices to finished reports — partial on failure, so the parent
-    adopts whatever completed before anything went wrong.
+    Sends ``(status, results, failures, error, stats)`` where ``results``
+    maps chunk indices to finished reports — partial on failure, so the
+    parent adopts whatever completed before anything went wrong — and
+    ``stats`` carries the chunk's planner decisions (see
+    :func:`_new_stats`).
     """
     results: List[Tuple[int, SimulationReport]] = []
     failures: List[FailureReport] = []
+    stats = _new_stats()
     error: Optional[str] = None
     try:
         if chaos_config is not None:
@@ -298,11 +360,13 @@ def _chunk_worker_main(
             nonlocal error
             error = f"{type(exc).__name__}: {exc}"
 
-        run_cells(runner, cells, config, failures, emit, fail)
-        conn.send(("done", results, failures, error))
+        run_cells(runner, cells, config, failures, emit, fail, stats)
+        conn.send(("done", results, failures, error, stats))
     except BaseException as exc:  # noqa: B036 - report, then die
         try:
-            conn.send(("fatal", results, failures, f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                ("fatal", results, failures, f"{type(exc).__name__}: {exc}", stats)
+            )
         except Exception:
             pass
     finally:
@@ -363,6 +427,7 @@ def _run_parallel(
     config: ResilienceConfig,
     failures: List[FailureReport],
     adopt: Adopt,
+    stats: Dict[str, Any],
 ) -> List[_Chunk]:
     """Fan chunks across supervised worker processes.
 
@@ -413,8 +478,9 @@ def _run_parallel(
             exhausted.append(chunk)
 
     def absorb(entry: _Active, message: Tuple[Any, ...]) -> None:
-        status, results, worker_failures, error = message
+        status, results, worker_failures, error, worker_stats = message
         failures.extend(worker_failures)
+        _merge_stats(stats, worker_stats)
         chunk = entry.chunk
         finished = set()
         for index, report in results:
@@ -530,6 +596,7 @@ def supervise_grid(
     jobs = max(1, int(jobs))
     config = (config or DEFAULT_RESILIENCE).validate()
     failures: List[FailureReport] = []
+    stats = _new_stats()
     executed: Set[str] = set()
     failed: Set[str] = set()
     resumed: Set[str] = set()
@@ -586,7 +653,7 @@ def supervise_grid(
             if first_error is None:
                 first_error = error
 
-        run_cells(runner, group, config, failures, emit, fail)
+        run_cells(runner, group, config, failures, emit, fail, stats)
         if journal is not None:
             journal.flush()
 
@@ -602,7 +669,7 @@ def supervise_grid(
                 journal.flush()
 
         exhausted = _run_parallel(
-            runner, chunks, jobs, config, failures, adopt_and_flush
+            runner, chunks, jobs, config, failures, adopt_and_flush, stats
         )
         for chunk in exhausted:
             before = len(failed)
@@ -631,6 +698,10 @@ def supervise_grid(
         executed=tuple(sorted(executed)),
         failed=tuple(sorted(failed)),
         failures=tuple(failures),
+        families=stats["families"],
+        family_cells=stats["family_cells"],
+        pruned=stats["pruned"],
+        prune_certificates=tuple(stats["certificates"]),
     )
     if failed:
         if journal is not None:

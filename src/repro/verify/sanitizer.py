@@ -2,7 +2,7 @@
 
 The static verifier proves properties of the *inputs* (program, profile,
 layout, geometry); this module asserts that a *simulation* respected the
-model while it ran.  Seven invariants, each with a stable ``S###`` id:
+model while it ran.  Eight invariants, each with a stable ``S###`` id:
 
 ==== ========================  =====================================================
 id   name                      what must hold
@@ -23,6 +23,9 @@ S006 baseline-differential     way-placement with an empty WPA produces exactly 
                                baseline's miss traffic and stays hint-inert
 S007 segment-monotonicity      counters grow monotonically and account for every
                                event as segments replay
+S008 static-bounds-bracketing  every counter falls inside the static lower/upper
+                               bounds the abstract interpretation derives from the
+                               trace footprint (``repro.analysis.absint.bounds``)
 ==== ========================  =====================================================
 
 Two consumers: :class:`SanitizerHook` wraps a reference
@@ -59,6 +62,7 @@ __all__ = [
     "check_energy",
     "check_hint_inert",
     "check_scheme_state",
+    "check_static_bounds",
     "check_wayhint",
     "raise_if_violations",
     "sanitize_counters",
@@ -74,6 +78,7 @@ SANITIZER_INVARIANTS: Dict[str, str] = {
     "S005": "wpa-residency",
     "S006": "baseline-differential",
     "S007": "segment-monotonicity",
+    "S008": "static-bounds-bracketing",
 }
 
 #: Counters a scheme without hint/WPA machinery must leave untouched.
@@ -391,6 +396,34 @@ def check_differential(
     return violations
 
 
+def check_static_bounds(
+    scheme_name: str,
+    events: LineEventTrace,
+    geometry: CacheGeometry,
+    counters: FetchCounters,
+    options: Mapping[str, Any],
+) -> List[SanitizerViolation]:
+    """S008: counters must fall inside the static footprint bounds.
+
+    The abstract interpretation brackets every counter of the baseline and
+    way-placement replays from the trace footprint alone
+    (:func:`repro.analysis.absint.bounds.footprint_bounds`); any counter
+    escaping its bracket means either the engine or the static model is
+    wrong.  Configurations the bounds do not model are skipped.  Imported
+    lazily: the bounds live under ``repro.analysis``, which must stay
+    importable without the verifier.
+    """
+    from repro.analysis.absint.bounds import bounds_for_options
+
+    bounds = bounds_for_options(scheme_name, events, geometry, options)
+    if bounds is None:
+        return []
+    return [
+        _violation("S008", f"{scheme_name}: {violation.render()}")
+        for violation in bounds.violations(counters)
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Post-hoc entry points (kernel output)
 # ---------------------------------------------------------------------------
@@ -422,6 +455,7 @@ def sanitize_counters(
         )
     elif scheme_name == "baseline":
         violations += check_hint_inert(counters)
+    violations += check_static_bounds(scheme_name, events, geometry, counters, opts)
     return _dedupe(violations)
 
 
@@ -453,10 +487,20 @@ def sanitize_events(
         page_size=page_size,
         same_line_skip=same_line_skip,
     )
+    shared = {"itlb_entries": itlb_entries, "page_size": page_size}
     violations = check_counters(base, geometry, events=events)
     violations += check_hint_inert(base)
+    # The baseline kernel above ran with its default same_line_skip=False.
+    violations += check_static_bounds("baseline", events, geometry, base, shared)
     violations += check_counters(wp, geometry, events=events)
     violations += check_wayhint(events, wp, wpa_size, same_line_skip=same_line_skip)
+    violations += check_static_bounds(
+        "way-placement",
+        events,
+        geometry,
+        wp,
+        {**shared, "wpa_size": wpa_size, "same_line_skip": same_line_skip},
+    )
     violations += check_differential(
         events,
         geometry,

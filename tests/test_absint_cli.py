@@ -1,0 +1,83 @@
+"""The ``repro analyze`` subcommand: verdicts, determinism, exit codes.
+
+Mirrors the ``repro verify`` CLI contract: explicit targets or
+``--all-workloads``, text and JSON renderings, stdout byte-for-byte
+deterministic across runs (wall time goes to stderr), exit 0 when every
+workload's measured counters sit inside the static bounds and exit 2
+when a bracket is violated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.analysis.absint as absint
+from repro.cli import main
+
+FAST = ["--eval-instructions", "20000", "--profile-instructions", "8000"]
+
+
+class TestAnalyze:
+    def test_text_verdict(self, capsys):
+        assert main(["analyze", "crc", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "crc" in out and "bounded" in out
+        assert "1/1 workload(s) inside static bounds" in out
+
+    def test_json_is_deterministic(self, capsys):
+        assert main(["analyze", "crc", "bitcount", "--format", "json", *FAST]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze", "crc", "bitcount", "--format", "json", *FAST]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+        payload = json.loads(first)
+        assert payload["summary"] == {"clean": 2, "total": 2, "violated": 0}
+        benchmarks = [c["benchmark"] for c in payload["certificates"]]
+        assert benchmarks == sorted(benchmarks) == ["bitcount", "crc"]
+        for certificate in payload["certificates"]:
+            assert certificate["ok"] is True
+            schemes = [config["scheme"] for config in certificate["configs"]]
+            assert schemes == ["baseline", "way-placement"]
+            for config in certificate["configs"]:
+                assert config["bounds_hold"] is True
+                assert config["violations"] == []
+                fixpoint = config["fixpoint"]
+                assert fixpoint is None or fixpoint["converged"] is True
+                low, high = config["energy_bracket_pj"]
+                assert low <= config["energy_pj"] <= high
+                for field, (lower, upper) in config["bounds"].items():
+                    assert lower <= upper, field
+
+    def test_rejects_unknown_benchmark(self, capsys):
+        assert main(["analyze", "nonesuch", *FAST]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_all_workloads_excludes_targets(self, capsys):
+        assert main(["analyze", "crc", "--all-workloads", *FAST]) == 1
+        assert "--all-workloads" in capsys.readouterr().err
+
+    def test_violated_bounds_exit_code(self, capsys, monkeypatch):
+        real = absint.analyze_workload
+
+        def tampered(runner, benchmark, *args, **kwargs):
+            certificate = real(runner, benchmark, *args, **kwargs)
+            config = certificate.configs[0]
+            broken = dataclasses.replace(
+                config,
+                violations=(
+                    absint.BoundsViolation("misses", 10**9, 0, 1),
+                ),
+            )
+            return dataclasses.replace(
+                certificate, configs=(broken, *certificate.configs[1:])
+            )
+
+        monkeypatch.setattr(absint, "analyze_workload", tampered)
+        assert main(["analyze", "crc", *FAST]) == 2
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "misses = 1000000000 outside static bounds [0, 1]" in out

@@ -1,0 +1,180 @@
+"""The abstract cache domain: lattice laws and per-access soundness.
+
+The must/may lattice (:mod:`repro.analysis.absint.lattice`) is the
+foundation of every static claim downstream — classifications, counter
+bounds, pruning certificates.  Two layers of defense here:
+
+* **algebra** — ``join`` is a commutative, associative, idempotent least
+  upper bound for the "smaller must / larger may" order, and the
+  transfer function preserves that order (monotonicity), so the fixpoint
+  iteration is well-defined;
+* **soundness against the reference schemes** — walking the abstract
+  state alongside a concrete :class:`BaselineScheme` /
+  :class:`WayPlacementScheme` replay of the *same* event stream, a
+  static ``HIT`` verdict always coincides with a concrete hit and a
+  static ``MISS`` with a concrete miss, on Hypothesis-generated streams.
+
+Plus the two structural proofs the precision rests on: budget-one sets
+(fills are permanent) and definite forced evictions (provable
+way-placement thrash).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.absint import AbstractState, CacheUniverse, Classification
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.way_placement import WayPlacementScheme
+from tests.scheme_helpers import TINY_GEOMETRY, events_from
+from tests.test_schemes_equivalence import event_streams
+
+#: TINY_GEOMETRY is 4 sets x 4 ways x 16B lines; set = addr[5:4],
+#: mandated way = addr[7:6], so addresses 256 apart share both.
+HOME_STRIDE = 64
+ALIAS_STRIDE = 256
+
+
+def states(universe_size: int = 6):
+    masks = st.integers(0, (1 << universe_size) - 1)
+    return st.tuples(masks, masks).map(
+        lambda pair: AbstractState(pair[0] & pair[1], pair[1])
+    )
+
+
+def less_precise(a: AbstractState, b: AbstractState) -> bool:
+    """``a`` is below ``b`` in the lattice order (a safe weakening)."""
+    return (a.must & b.must) == a.must and (a.may | b.may) == a.may
+
+
+class TestLatticeAlgebra:
+    @given(states(), states())
+    def test_join_commutes(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(states(), states(), states())
+    def test_join_associates(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(states())
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(states(), states())
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert less_precise(joined, a) and less_precise(joined, b)
+
+    def test_empty_is_cold(self):
+        empty = AbstractState.empty()
+        assert empty.must == 0 and empty.may == 0
+
+
+@pytest.mark.parametrize("scheme,wpa_size", [("baseline", 0), ("way-placement", 256)])
+@given(event_streams(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_transfer_monotone(scheme, wpa_size, specs, data):
+    """s1 below s2 implies access(s1) below access(s2), for every line."""
+    addrs = [spec[0] for spec in specs]
+    universe = CacheUniverse(addrs, TINY_GEOMETRY, scheme, wpa_size)
+    full = (1 << universe.num_lines) - 1
+    may2 = data.draw(st.integers(0, full))
+    must2 = data.draw(st.integers(0, full)) & may2
+    s2 = AbstractState(must2, may2)
+    # A weakening of s2: drop from must, add to may.
+    s1 = AbstractState(
+        must2 & data.draw(st.integers(0, full)),
+        may2 | data.draw(st.integers(0, full)),
+    )
+    for index in range(universe.num_lines):
+        assert less_precise(universe.access(s1, index), universe.access(s2, index))
+
+
+def concrete_miss_deltas(scheme_factory, specs):
+    """Cumulative-miss deltas per event, via prefix replays of the scheme."""
+    deltas = []
+    previous = 0
+    for i in range(1, len(specs) + 1):
+        misses = scheme_factory().run(events_from(specs[:i])).misses
+        deltas.append(misses - previous)
+        previous = misses
+    return deltas
+
+
+@pytest.mark.parametrize(
+    "scheme,wpa_size",
+    [("baseline", 0), ("way-placement", 128), ("way-placement", 656)],
+)
+@given(event_streams())
+@settings(max_examples=25, deadline=None)
+def test_classification_sound_against_reference(scheme, wpa_size, specs):
+    """Static HIT => concrete hit, static MISS => concrete miss, per access."""
+    if scheme == "baseline":
+        factory = lambda: BaselineScheme(TINY_GEOMETRY, page_size=16)
+    else:
+        factory = lambda: WayPlacementScheme(
+            TINY_GEOMETRY, wpa_size=wpa_size, page_size=16
+        )
+    deltas = concrete_miss_deltas(factory, specs)
+    universe = CacheUniverse([s[0] for s in specs], TINY_GEOMETRY, scheme, wpa_size)
+    state = AbstractState.empty()
+    for spec, delta in zip(specs, deltas):
+        index = universe.index[spec[0]]
+        verdict = universe.classify(state, index)
+        if verdict is Classification.HIT:
+            assert delta == 0, f"static HIT but concrete miss at {spec}"
+        elif verdict is Classification.MISS:
+            assert delta == 1, f"static MISS but concrete hit at {spec}"
+        state = universe.access(state, index)
+        # The soundness invariant: must <= may always.
+        assert state.must & state.may == state.must
+
+
+class TestBudgetOne:
+    def test_baseline_set_within_ways_is_budget_one(self):
+        addrs = [i * HOME_STRIDE for i in range(4)]  # one set, 4 distinct tags
+        universe = CacheUniverse(addrs, TINY_GEOMETRY, "baseline", 0)
+        assert all(universe.budget_one)
+        state = AbstractState.empty()
+        for index in range(universe.num_lines):
+            state = universe.access(state, index)
+        # Every fill was permanent: all lines are guaranteed resident.
+        for index in range(universe.num_lines):
+            assert universe.classify(state, index) is Classification.HIT
+
+    def test_baseline_set_beyond_ways_is_not(self):
+        addrs = [i * HOME_STRIDE for i in range(5)]  # 5 tags > 4 ways
+        universe = CacheUniverse(addrs, TINY_GEOMETRY, "baseline", 0)
+        assert not any(universe.budget_one)
+        state = AbstractState.empty()
+        for index in range(universe.num_lines):
+            state = universe.access(state, index)
+        # An unconstrained fill guarantees only the last accessed line.
+        assert state.must == 1 << (universe.num_lines - 1)
+
+    def test_way_placement_distinct_homes_is_budget_one(self):
+        # Four WPA lines of one set with pairwise distinct mandated ways.
+        addrs = [i * HOME_STRIDE for i in range(4)]
+        universe = CacheUniverse(addrs, TINY_GEOMETRY, "way-placement", 512)
+        assert all(universe.is_wpa) and all(universe.budget_one)
+
+    def test_way_placement_aliased_homes_is_not(self):
+        addrs = [0, ALIAS_STRIDE]  # same set, same mandated way
+        universe = CacheUniverse(addrs, TINY_GEOMETRY, "way-placement", 512)
+        assert not any(universe.budget_one)
+
+
+def test_definite_forced_eviction_proves_thrash():
+    """A certain miss on a WPA line statically evicts its home aliases."""
+    a, b = 0, ALIAS_STRIDE
+    universe = CacheUniverse([a, b], TINY_GEOMETRY, "way-placement", 512)
+    state = universe.access(AbstractState.empty(), universe.index[a])
+    assert universe.classify(state, universe.index[a]) is Classification.HIT
+    # b has never been seen: its access is a guaranteed miss whose forced
+    # fill lands in a's mandated way — a is provably gone.
+    state = universe.access(state, universe.index[b])
+    assert universe.classify(state, universe.index[a]) is Classification.MISS
+    # And the ping-pong repeats: re-fetching a definitely evicts b.
+    state = universe.access(state, universe.index[a])
+    assert universe.classify(state, universe.index[b]) is Classification.MISS

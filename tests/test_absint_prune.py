@@ -1,0 +1,196 @@
+"""Certified sweep pruning: provably-equivalent cells never re-run.
+
+The pruning certificate (:mod:`repro.analysis.absint.prune`) collapses
+family members whose WPA thresholds cut the layout's line-start sequence
+at the same place.  Nothing it does is allowed to change a number:
+
+* **certificate algebra** — line-start extraction, threshold classing,
+  clone mapping, re-validation against changed member lists;
+* **runner execution** — ``report_family_pruned`` reproduces the
+  unpruned family bit-identically, reconstructed cells keep their own
+  ``wpa_size`` metadata, and a dense sweep prunes well past the 20%
+  acceptance floor;
+* **supervision** — ``ExperimentRunner(prune=True)`` grids match the
+  reference engine, the :class:`GridSummary` reports the planner's
+  decisions, and a chaos fault at the ``prune`` site degrades to
+  unpruned execution with a recovered :class:`FailureReport`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.batch import BatchMember
+from repro.engine.grid import GridCell
+from repro.layout.placement import LayoutPolicy
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosConfig, ChaosRule
+from repro.analysis.absint import PruneCertificate, layout_line_starts, plan_prune
+from tests.test_engine_batch import make_runner
+
+KB = 1024
+
+#: Line starts with a deliberate gap: thresholds in (64, 128] all cut at
+#: the same position, thresholds <= 16 at another.
+LINE_STARTS = (0, 16, 64, 128)
+
+
+def wp(wpa_size, **options):
+    return BatchMember("way-placement", {"wpa_size": wpa_size, **options})
+
+
+class TestLayoutLineStarts:
+    def test_blocks_expand_to_covered_lines(self):
+        addresses = {1: 0, 2: 40, 3: 100}
+        sizes = {1: 16, 2: 20, 3: 8}
+        # Block 2 spans lines 2..3, block 3 sits inside line 6.
+        assert layout_line_starts(addresses, sizes, 16) == (0, 32, 48, 96)
+
+    def test_zero_sized_blocks_are_skipped(self):
+        assert layout_line_starts({1: 0, 2: 64}, {1: 0, 2: 4}, 16) == (64,)
+
+    def test_overlapping_blocks_deduplicate(self):
+        addresses = {1: 0, 2: 8}
+        sizes = {1: 16, 2: 16}
+        assert layout_line_starts(addresses, sizes, 16) == (0, 16)
+
+
+class TestPlanPrune:
+    def test_same_gap_thresholds_collapse(self):
+        members = [wp(65), wp(100), wp(128), wp(200), wp(1000)]
+        certificate = plan_prune(LINE_STARTS, members)
+        # 65/100/128 cut before index 3; 200/1000 cut past every line.
+        assert certificate.clone_of == (0, 0, 0, 3, 3)
+        assert certificate.representatives == (0, 3)
+        assert certificate.pruned == 3
+        assert certificate.pruned_fraction == pytest.approx(0.6)
+
+    def test_distinct_cuts_yield_none(self):
+        members = [wp(8), wp(40), wp(100), wp(200)]
+        assert plan_prune(LINE_STARTS, members) is None
+
+    def test_non_threshold_options_split_classes(self):
+        members = [wp(65), wp(100, same_line_skip=False), wp(100)]
+        certificate = plan_prune(LINE_STARTS, members)
+        assert certificate.clone_of == (0, 1, 0)
+
+    def test_baseline_members_ignore_the_cut(self):
+        members = [
+            BatchMember("baseline", {}),
+            BatchMember("baseline", {}),
+            wp(65),
+        ]
+        certificate = plan_prune(LINE_STARTS, members)
+        assert certificate.clone_of == (0, 0, 2)
+
+    def test_validate_rejects_changed_members(self):
+        members = [wp(65), wp(100), wp(200)]
+        certificate = PruneCertificate(LINE_STARTS, members)
+        assert certificate.validate(members)
+        # Reversed, the clone structure differs: (0, 0, 2) vs (0, 1, 1).
+        assert not certificate.validate(list(reversed(members)))
+        assert not certificate.validate(members[:-1])
+
+    def test_to_dict_is_json_friendly(self):
+        certificate = PruneCertificate(LINE_STARTS, [wp(65), wp(100)])
+        payload = certificate.to_dict()
+        assert payload == {
+            "clone_of": [0, 0],
+            "line_starts": len(LINE_STARTS),
+            "pruned": 1,
+            "representatives": [0],
+            "total": 2,
+        }
+
+
+#: A dense 32-point sweep: far more thresholds than crc has distinct
+#: line-start cut positions in 8..40KB, so most cells must collapse.
+DENSE_SWEEP = [
+    GridCell("crc", "way-placement", wpa_size=point * KB)
+    for point in range(1, 33)
+]
+
+
+class TestRunnerExecution:
+    def test_pruned_family_is_bit_identical(self):
+        pruned_runner = make_runner(prune=True)
+        reports, certificate = pruned_runner.report_family_pruned(DENSE_SWEEP)
+        assert certificate is not None
+        assert certificate.pruned_fraction >= 0.20
+        plain = make_runner().report_family(DENSE_SWEEP)
+        for cell, report, reference in zip(DENSE_SWEEP, reports, plain):
+            assert report.counters == reference.counters, cell
+            assert report.breakdown == reference.breakdown, cell
+            assert report.cycles == reference.cycles, cell
+            # Reconstructed cells keep their own configuration metadata.
+            assert report.wpa_size == cell.wpa_size
+
+    def test_unprunable_family_falls_through(self):
+        runner = make_runner(prune=True)
+        # Distinct non-threshold options: the members can never collapse.
+        cells = [
+            GridCell("crc", "way-placement", wpa_size=4 * KB),
+            GridCell("crc", "way-placement", wpa_size=4 * KB, same_line_skip=False),
+        ]
+        reports, certificate = runner.report_family_pruned(cells)
+        assert certificate is None
+        assert len(reports) == len(cells)
+
+    def test_line_starts_are_memoized_per_layout(self):
+        runner = make_runner()
+        first = runner.line_starts("crc", LayoutPolicy.WAY_PLACEMENT, 32)
+        assert first == runner.line_starts("crc", LayoutPolicy.WAY_PLACEMENT, 32)
+        assert first and all(start % 32 == 0 for start in first)
+        assert list(first) == sorted(set(first))
+
+
+class TestSupervisedGrid:
+    def test_pruned_grid_matches_reference(self):
+        pruned_runner = make_runner(engine="batch", prune=True)
+        reports = pruned_runner.run_grid(DENSE_SWEEP)
+        reference_reports = make_runner(engine="reference").run_grid(DENSE_SWEEP)
+        for cell, report, reference in zip(DENSE_SWEEP, reports, reference_reports):
+            assert report.counters == reference.counters, cell
+            assert report.breakdown == reference.breakdown, cell
+
+        summary = pruned_runner.last_grid
+        assert summary is not None
+        assert summary.families == 1
+        assert summary.family_cells == len(DENSE_SWEEP)
+        assert summary.pruned >= len(DENSE_SWEEP) * 0.20
+        assert len(summary.prune_certificates) == 1
+        descriptor = summary.prune_certificates[0]
+        assert descriptor.startswith(f"crc:{LayoutPolicy.WAY_PLACEMENT.value}:")
+        assert descriptor.endswith(f"/{len(DENSE_SWEEP)} pruned")
+        assert pruned_runner.last_failures == []
+
+    def test_prune_disabled_reports_no_pruning(self):
+        runner = make_runner(engine="batch")
+        runner.run_grid(DENSE_SWEEP)
+        summary = runner.last_grid
+        assert summary is not None and summary.pruned == 0
+        assert summary.prune_certificates == ()
+
+    def test_prune_fault_degrades_to_unpruned(self):
+        runner = make_runner(engine="batch", prune=True)
+        rule = ChaosRule("prune", "raise", match="crc", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            reports = runner.run_grid(DENSE_SWEEP)
+
+        incidents = [f for f in runner.last_failures if f.site == "prune"]
+        assert incidents, "prune fault left no FailureReport"
+        incident = incidents[0]
+        assert incident.recovered and incident.recovery == "unpruned"
+        assert incident.benchmark == "crc"
+        assert "InjectedFault" in incident.causes[0]
+        summary = runner.last_grid
+        assert summary is not None and summary.pruned == 0
+
+        reference_reports = make_runner(engine="reference").run_grid(DENSE_SWEEP)
+        for report, reference in zip(reports, reference_reports):
+            assert report.counters == reference.counters
+
+    def test_prune_flag_travels_to_workers(self):
+        runner = make_runner(prune=True)
+        assert runner.spawn_spec()["prune"] is True
+        assert make_runner().spawn_spec()["prune"] is False

@@ -218,6 +218,102 @@ def _trigger_c005():
     )
 
 
+# ---------------------------------------------------------------------------
+# Abstract-interpretation rules
+# ---------------------------------------------------------------------------
+def _absint_context(functions, addresses, sizes, wpa_size):
+    # 1KB 2-way cache, 32B lines: 16 sets, mandated way = tag & 1, so
+    # addresses 1024 apart share both their set and their mandated way.
+    return AnalysisContext(
+        subject="p",
+        program=ProgramView("p", list(functions), entry="main"),
+        layout=LayoutView("p", addresses, sizes),
+        geometry=GeometrySpec(size_bytes=1024, ways=2, line_size=32),
+        wpa_size=wpa_size,
+        page_size=1024,
+    )
+
+
+def _thrash_context():
+    """An a<->b loop over WPA lines 0x0/0x400: same set, same mandated way.
+
+    Every entry into ``a`` comes through ``b``'s forced fill (and vice
+    versa), so the fixpoint proves both lines miss on every fetch.
+    """
+    jump = Instruction(Opcode.B, target="b")
+    back = Instruction(Opcode.B, condition=Condition.NE, target="a")
+    a = _block(0, "a", "main", (ALU, jump), BlockKind.JUMP, taken_label="b")
+    b = _block(
+        1, "b", "main", (ALU, back), BlockKind.CONDJUMP,
+        taken_label="a", fall_label="exit",
+    )
+    exit_ = _block(2, "exit", "main", (RET,), BlockKind.RETURN)
+    return _absint_context(
+        [Function("main", (a, b, exit_))],
+        {0: 0, 1: 1024, 2: 0x820},
+        {0: 32, 1: 32, 2: 32},
+        wpa_size=2048,
+    )
+
+
+def _trigger_a001():
+    # The ping-pong proves both aliased WPA lines never hit on the cycle.
+    return _thrash_context()
+
+
+def _trigger_a002():
+    # Each WPA page's only site is a certain miss: conclusive, hitless.
+    return _thrash_context()
+
+
+def _trigger_a003():
+    # A branchy loop over conflicting non-WPA lines (wpa below the code):
+    # the join at 'a' keeps every residency uncertain, so all 13 reachable
+    # sites stay unknown and none is a guaranteed hit.
+    pick = Instruction(Opcode.B, condition=Condition.NE, target="b")
+    again = Instruction(Opcode.B, condition=Condition.NE, target="a")
+    back = Instruction(Opcode.B, target="a")
+    a = _block(
+        0, "a", "main", (ALU, pick), BlockKind.CONDJUMP,
+        taken_label="b", fall_label="c",
+    )
+    b = _block(1, "b", "main", (ALU, back), BlockKind.JUMP, taken_label="a")
+    c = _block(
+        2, "c", "main", (ALU, again), BlockKind.CONDJUMP,
+        taken_label="a", fall_label="exit",
+    )
+    exit_ = _block(3, "exit", "main", (RET,), BlockKind.RETURN)
+    return _absint_context(
+        [Function("main", (a, b, c, exit_))],
+        {0: 0x200, 1: 0x400, 2: 0x600, 3: 0x800},
+        {0: 128, 1: 128, 2: 128, 3: 32},
+        wpa_size=32,
+    )
+
+
+def _trigger_a004():
+    # 'dead' places a WPA line, but no edge reaches it from the entry.
+    a = _block(0, "a", "main", (RET,), BlockKind.RETURN)
+    dead = _block(1, "dead", "main", (RET,), BlockKind.RETURN)
+    return _absint_context(
+        [Function("main", (a, dead))], {0: 0, 1: 32}, {0: 32, 1: 32},
+        wpa_size=1024,
+    )
+
+
+def _trigger_a005():
+    # The WPA spans two pages but only page 0 holds placed code.
+    a = _block(0, "a", "main", (RET,), BlockKind.RETURN)
+    return _absint_context(
+        [Function("main", (a,))], {0: 0}, {0: 32}, wpa_size=2048
+    )
+
+
+def _trigger_a006():
+    # Two executed WPA lines pinned to one (set, way), one proven lossy.
+    return _thrash_context()
+
+
 TRIGGERS = {
     "P001": _trigger_p001,
     "P002": _trigger_p002,
@@ -239,6 +335,12 @@ TRIGGERS = {
     "C003": _trigger_c003,
     "C004": _trigger_c004,
     "C005": _trigger_c005,
+    "A001": _trigger_a001,
+    "A002": _trigger_a002,
+    "A003": _trigger_a003,
+    "A004": _trigger_a004,
+    "A005": _trigger_a005,
+    "A006": _trigger_a006,
 }
 
 

@@ -18,7 +18,7 @@ DOCS = Path(__file__).resolve().parent.parent / "docs"
 README = DOCS.parent / "README.md"
 
 _RULE_ROW = re.compile(
-    r"^\|\s*([PLCV]\d{3})\s*\|\s*([a-z0-9-]+)\s*\|\s*(\w+)\s*\|", re.MULTILINE
+    r"^\|\s*([APLCV]\d{3})\s*\|\s*([a-z0-9-]+)\s*\|\s*(\w+)\s*\|", re.MULTILINE
 )
 _INVARIANT_ROW = re.compile(
     r"^\|\s*(S\d{3})\s*\|\s*([a-z0-9-]+)\s*\|", re.MULTILINE
@@ -53,6 +53,25 @@ def test_verification_doc_lists_every_sanitizer_invariant():
     assert rows == SANITIZER_INVARIANTS
 
 
+def test_analysis_doc_covers_the_absint_layer():
+    """The A rules exist, are documented, and point at static_analysis.md."""
+    a_ids = {rid for rid in DEFAULT_REGISTRY.ids() if rid.startswith("A")}
+    assert a_ids, "the absint rule layer vanished from the registry"
+    text = (DOCS / "analysis.md").read_text()
+    assert a_ids <= set(_rule_rows(text))
+    assert "static_analysis.md" in text
+
+
+def test_sanitizer_catalog_includes_static_bounds():
+    assert SANITIZER_INVARIANTS["S008"] == "static-bounds-bracketing"
+
+
 def test_verification_doc_is_linked():
     assert "verification.md" in README.read_text()
     assert "verification.md" in (DOCS / "architecture.md").read_text()
+
+
+def test_static_analysis_doc_is_linked():
+    assert (DOCS / "static_analysis.md").exists()
+    assert "static_analysis.md" in (DOCS / "architecture.md").read_text()
+    assert "static_analysis.md" in (DOCS / "verification.md").read_text()

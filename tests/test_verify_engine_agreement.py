@@ -5,8 +5,10 @@ Every bundled workload's evaluation trace replays through the vectorized
 checks — zero violations expected — and through the family tiers: a WPA
 sweep family must come back from ``differential_counters`` and
 ``batch_counters`` bit-identical to the per-cell kernels on every
-workload.  One session-scoped runner serves all parametrized cases so
-profiling, layout, and trace generation happen once per benchmark.
+workload — and every tier's counters must sit inside the abstract
+interpretation's static bounds (the S008 invariant).  One session-scoped
+runner serves all parametrized cases so profiling, layout, and trace
+generation happen once per benchmark.
 """
 
 from __future__ import annotations
@@ -86,6 +88,52 @@ def test_family_tiers_agree_with_the_kernels(agreement_runner, workload):
             member.scheme, events, MACHINE.icache, **dict(member.options)
         )
         assert diff == kernel, f"differential != kernel for {member} on {workload}"
+
+
+@pytest.mark.parametrize("workload", benchmark_names())
+def test_static_bounds_bracket_every_engine_tier(agreement_runner, workload):
+    """The absint counter bounds contain all four tiers' replay results.
+
+    This is the S008 invariant exercised explicitly: for the baseline and
+    the fitted way-placement configuration, every FetchCounters field from
+    the reference schemes, the vectorized kernels, and both family tiers
+    must land inside the static ``[lower, upper]`` bracket.
+    """
+    from repro.analysis.absint import bounds_for_options
+
+    events = agreement_runner.events(
+        workload, LayoutPolicy.WAY_PLACEMENT, MACHINE.icache.line_size
+    )
+    shared = {
+        "page_size": MACHINE.page_size,
+        "itlb_entries": MACHINE.itlb_entries,
+    }
+    members = [
+        BatchMember("baseline", dict(shared)),
+        BatchMember(
+            "way-placement",
+            {"wpa_size": _fitted_wpa(agreement_runner, workload), **shared},
+        ),
+    ]
+    batched = batch_counters(events, MACHINE.icache, members)
+    differential = differential_counters(events, MACHINE.icache, members)
+    for member, batch, diff in zip(members, batched, differential):
+        options = dict(member.options)
+        bounds = bounds_for_options(member.scheme, events, MACHINE.icache, options)
+        assert bounds is not None, f"{member} must be modelled"
+        scheme_cls = (
+            BaselineScheme if member.scheme == "baseline" else WayPlacementScheme
+        )
+        tiers = {
+            "reference": scheme_cls(MACHINE.icache, **options).run(events),
+            "vector": fast_counters(member.scheme, events, MACHINE.icache, **options),
+            "batch": batch,
+            "differential": diff,
+        }
+        for tier, counters in tiers.items():
+            violations = bounds.violations(counters)
+            rendered = "; ".join(v.render() for v in violations)
+            assert violations == [], f"{tier} escapes bounds on {workload}: {rendered}"
 
 
 def test_hooked_reference_schemes_match_the_kernels(agreement_runner):

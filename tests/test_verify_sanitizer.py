@@ -310,4 +310,5 @@ def test_invariant_catalog_is_closed():
         "S005",
         "S006",
         "S007",
+        "S008",
     }
