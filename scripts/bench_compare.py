@@ -1,28 +1,8 @@
 #!/usr/bin/env python
-"""Gate CI on the checked-in bench snapshot: fail on speedup regressions.
+"""Thin shim over ``repro bench compare`` (kept for CI muscle memory).
 
-Compares a freshly generated snapshot (``scripts/bench_snapshot.py
---output bench_ci.json``) against the committed ``BENCH_engine.json``
-baseline.  The guarded metrics are the engine tiers' headline speedups —
-ratios of two wall times measured in the same process, so they are far
-more stable across runner hardware than the raw walls:
-
-* ``grid.wpa_sweep_16.batch_speedup`` — batched vs per-cell replay;
-* ``grid.wpa_sweep_256.differential_speedup`` — delta-driven vs batched
-  replay;
-* ``grid.wpa_sweep_256_pruned.pruned_fraction`` — the share of the
-  256-point sweep the static pruning certificate collapses.  Not a wall
-  time at all: the certificate is derived purely from the layout, so the
-  fraction is deterministic and any drop means the analysis got weaker.
-
-A guarded speedup may drift or improve freely; dropping more than
-``--tolerance`` (default 20%) below the baseline fails the gate.  A metric
-missing from the *current* snapshot also fails (a silently skipped bench
-must not pass the gate); one missing from the *baseline* is reported and
-skipped, so the gate can be introduced before the baseline carries every
-metric.
-
-Usage::
+The gate itself lives in :mod:`repro.experiments.bench`; this script just
+forwards its arguments so existing invocations keep working::
 
     python scripts/bench_compare.py bench_ci.json
     python scripts/bench_compare.py bench_ci.json --baseline BENCH_engine.json
@@ -30,88 +10,11 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-#: (metric name, ratio field) pairs the gate guards.
-GUARDED = [
-    ("grid.wpa_sweep_16", "batch_speedup"),
-    ("grid.wpa_sweep_256", "differential_speedup"),
-    ("grid.wpa_sweep_256_pruned", "pruned_fraction"),
-]
-
-
-def load_metrics(path: Path) -> dict:
-    try:
-        snapshot = json.loads(path.read_text())
-    except OSError as error:
-        raise SystemExit(f"cannot read snapshot {path}: {error}")
-    except ValueError as error:
-        raise SystemExit(f"snapshot {path} is not valid JSON: {error}")
-    metrics = snapshot.get("metrics")
-    if not isinstance(metrics, dict):
-        raise SystemExit(f"snapshot {path} has no 'metrics' block")
-    return metrics
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="freshly generated snapshot to check")
-    parser.add_argument(
-        "--baseline",
-        default=str(REPO_ROOT / "BENCH_engine.json"),
-        help="checked-in snapshot to compare against (default: BENCH_engine.json)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.20,
-        help="allowed fractional speedup drop before failing (default: 0.20)",
-    )
-    args = parser.parse_args()
-    if not 0.0 <= args.tolerance < 1.0:
-        parser.error("--tolerance must be in [0, 1)")
-
-    current = load_metrics(Path(args.current))
-    baseline = load_metrics(Path(args.baseline))
-
-    failures = []
-    for metric, field in GUARDED:
-        reference = baseline.get(metric, {}).get(field)
-        if reference is None:
-            print(f"SKIP {metric}.{field}: not in baseline {args.baseline}")
-            continue
-        measured = current.get(metric, {}).get(field)
-        if measured is None:
-            failures.append(
-                f"{metric}.{field}: missing from {args.current} "
-                f"(baseline has {reference})"
-            )
-            continue
-        floor = reference * (1.0 - args.tolerance)
-        verdict = "FAIL" if measured < floor else "ok"
-        print(
-            f"{verdict:4} {metric}.{field}: {measured:.2f}x vs baseline "
-            f"{reference:.2f}x (floor {floor:.2f}x)"
-        )
-        if measured < floor:
-            failures.append(
-                f"{metric}.{field}: {measured:.2f}x is more than "
-                f"{args.tolerance:.0%} below the baseline {reference:.2f}x"
-            )
-
-    if failures:
-        print("\nbench regression gate FAILED:", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        return 1
-    print("bench regression gate passed")
-    return 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.cli import main
+
+    sys.exit(main(["bench", "compare", *sys.argv[1:]]))

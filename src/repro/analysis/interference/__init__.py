@@ -1,0 +1,67 @@
+"""repro.analysis.interference — predictive conflict analysis.
+
+Trace-free temporal interference analysis over the ICFG: a weighted
+conflict graph over cache lines (loop-nest-scaled pair weights, per-set
+pressure, sound conflict-free certificates), a reference conflict replay
+that decomposes misses into cold + conflict per set, and per-workload
+interference certificates surfaced by ``repro analyze --interference``.
+
+Consumers: the ``I`` lint rule layer
+(:mod:`repro.analysis.rules.interference_rules`), the conflict-aware
+layout optimizer (:mod:`repro.layout.conflict_aware`), and the S009
+sanitizer invariant.  See ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.interference.certify import (
+    ConfigInterference,
+    InterferenceCertificate,
+    interference_workload,
+    render_interference_json,
+    render_interference_text,
+)
+from repro.analysis.interference.graph import (
+    BASE,
+    MAX_LOOP_DEPTH,
+    InterferenceEdge,
+    InterferenceGraph,
+    LoopComponent,
+    LoopNest,
+    SetPressure,
+    build_interference_graph,
+    build_loop_nest,
+    certify_conflict_free,
+    loop_nest_for,
+    predicted_conflict_weight,
+)
+from repro.analysis.interference.replay import (
+    ConflictReplay,
+    SetConflict,
+    conflict_free_violations,
+    conflict_replay,
+    trace_certified_sets,
+)
+
+__all__ = [
+    "BASE",
+    "MAX_LOOP_DEPTH",
+    "ConfigInterference",
+    "ConflictReplay",
+    "InterferenceCertificate",
+    "InterferenceEdge",
+    "InterferenceGraph",
+    "LoopComponent",
+    "LoopNest",
+    "SetConflict",
+    "SetPressure",
+    "build_interference_graph",
+    "build_loop_nest",
+    "certify_conflict_free",
+    "conflict_free_violations",
+    "conflict_replay",
+    "interference_workload",
+    "loop_nest_for",
+    "predicted_conflict_weight",
+    "render_interference_json",
+    "render_interference_text",
+    "trace_certified_sets",
+]

@@ -1,0 +1,272 @@
+"""Interference certification: the ``repro analyze --interference`` back end.
+
+An *interference certificate* for one workload bundles, per replay
+configuration:
+
+1. the static conflict graph of the placed program — total predicted
+   weighted conflicts, interfering pair count, per-set pressure, and the
+   top conflicting line pairs (:mod:`repro.analysis.interference.graph`);
+2. the conflict-free set certificates, both layout-level (any trace) and
+   trace-level (this trace's line footprint);
+3. a reference conflict replay of the workload's line events
+   (:mod:`repro.analysis.interference.replay`) cross-checked two ways:
+   the replay's total misses must equal the engine's measured misses,
+   and every certified set must show zero conflict misses; and
+4. the ``I``-layer diagnostics the graph supports.
+
+A workload is **interference clean** when both cross-checks pass in every
+configuration.  The JSON rendering is byte-for-byte deterministic
+(sorted keys, sorted workloads) so CI can diff consecutive runs, exactly
+like ``repro analyze`` / ``repro verify``.
+
+The three configurations mirror the paper's replay matrix plus this
+package's consumer: the baseline on the original layout, way-placement
+on the profile-chained layout, and way-placement on the conflict-aware
+layout (:mod:`repro.layout.conflict_aware`) — so certificates also
+record, per workload, how the optimizer's predicted conflict weight
+compares against the profile-driven placement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import Analyzer
+from repro.analysis.interference.graph import (
+    InterferenceGraph,
+    build_interference_graph,
+)
+from repro.analysis.interference.replay import (
+    ConflictReplay,
+    conflict_free_violations,
+    conflict_replay,
+    trace_certified_sets,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
+from repro.sim.machine import MachineConfig, XSCALE_BASELINE
+from repro.verify.certify import fitted_wpa_size
+
+__all__ = [
+    "ConfigInterference",
+    "InterferenceCertificate",
+    "interference_workload",
+    "render_interference_json",
+    "render_interference_text",
+]
+
+
+@dataclass(frozen=True)
+class ConfigInterference:
+    """One ``(scheme, layout, wpa)`` configuration's interference verdict."""
+
+    scheme: str
+    layout_policy: str
+    wpa_size: int
+    graph: InterferenceGraph
+    replay: ConflictReplay
+    measured_misses: int
+    trace_certified: Tuple[int, ...]
+    #: Certified sets that replayed conflict misses (must stay empty).
+    violations: Dict[int, int]
+
+    @property
+    def replay_matches(self) -> bool:
+        return self.replay.total_misses == self.measured_misses
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_matches and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        graph = self.graph
+        return {
+            "scheme": self.scheme,
+            "layout": self.layout_policy,
+            "wpa_size": self.wpa_size,
+            "ok": self.ok,
+            "predicted_conflict_weight": graph.total_weight,
+            "interfering_pairs": graph.interfering_pairs,
+            "loop_components": graph.loop_count,
+            "pair_enumeration_truncated": graph.pair_enumeration_truncated,
+            "sets": len(graph.sets),
+            "conflict_free_sets": list(graph.conflict_free_sets()),
+            "trace_certified_sets": list(self.trace_certified),
+            "max_set_pressure": max((s.pressure for s in graph.sets), default=0),
+            "top_pairs": [
+                {
+                    "lines": [edge.line_a, edge.line_b],
+                    "set": edge.set_index,
+                    "depth": edge.depth,
+                    "weight": edge.weight,
+                }
+                for edge in graph.top_pairs
+            ],
+            "replay": {
+                "total_misses": self.replay.total_misses,
+                "measured_misses": self.measured_misses,
+                "misses_match": self.replay_matches,
+                "conflict_misses": self.replay.total_conflict_misses,
+            },
+            "violations": {
+                str(set_index): count
+                for set_index, count in sorted(self.violations.items())
+            },
+        }
+
+
+@dataclass(frozen=True)
+class InterferenceCertificate:
+    """The interference analysis verdict on one workload."""
+
+    benchmark: str
+    configs: Tuple[ConfigInterference, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(config.ok for config in self.configs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "ok": self.ok,
+            "configs": [config.to_dict() for config in self.configs],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _interference_config(
+    runner: ExperimentRunner,
+    benchmark: str,
+    scheme: str,
+    policy: LayoutPolicy,
+    machine: MachineConfig,
+    wpa_size: int,
+) -> ConfigInterference:
+    context = AnalysisContext.for_experiment(
+        program=runner.workload(benchmark).program,
+        layout=runner.layout(benchmark, policy),
+        geometry=machine.icache,
+        wpa_size=wpa_size or None,
+        page_size=machine.page_size,
+        subject=benchmark,
+    )
+    assert context.program is not None and context.layout is not None
+    assert context.geometry is not None
+    graph = build_interference_graph(
+        context.program, context.layout, context.geometry, wpa_size
+    )
+    events = runner.events(benchmark, policy, machine.icache.line_size)
+    replay = conflict_replay(events, context.geometry, wpa_size)
+    certified = trace_certified_sets(events, context.geometry, wpa_size)
+    report = runner.report(
+        benchmark, scheme, machine, wpa_size=wpa_size, layout_policy=policy
+    )
+    violations = dict(conflict_free_violations(replay, certified))
+    return ConfigInterference(
+        scheme=scheme,
+        layout_policy=policy.value,
+        wpa_size=wpa_size,
+        graph=graph,
+        replay=replay,
+        measured_misses=report.counters.misses,
+        trace_certified=certified,
+        violations=violations,
+    )
+
+
+def interference_workload(
+    runner: ExperimentRunner,
+    benchmark: str,
+    machine: MachineConfig = XSCALE_BASELINE,
+    analyzer: Optional[Analyzer] = None,
+) -> InterferenceCertificate:
+    """Build one workload's interference certificate (see module docstring)."""
+    configs = [
+        _interference_config(
+            runner, benchmark, "baseline", LayoutPolicy.ORIGINAL, machine, 0
+        )
+    ]
+    for policy in (LayoutPolicy.WAY_PLACEMENT, LayoutPolicy.CONFLICT_AWARE):
+        wpa_size = fitted_wpa_size(runner, benchmark, policy, machine)
+        configs.append(
+            _interference_config(
+                runner, benchmark, "way-placement", policy, machine, wpa_size
+            )
+        )
+    if analyzer is None:
+        analyzer = Analyzer(select=("I",))
+    wpa_size = fitted_wpa_size(
+        runner, benchmark, LayoutPolicy.WAY_PLACEMENT, machine
+    )
+    context = AnalysisContext.for_experiment(
+        program=runner.workload(benchmark).program,
+        layout=runner.layout(benchmark, LayoutPolicy.WAY_PLACEMENT),
+        geometry=machine.icache,
+        wpa_size=wpa_size or None,
+        page_size=machine.page_size,
+        subject=benchmark,
+    )
+    return InterferenceCertificate(
+        benchmark=benchmark,
+        configs=tuple(configs),
+        diagnostics=tuple(analyzer.run(context)),
+    )
+
+
+def render_interference_json(certificates: List[InterferenceCertificate]) -> str:
+    """Deterministic JSON report over many interference certificates."""
+    ordered = sorted(certificates, key=lambda c: c.benchmark)
+    payload = {
+        "certificates": [certificate.to_dict() for certificate in ordered],
+        "summary": {
+            "total": len(ordered),
+            "clean": sum(1 for c in ordered if c.ok),
+            "violated": sum(1 for c in ordered if not c.ok),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_interference_text(certificates: List[InterferenceCertificate]) -> str:
+    """Human-readable per-workload interference verdict lines."""
+    lines: List[str] = []
+    for certificate in sorted(certificates, key=lambda c: c.benchmark):
+        status = "clean" if certificate.ok else "VIOLATED"
+        by_layout = {config.layout_policy: config for config in certificate.configs}
+        profile = by_layout.get(LayoutPolicy.WAY_PLACEMENT.value)
+        aware = by_layout.get(LayoutPolicy.CONFLICT_AWARE.value)
+        detail = ""
+        if profile is not None and aware is not None:
+            detail = (
+                f"weight ph={profile.graph.total_weight} "
+                f"ca={aware.graph.total_weight} "
+            )
+        certified = sum(len(c.trace_certified) for c in certificate.configs)
+        lines.append(
+            f"{certificate.benchmark:<14} {status:<9} {detail}"
+            f"certified_sets={certified} "
+            f"diagnostics={len(certificate.diagnostics)}"
+        )
+        for config in certificate.configs:
+            if not config.replay_matches:
+                lines.append(
+                    f"    {config.scheme}/{config.layout_policy}: replay misses "
+                    f"{config.replay.total_misses} != measured "
+                    f"{config.measured_misses}"
+                )
+            for set_index, count in sorted(config.violations.items()):
+                lines.append(
+                    f"    {config.scheme}/{config.layout_policy}: certified set "
+                    f"{set_index} replayed {count} conflict miss(es)"
+                )
+        for diagnostic in certificate.diagnostics:
+            lines.append(f"    {diagnostic.render()}")
+    clean = sum(1 for c in certificates if c.ok)
+    lines.append(f"{clean}/{len(certificates)} workload(s) interference-clean")
+    return "\n".join(lines)

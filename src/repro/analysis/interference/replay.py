@@ -1,0 +1,158 @@
+"""Reference conflict replay: per-set miss decomposition for certificates.
+
+:func:`conflict_replay` re-runs a line-event trace against a minimal model
+of the reference caches — per-set residency, a round-robin victim pointer
+that advances only on non-explicit fills, and WPA fills pinned to their
+mandated way.  Misses in both reference schemes are independent of the
+way-hint predictor (a wrong hint costs probes, never a fill), so the
+replay's per-set miss counts reproduce the kernel's total misses exactly
+for the baseline (``wpa_size == 0``) and way-placement schemes.  The S009
+sanitizer invariant leans on that equality, then checks the statement the
+interference certificates make: a set certified conflict-free must show
+zero *conflict* misses, where
+
+    ``conflict_misses(set) = misses(set) - distinct_lines_touched(set)``
+
+(the caches start empty and are never flushed, so every non-cold miss is
+a conflict eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.context import GeometrySpec
+from repro.analysis.interference.graph import certify_conflict_free
+from repro.trace.events import LineEventTrace
+
+__all__ = [
+    "ConflictReplay",
+    "SetConflict",
+    "conflict_free_violations",
+    "conflict_replay",
+    "trace_certified_sets",
+]
+
+
+@dataclass(frozen=True)
+class SetConflict:
+    """Replay outcome for one cache set."""
+
+    set_index: int
+    misses: int
+    distinct_lines: int
+
+    @property
+    def conflict_misses(self) -> int:
+        return self.misses - self.distinct_lines
+
+
+@dataclass(frozen=True)
+class ConflictReplay:
+    """Whole-trace replay summary, per set and aggregated."""
+
+    sets: Tuple[SetConflict, ...]
+    total_misses: int
+    total_conflict_misses: int
+
+    def conflict_misses_of(self, set_index: int) -> int:
+        for entry in self.sets:
+            if entry.set_index == set_index:
+                return entry.conflict_misses
+        return 0
+
+
+def conflict_replay(
+    events: LineEventTrace, geometry: GeometrySpec, wpa_size: int = 0
+) -> ConflictReplay:
+    """Replay residency per set and decompose misses into cold + conflict.
+
+    Mirrors :class:`repro.cache.cam_cache.CamCache` under round-robin
+    replacement: the per-set victim pointer advances only when the policy
+    chooses the way; explicit (WPA) fills land on the line's mandated way
+    and leave the pointer untouched.
+    """
+    offset_bits = geometry.offset_bits
+    set_mask = (1 << geometry.set_bits) - 1
+    way_mask = (1 << geometry.way_bits) - 1
+    tag_shift = offset_bits + geometry.set_bits
+    ways = geometry.ways
+
+    resident: Dict[int, Dict[int, int]] = {}
+    way_line: Dict[int, List[Optional[int]]] = {}
+    pointer: Dict[int, int] = {}
+    misses: Dict[int, int] = {}
+    seen: Dict[int, Set[int]] = {}
+
+    for address in events.line_addrs.tolist():
+        set_index = (address >> offset_bits) & set_mask
+        lines = resident.get(set_index)
+        if lines is None:
+            lines = {}
+            resident[set_index] = lines
+            way_line[set_index] = [None] * ways
+            pointer[set_index] = 0
+            misses[set_index] = 0
+            seen[set_index] = set()
+        if address in lines:
+            continue
+        misses[set_index] += 1
+        seen[set_index].add(address)
+        if address < wpa_size:
+            way = (address >> tag_shift) & way_mask
+        else:
+            way = pointer[set_index]
+            pointer[set_index] = (way + 1) % ways
+        evicted = way_line[set_index][way]
+        if evicted is not None:
+            del lines[evicted]
+        way_line[set_index][way] = address
+        lines[address] = way
+
+    sets = tuple(
+        SetConflict(
+            set_index=set_index,
+            misses=misses[set_index],
+            distinct_lines=len(seen[set_index]),
+        )
+        for set_index in sorted(misses)
+    )
+    return ConflictReplay(
+        sets=sets,
+        total_misses=sum(entry.misses for entry in sets),
+        total_conflict_misses=sum(entry.conflict_misses for entry in sets),
+    )
+
+
+def trace_certified_sets(
+    events: LineEventTrace, geometry: GeometrySpec, wpa_size: int = 0
+) -> Tuple[int, ...]:
+    """Sets certified conflict-free from the trace's own line footprint.
+
+    Uses the lines the trace actually touches (a subset of the layout's),
+    so it certifies at least as many sets as the layout-level pass —
+    :func:`certify_conflict_free` is monotone under taking subsets.
+    """
+    touched: Dict[int, Set[int]] = {}
+    offset_bits = geometry.offset_bits
+    set_mask = (1 << geometry.set_bits) - 1
+    for address in events.touched_lines().tolist():
+        touched.setdefault((address >> offset_bits) & set_mask, set()).add(address)
+    return tuple(
+        set_index
+        for set_index, lines in sorted(touched.items())
+        if certify_conflict_free(sorted(lines), geometry, wpa_size)
+    )
+
+
+def conflict_free_violations(
+    replay: ConflictReplay, certified_sets: Sequence[int]
+) -> Mapping[int, int]:
+    """Certified sets that nevertheless replayed conflict misses."""
+    certified = set(certified_sets)
+    return {
+        entry.set_index: entry.conflict_misses
+        for entry in replay.sets
+        if entry.set_index in certified and entry.conflict_misses > 0
+    }

@@ -3,8 +3,15 @@
 from repro.analysis.rules import (
     absint_rules,
     config_rules,
+    interference_rules,
     layout_rules,
     program_rules,
 )
 
-__all__ = ["absint_rules", "config_rules", "layout_rules", "program_rules"]
+__all__ = [
+    "absint_rules",
+    "config_rules",
+    "interference_rules",
+    "layout_rules",
+    "program_rules",
+]

@@ -32,7 +32,13 @@ Commands
     Abstract-interpretation certification (see docs/static_analysis.md):
     the must/may cache fixpoint, static counter/energy bounds checked
     against the engine's measured counters, and the ``A`` rule layer.
-    Exit 2 when any measured counter escapes its static bounds.
+    Exit 2 when any measured counter escapes its static bounds.  With
+    ``--interference``, emit interference certificates instead: the
+    static conflict graph, per-set pressure, certified conflict-free
+    sets, and a per-set conflict replay cross-check.
+``bench compare``
+    Gate on the checked-in bench snapshot (``BENCH_engine.json``):
+    fail when a guarded engine speedup drops more than the tolerance.
 """
 
 from __future__ import annotations
@@ -83,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
             nargs="+",
             metavar="NAME",
             help="restrict to these benchmarks (default: full suite)",
+        )
+        figure.add_argument(
+            "--layout",
+            default=None,
+            choices=[policy.value for policy in LayoutPolicy],
+            help=(
+                "layout policy for the way-placement runs (default: the "
+                "scheme's pairing; e.g. conflict-aware for the trace-free "
+                "optimizer)"
+            ),
         )
         _add_budget_arguments(figure)
         _add_jobs_argument(figure)
@@ -246,7 +262,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze the full benchmark suite (explicit form of the default)",
     )
     analyze.add_argument("--format", default="text", choices=["text", "json"])
+    analyze.add_argument(
+        "--interference",
+        action="store_true",
+        help="emit interference certificates instead: static conflict "
+        "graph, per-set pressure, certified conflict-free sets, and a "
+        "per-set conflict replay cross-check (exit 2 on any violation)",
+    )
     _add_budget_arguments(analyze)
+
+    bench = sub.add_parser("bench", help="benchmark snapshot utilities")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="gate on the checked-in bench snapshot (speedup regressions)",
+    )
+    compare.add_argument("current", help="freshly generated snapshot to check")
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        help="checked-in snapshot to compare against (default: BENCH_engine.json)",
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional speedup drop before failing (default: 0.20)",
+    )
 
     return parser
 
@@ -439,12 +481,34 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         unknown = set(benchmarks) - set(benchmark_names())
         if unknown:
             raise ReproError(f"unknown benchmarks: {sorted(unknown)}")
+    layout_policy = LayoutPolicy(args.layout) if args.layout else None
     if args.command == "figure4":
-        print(figure4(runner, benchmarks=benchmarks, jobs=args.jobs).render())
+        print(
+            figure4(
+                runner,
+                benchmarks=benchmarks,
+                jobs=args.jobs,
+                layout_policy=layout_policy,
+            ).render()
+        )
     elif args.command == "figure5":
-        print(figure5(runner, benchmarks=benchmarks, jobs=args.jobs).render())
+        print(
+            figure5(
+                runner,
+                benchmarks=benchmarks,
+                jobs=args.jobs,
+                layout_policy=layout_policy,
+            ).render()
+        )
     else:
-        print(figure6(runner, benchmarks=benchmarks, jobs=args.jobs).render())
+        print(
+            figure6(
+                runner,
+                benchmarks=benchmarks,
+                jobs=args.jobs,
+                layout_policy=layout_policy,
+            ).render()
+        )
     _print_grid_summary(runner)
     return 0
 
@@ -799,30 +863,66 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     import time
 
-    from repro.analysis.absint import (
-        analyze_workload,
-        render_analysis_json,
-        render_analysis_text,
-    )
-
     if args.all_workloads and args.targets:
         raise ReproError("--all-workloads cannot be combined with explicit targets")
     targets = args.targets or list(benchmark_names())
     _validate_benchmarks(targets)
     runner = _make_runner(args)
     started = time.perf_counter()
-    certificates = [analyze_workload(runner, benchmark) for benchmark in targets]
+    if args.interference:
+        from repro.analysis.interference import (
+            interference_workload,
+            render_interference_json,
+            render_interference_text,
+        )
+
+        certificates = [
+            interference_workload(runner, benchmark) for benchmark in targets
+        ]
+        render_json, render_text_ = (
+            render_interference_json,
+            render_interference_text,
+        )
+    else:
+        from repro.analysis.absint import (
+            analyze_workload,
+            render_analysis_json,
+            render_analysis_text,
+        )
+
+        certificates = [analyze_workload(runner, benchmark) for benchmark in targets]
+        render_json, render_text_ = render_analysis_json, render_analysis_text
     elapsed = time.perf_counter() - started
     if args.format == "json":
-        print(render_analysis_json(certificates))
+        print(render_json(certificates))
     else:
-        print(render_analysis_text(certificates))
+        print(render_text_(certificates))
     # Wall time goes to stderr so stdout stays byte-for-byte deterministic.
     print(
         f"analyzed {len(certificates)} workload(s) in {elapsed:.2f}s",
         file=sys.stderr,
     )
     return 0 if all(certificate.ok for certificate in certificates) else 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.bench import (
+        DEFAULT_BASELINE,
+        DEFAULT_TOLERANCE,
+        compare_snapshots,
+        load_metrics,
+    )
+
+    # Only 'compare' exists today; argparse rejects anything else.
+    current = load_metrics(Path(args.current))
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    baseline = load_metrics(baseline_path)
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    comparison = compare_snapshots(current, baseline, tolerance)
+    print(comparison.render())
+    return 0 if comparison.ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -880,6 +980,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_verify(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -18,6 +18,7 @@ from repro.engine.grid import GridCell
 from repro.errors import ExperimentError
 from repro.experiments.formatting import format_pct, format_ratio, render_table
 from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
 from repro.sim.machine import MachineConfig, XSCALE_BASELINE
 from repro.sim.report import NormalisedResult
 from repro.utils.stats import arithmetic_mean
@@ -142,11 +143,14 @@ def figure4(
     machine: MachineConfig = XSCALE_BASELINE,
     wpa_size: int = 32 * _KB,
     jobs: int = 1,
+    layout_policy: Optional[LayoutPolicy] = None,
 ) -> Figure4Result:
     """Reproduce Figure 4: the paper's initial evaluation.
 
     ``jobs > 1`` fans the (benchmark, scheme) grid across worker processes
     before the (then memoised) per-benchmark lookups below.
+    ``layout_policy`` swaps the way-placement runs' code layout (e.g.
+    ``LayoutPolicy.CONFLICT_AWARE`` for the trace-free optimizer).
     """
     benchmarks = tuple(benchmarks if benchmarks is not None else benchmark_names())
     if not benchmarks:
@@ -156,14 +160,28 @@ def figure4(
         for bench in benchmarks:
             cells.append(GridCell(bench, "baseline", machine))
             cells.append(GridCell(bench, "way-memoization", machine))
-            cells.append(GridCell(bench, "way-placement", machine, wpa_size=wpa_size))
+            cells.append(
+                GridCell(
+                    bench,
+                    "way-placement",
+                    machine,
+                    wpa_size=wpa_size,
+                    layout_policy=layout_policy,
+                )
+            )
         runner.run_grid(cells, jobs=jobs)
     memoization = {
         bench: runner.normalised(bench, "way-memoization", machine)
         for bench in benchmarks
     }
     placement = {
-        bench: runner.normalised(bench, "way-placement", machine, wpa_size=wpa_size)
+        bench: runner.normalised(
+            bench,
+            "way-placement",
+            machine,
+            wpa_size=wpa_size,
+            layout_policy=layout_policy,
+        )
         for bench in benchmarks
     }
     return Figure4Result(
@@ -223,6 +241,7 @@ def figure5(
     benchmarks: Optional[Sequence[str]] = None,
     machine: MachineConfig = XSCALE_BASELINE,
     jobs: int = 1,
+    layout_policy: Optional[LayoutPolicy] = None,
 ) -> Figure5Result:
     """Reproduce Figure 5: the effect of shrinking the way-placement area."""
     benchmarks = tuple(benchmarks if benchmarks is not None else benchmark_names())
@@ -236,14 +255,26 @@ def figure5(
             cells.append(GridCell(bench, "way-memoization", machine))
             for wpa in wpa_sizes:
                 cells.append(
-                    GridCell(bench, "way-placement", machine, wpa_size=wpa)
+                    GridCell(
+                        bench,
+                        "way-placement",
+                        machine,
+                        wpa_size=wpa,
+                        layout_policy=layout_policy,
+                    )
                 )
         runner.run_grid(cells, jobs=jobs)
     placement_energy: Dict[int, float] = {}
     placement_ed: Dict[int, float] = {}
     for wpa in wpa_sizes:
         results = [
-            runner.normalised(bench, "way-placement", machine, wpa_size=wpa)
+            runner.normalised(
+                bench,
+                "way-placement",
+                machine,
+                wpa_size=wpa,
+                layout_policy=layout_policy,
+            )
             for bench in benchmarks
         ]
         placement_energy[wpa] = arithmetic_mean(r.icache_energy for r in results)
@@ -344,6 +375,7 @@ def figure6(
     wpa_sizes: Sequence[int] = FIGURE6_WPA_SIZES,
     benchmarks: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    layout_policy: Optional[LayoutPolicy] = None,
 ) -> Figure6Result:
     """Reproduce Figure 6: varying cache size and associativity."""
     benchmarks = tuple(benchmarks if benchmarks is not None else benchmark_names())
@@ -360,7 +392,13 @@ def figure6(
                     grid_cells.append(GridCell(bench, "way-memoization", machine))
                     for wpa in wpa_sizes:
                         grid_cells.append(
-                            GridCell(bench, "way-placement", machine, wpa_size=wpa)
+                            GridCell(
+                                bench,
+                                "way-placement",
+                                machine,
+                                wpa_size=wpa,
+                                layout_policy=layout_policy,
+                            )
                         )
         runner.run_grid(grid_cells, jobs=jobs)
     cells: Dict[Tuple[int, int], Figure6Cell] = {}
@@ -375,7 +413,13 @@ def figure6(
             placement_ed: Dict[int, float] = {}
             for wpa in wpa_sizes:
                 results = [
-                    runner.normalised(bench, "way-placement", machine, wpa_size=wpa)
+                    runner.normalised(
+                        bench,
+                        "way-placement",
+                        machine,
+                        wpa_size=wpa,
+                        layout_policy=layout_policy,
+                    )
                     for bench in benchmarks
                 ]
                 placement_energy[wpa] = arithmetic_mean(

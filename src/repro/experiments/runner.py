@@ -205,10 +205,13 @@ class ExperimentRunner:
         if key not in self._layouts:
             workload = self.workload(benchmark)
             block_counts = None
+            profile = None
             if policy in (LayoutPolicy.WAY_PLACEMENT, LayoutPolicy.COLDEST_FIRST):
                 block_counts = self.profile(benchmark).block_counts
+            elif policy is LayoutPolicy.PETTIS_HANSEN:
+                profile = self.profile(benchmark)
             self._layouts[key] = make_layout(
-                workload.program, policy, block_counts, seed=self.seed
+                workload.program, policy, block_counts, seed=self.seed, profile=profile
             )
         return self._layouts[key]
 

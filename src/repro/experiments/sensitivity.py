@@ -26,6 +26,7 @@ from repro.energy.processor import ProcessorReport
 from repro.engine.grid import GridCell
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentRunner
+from repro.layout.placement import LayoutPolicy
 from repro.sim.machine import MachineConfig, XSCALE_BASELINE
 from repro.sim.report import SimulationReport
 from repro.utils.stats import arithmetic_mean
@@ -107,8 +108,14 @@ def sensitivity_grid(
     machine: MachineConfig = XSCALE_BASELINE,
     wpa_size: int = 32 * 1024,
     jobs: int = 1,
+    layout_policy: Optional[LayoutPolicy] = None,
 ) -> SensitivityResult:
-    """Suite-mean energies for every (cam, data) scale combination."""
+    """Suite-mean energies for every (cam, data) scale combination.
+
+    ``layout_policy`` swaps the way-placement runs' code layout, so the
+    calibration-robustness question can also be asked of the
+    conflict-aware optimizer's layouts.
+    """
     benchmarks = list(benchmarks if benchmarks is not None else benchmark_names())
     if not benchmarks:
         raise ExperimentError("sensitivity grid needs at least one benchmark")
@@ -119,14 +126,26 @@ def sensitivity_grid(
         cells = []
         for bench in benchmarks:
             cells.append(GridCell(bench, "baseline", machine))
-            cells.append(GridCell(bench, "way-placement", machine, wpa_size=wpa_size))
+            cells.append(
+                GridCell(
+                    bench,
+                    "way-placement",
+                    machine,
+                    wpa_size=wpa_size,
+                    layout_policy=layout_policy,
+                )
+            )
             cells.append(GridCell(bench, "way-memoization", machine))
         runner.run_grid(cells, jobs=jobs)
     reports: Dict[Tuple[str, str], SimulationReport] = {}
     for bench in benchmarks:
         reports[(bench, "baseline")] = runner.report(bench, "baseline", machine)
         reports[(bench, "way-placement")] = runner.report(
-            bench, "way-placement", machine, wpa_size=wpa_size
+            bench,
+            "way-placement",
+            machine,
+            wpa_size=wpa_size,
+            layout_policy=layout_policy,
         )
         reports[(bench, "way-memoization")] = runner.report(
             bench, "way-memoization", machine

@@ -1,0 +1,284 @@
+"""Conflict-aware layout: placements scored by the static interference graph.
+
+The first *consumer* of :mod:`repro.analysis.interference`: instead of
+ordering chains by profiled weight (the paper's pass) this optimizer
+picks the chain order that minimizes the *predicted weighted conflicts*
+of the resulting line assignment — no profile required.
+
+It builds a small portfolio of candidate orderings, scores each with the
+exact graph metric
+(:func:`repro.analysis.interference.graph.predicted_conflict_weight`),
+and links the argmin:
+
+1. **Greedy coloring** — chains are considered hottest-first by the
+   static loop-nest frequency estimate ``BASE ** depth``; at each step
+   the next ``beam`` candidates are scored by the interference their
+   lines would accrue at the current cursor address against everything
+   already placed, and the cheapest is committed.  Scoring folds the
+   graph's pair-weight model (``BASE ** level`` per shared loop component
+   of a same-set pair) into per-``(set, component)`` placed-site counts,
+   so each candidate line costs ``O(depth)``:
+
+       ``cost(line) = sum_l M_l * BASE ** l``
+
+   where ``M_l`` counts placed same-set line sites in the line's
+   level-``l`` loop component.  When a ``wpa_size`` is given, placed WPA
+   lines whose mandated way differs from a WPA candidate's are excluded
+   (pinned fills cannot evict each other across ways).  Candidates are
+   all scored at the *same* cursor, so the comparison is exact for the
+   committed placement; a zero-cost candidate commits immediately
+   (nothing later in the window scores below zero and earlier positions
+   are hotter), so cold straight-line chains cost nothing to process.
+   A second, wider-beam pass joins the portfolio when the whole program
+   fits in the cache — where hole-filling choices matter most.
+
+2. **Static affinity** — the Pettis-Hansen closest-is-best procedure
+   merge (:mod:`repro.layout.pettis_hansen`) driven by a *synthetic*
+   profile read off the ICFG: block counts ``BASE ** depth`` and edge
+   counts ``BASE ** min(depth(src), depth(dst))``.  Function-granular
+   locality is hard for the myopic greedy to reproduce on programs much
+   larger than the cache, and this candidate recovers it trace-free.
+
+Fall-through adjacency is preserved throughout (every candidate is a
+chain permutation), and every step is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.layout.chains import Chain, build_chains
+from repro.layout.layouts import Layout
+from repro.layout.linker import link_blocks
+from repro.layout.pettis_hansen import pettis_hansen_layout
+from repro.profiling.profile_data import ProfileData
+from repro.program.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.context import GeometrySpec
+
+__all__ = ["conflict_aware_layout", "DEFAULT_BEAM", "WIDE_BEAM"]
+
+#: Candidates scored per greedy step; small because chains are pre-sorted
+#: hottest-first and the tail rarely beats the head.
+DEFAULT_BEAM = 8
+
+#: Beam for the second greedy pass on programs that fit in the cache.
+WIDE_BEAM = 32
+
+
+def _greedy_order(
+    chains: List[Chain],
+    paths: Dict[int, Tuple[int, ...]],
+    sizes: Dict[int, int],
+    geometry: "GeometrySpec",
+    wpa_size: int,
+    base_address: int,
+    beam: int,
+    base: int,
+) -> List[int]:
+    """One greedy coloring pass (see module docstring, candidate 1)."""
+    line_size = geometry.line_size
+    offset_bits = geometry.offset_bits
+    set_mask = (1 << geometry.set_bits) - 1
+    way_mask = (1 << geometry.way_bits) - 1
+    tag_shift = offset_bits + geometry.set_bits
+    max_depth = max((len(path) for path in paths.values()), default=0)
+    powers = [base**level for level in range(max_depth + 2)]
+
+    def chain_heat(chain: Chain) -> int:
+        return sum(
+            (sizes[uid] // INSTRUCTION_SIZE) * powers[len(paths.get(uid, ()))]
+            for uid in chain.uids
+        )
+
+    remaining = sorted(
+        enumerate(chains), key=lambda pair: (-chain_heat(pair[1]), pair[0])
+    )
+    loopy = {
+        index: any(paths.get(uid) for uid in chain.uids)
+        for index, chain in remaining
+    }
+
+    # Placed-site counts per (set, loop component[, mandated-way group]).
+    # Group -1 collects non-WPA sites; WPA sites land in their
+    # mandated-way group and only interfere within it or with non-WPA
+    # sites, mirroring the interference graph's WPA pair exclusion.
+    total_sites: Dict[Tuple[int, int], int] = {}
+    wpa_sites: Dict[Tuple[int, int], int] = {}
+    way_sites: Dict[Tuple[int, int, int], int] = {}
+
+    def chain_lines(chain: Chain, cursor: int) -> List[Tuple[int, Tuple[int, ...]]]:
+        """(line address, loop path) per line per block at this cursor."""
+        pairs: List[Tuple[int, Tuple[int, ...]]] = []
+        address = cursor
+        for uid in chain.uids:
+            size = sizes[uid]
+            path = paths.get(uid, ())
+            if path:
+                first = address - (address % line_size)
+                last = address + size - 1
+                last -= last % line_size
+                for line in range(first, last + 1, line_size):
+                    pairs.append((line, path))
+            address += size
+        return pairs
+
+    def score(chain: Chain, cursor: int) -> int:
+        cost = 0
+        staged_total: Dict[Tuple[int, int], int] = {}
+        staged_wpa: Dict[Tuple[int, int], int] = {}
+        staged_way: Dict[Tuple[int, int, int], int] = {}
+        for line, path in chain_lines(chain, cursor):
+            set_index = (line >> offset_bits) & set_mask
+            is_wpa = wpa_size > 0 and line < wpa_size
+            group = ((line >> tag_shift) & way_mask) if is_wpa else -1
+            for level, component in enumerate(path, start=1):
+                key = (set_index, component)
+                visible = total_sites.get(key, 0) + staged_total.get(key, 0)
+                if group >= 0:
+                    way_key = (set_index, component, group)
+                    visible -= wpa_sites.get(key, 0) + staged_wpa.get(key, 0)
+                    visible += way_sites.get(way_key, 0) + staged_way.get(way_key, 0)
+                cost += visible * powers[level]
+                staged_total[key] = staged_total.get(key, 0) + 1
+                if is_wpa:
+                    staged_wpa[key] = staged_wpa.get(key, 0) + 1
+                    way_key = (set_index, component, group)
+                    staged_way[way_key] = staged_way.get(way_key, 0) + 1
+        return cost
+
+    def commit(chain: Chain, cursor: int) -> None:
+        for line, path in chain_lines(chain, cursor):
+            set_index = (line >> offset_bits) & set_mask
+            is_wpa = wpa_size > 0 and line < wpa_size
+            group = ((line >> tag_shift) & way_mask) if is_wpa else -1
+            for component in path:
+                key = (set_index, component)
+                total_sites[key] = total_sites.get(key, 0) + 1
+                if is_wpa:
+                    wpa_sites[key] = wpa_sites.get(key, 0) + 1
+                    way_sites[(set_index, component, group)] = (
+                        way_sites.get((set_index, component, group), 0) + 1
+                    )
+
+    order: List[int] = []
+    cursor = base_address
+    while remaining:
+        best_position = 0
+        best_cost: Optional[int] = None
+        for position in range(min(max(1, beam), len(remaining))):
+            index, chain = remaining[position]
+            cost = score(chain, cursor) if loopy[index] else 0
+            if cost == 0:
+                best_position = position
+                best_cost = 0
+                break
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_position = position
+        _, chosen = remaining.pop(best_position)
+        commit(chosen, cursor)
+        order.extend(chosen.uids)
+        cursor += sum(sizes[uid] for uid in chosen.uids)
+    return order
+
+
+def conflict_aware_layout(
+    program: Program,
+    geometry: Optional["GeometrySpec"] = None,
+    wpa_size: int = 0,
+    base_address: int = 0,
+    beam: int = DEFAULT_BEAM,
+) -> Layout:
+    """Pick the candidate chain order with the lowest predicted conflicts.
+
+    Trace-free: frequency comes from the static loop nest, not a profile.
+    The default geometry is the paper's baseline (32KB, 32-way, 32B
+    lines) so layouts stay machine-independent and cacheable per
+    ``(benchmark, policy)`` — the grid still replays them on any machine.
+    """
+    # Imported lazily: repro.analysis imports repro.layout at package
+    # init, so a module-level import here would form a cycle.
+    from repro.analysis.absint.analysis import absint_flow_graph
+    from repro.analysis.context import GeometrySpec, LayoutView, ProgramView
+    from repro.analysis.interference.graph import (
+        BASE,
+        loop_nest_for,
+        predicted_conflict_weight,
+    )
+
+    if geometry is None:
+        geometry = GeometrySpec(32 * 1024, 32, 32)
+    view = ProgramView.from_program(program)
+    nest = loop_nest_for(view)
+    paths: Dict[int, Tuple[int, ...]] = dict(nest.paths) if nest is not None else {}
+    sizes = {
+        block.uid: block.num_instructions * INSTRUCTION_SIZE
+        for block in program.blocks()
+    }
+    chains = build_chains(program)
+
+    candidates: List[Tuple[str, List[int]]] = [
+        (
+            f"beam-{beam} greedy",
+            _greedy_order(
+                chains, paths, sizes, geometry, wpa_size, base_address, beam, BASE
+            ),
+        )
+    ]
+    fits_cache = sum(sizes.values()) <= geometry.size_bytes
+    if fits_cache and WIDE_BEAM != beam:
+        candidates.append(
+            (
+                f"beam-{WIDE_BEAM} greedy",
+                _greedy_order(
+                    chains,
+                    paths,
+                    sizes,
+                    geometry,
+                    wpa_size,
+                    base_address,
+                    WIDE_BEAM,
+                    BASE,
+                ),
+            )
+        )
+    graph = absint_flow_graph(view)
+    if graph is not None:
+        depth_of = {uid: len(path) for uid, path in paths.items()}
+        synthetic = ProfileData(
+            program_name=program.name,
+            input_name="static-loop-nest",
+            block_counts={
+                block.uid: BASE ** depth_of.get(block.uid, 0)
+                for block in program.blocks()
+            },
+            edge_counts={
+                (src, dst): BASE ** min(depth_of.get(src, 0), depth_of.get(dst, 0))
+                for src, successors in graph.successors.items()
+                for dst in successors
+            },
+        )
+        if synthetic.edge_counts:
+            affinity = pettis_hansen_layout(program, synthetic, base_address)
+            candidates.append(("static affinity", list(affinity.block_order)))
+
+    best_name = ""
+    best_weight: Optional[int] = None
+    best_order: List[int] = []
+    for name, order in candidates:
+        layout = link_blocks(program, order, base_address, description=name)
+        weight = predicted_conflict_weight(
+            view, LayoutView.from_layout(layout), geometry, wpa_size
+        )
+        if best_weight is None or weight < best_weight:
+            best_name, best_weight, best_order = name, weight, order
+
+    return link_blocks(
+        program,
+        best_order,
+        base_address,
+        description=f"conflict-aware ({best_name})",
+    )

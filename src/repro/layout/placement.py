@@ -21,8 +21,11 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.errors import LayoutError
 from repro.layout.chains import Chain, build_chains
+from repro.layout.conflict_aware import conflict_aware_layout
 from repro.layout.layouts import Layout
 from repro.layout.linker import link_blocks
+from repro.layout.pettis_hansen import pettis_hansen_layout
+from repro.profiling.profile_data import ProfileData
 from repro.program.program import Program
 from repro.utils.rng import make_rng
 
@@ -42,6 +45,8 @@ class LayoutPolicy(enum.Enum):
     WAY_PLACEMENT = "way-placement"  # heaviest chain first (the paper)
     RANDOM_CHAINS = "random-chains"  # chains shuffled (locality strawman)
     COLDEST_FIRST = "coldest-first"  # lightest chain first (adversarial)
+    PETTIS_HANSEN = "pettis-hansen"  # function-affinity ordering (PH'90)
+    CONFLICT_AWARE = "conflict-aware"  # static interference-graph coloring
 
 
 def _instruction_counts(
@@ -117,12 +122,27 @@ def make_layout(
     block_counts: Optional[Mapping[int, int]] = None,
     seed: int = 0,
     base_address: int = 0,
+    profile: Optional[ProfileData] = None,
 ) -> Layout:
-    """Dispatch on ``policy``; profile-driven policies require ``block_counts``."""
+    """Dispatch on ``policy``.
+
+    Profile-driven policies require ``block_counts`` (way-placement,
+    coldest-first) or a full ``profile`` with edge counts (Pettis-Hansen);
+    the original, random-chains, and conflict-aware policies are
+    profile-free (the last one reads the static interference analysis).
+    """
     if policy is LayoutPolicy.ORIGINAL:
         return original_layout(program, base_address)
     if policy is LayoutPolicy.RANDOM_CHAINS:
         return random_layout(program, seed, base_address)
+    if policy is LayoutPolicy.CONFLICT_AWARE:
+        return conflict_aware_layout(program, base_address=base_address)
+    if policy is LayoutPolicy.PETTIS_HANSEN:
+        if profile is None:
+            raise LayoutError(
+                f"layout policy {policy.value!r} needs a profile with edge counts"
+            )
+        return pettis_hansen_layout(program, profile, base_address)
     if block_counts is None:
         raise LayoutError(f"layout policy {policy.value!r} needs profile block counts")
     if policy is LayoutPolicy.WAY_PLACEMENT:

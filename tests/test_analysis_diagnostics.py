@@ -107,9 +107,9 @@ def test_registry_unknown_selector_raises():
         registry.selection(["Z"])
 
 
-def test_default_registry_has_all_five_layers():
+def test_default_registry_has_all_six_layers():
     layers = {rule.layer for rule in DEFAULT_REGISTRY}
-    assert layers == {"program", "layout", "config", "verify", "absint"}
+    assert layers == {"program", "layout", "config", "verify", "absint", "interference"}
     assert len(DEFAULT_REGISTRY) >= 10
 
 

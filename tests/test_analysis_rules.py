@@ -17,7 +17,6 @@ from repro.analysis import (
     GeometrySpec,
     LayoutView,
     ProgramView,
-    Severity,
 )
 from repro.analysis.context import _energy_mapping
 from repro.engine.grid import GridCell
@@ -345,10 +344,14 @@ TRIGGERS = {
 
 
 def test_every_registered_rule_has_a_trigger():
+    from tests.test_interference_rules import I_TRIGGERS
     from tests.test_verify_rules import V_TRIGGERS
 
-    assert set(TRIGGERS) | set(V_TRIGGERS) == set(DEFAULT_REGISTRY.ids())
+    covered = set(TRIGGERS) | set(V_TRIGGERS) | set(I_TRIGGERS)
+    assert covered == set(DEFAULT_REGISTRY.ids())
     assert not set(TRIGGERS) & set(V_TRIGGERS)
+    assert not set(TRIGGERS) & set(I_TRIGGERS)
+    assert not set(V_TRIGGERS) & set(I_TRIGGERS)
 
 
 @pytest.mark.parametrize("rule_id", sorted(TRIGGERS))

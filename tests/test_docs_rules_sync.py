@@ -18,7 +18,7 @@ DOCS = Path(__file__).resolve().parent.parent / "docs"
 README = DOCS.parent / "README.md"
 
 _RULE_ROW = re.compile(
-    r"^\|\s*([APLCV]\d{3})\s*\|\s*([a-z0-9-]+)\s*\|\s*(\w+)\s*\|", re.MULTILINE
+    r"^\|\s*([APLCVI]\d{3})\s*\|\s*([a-z0-9-]+)\s*\|\s*(\w+)\s*\|", re.MULTILINE
 )
 _INVARIANT_ROW = re.compile(
     r"^\|\s*(S\d{3})\s*\|\s*([a-z0-9-]+)\s*\|", re.MULTILINE
@@ -62,8 +62,21 @@ def test_analysis_doc_covers_the_absint_layer():
     assert "static_analysis.md" in text
 
 
+def test_analysis_doc_covers_the_interference_layer():
+    """The I rules exist, are documented, and point at static_analysis.md."""
+    i_ids = {rid for rid in DEFAULT_REGISTRY.ids() if rid.startswith("I")}
+    assert i_ids, "the interference rule layer vanished from the registry"
+    text = (DOCS / "analysis.md").read_text()
+    assert i_ids <= set(_rule_rows(text))
+    assert "static_analysis.md" in text
+
+
 def test_sanitizer_catalog_includes_static_bounds():
     assert SANITIZER_INVARIANTS["S008"] == "static-bounds-bracketing"
+
+
+def test_sanitizer_catalog_includes_conflict_certificates():
+    assert SANITIZER_INVARIANTS["S009"] == "conflict-certificate-replay"
 
 
 def test_verification_doc_is_linked():

@@ -1,0 +1,167 @@
+"""One failing fixture per interference rule, plus the layer's gating.
+
+``I_TRIGGERS`` mirrors ``TRIGGERS``/``V_TRIGGERS`` from the sibling rule
+suites: each builder returns a minimal context violating exactly the
+pathology its rule describes, and the completeness test in
+``test_analysis_rules`` pins the union of all three maps to the registry.
+
+Every context uses the hand-checkable tiny geometry (4 sets x 4 ways x
+16B lines), where set and mandated-way arithmetic can be verified from
+the addresses alone: set = addr[5:4], mandated way = addr[7:6].
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    AnalysisContext,
+    DEFAULT_REGISTRY,
+    GeometrySpec,
+    LayoutView,
+    ProgramView,
+)
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.program import ProgramBuilder
+from tests.conftest import build_toy_program
+
+TINY = GeometrySpec(size_bytes=256, ways=4, line_size=16)
+
+
+def _loop_program(loop_blocks, block_size=4):
+    """main: entry -> l0 .. l(n-1) (-> l0) -> fin; the l* form one loop."""
+    builder = ProgramBuilder("t")
+    main = builder.function("main")
+    main.block("entry", 1)
+    for index in range(loop_blocks):
+        branch = "l0" if index == loop_blocks - 1 else None
+        main.block(f"l{index}", block_size, branch=branch)
+    main.block("fin", 1, ret=True)
+    return builder.build(entry="main")
+
+
+def _context(program, placements, wpa_size=None):
+    """A context placing blocks by label; labels absent stay unplaced."""
+    addresses, sizes = {}, {}
+    for block in program.blocks():
+        if block.label in placements:
+            addresses[block.uid] = placements[block.label]
+            sizes[block.uid] = block.num_instructions * INSTRUCTION_SIZE
+    return AnalysisContext(
+        subject="t",
+        program=ProgramView.from_program(program),
+        layout=LayoutView("t", addresses, sizes),
+        geometry=TINY,
+        wpa_size=wpa_size,
+    )
+
+
+def _trigger_i001():
+    # Six 16B loop blocks at a 64B stride: the 6-line loop fits the
+    # 16-line cache but piles all six lines into set 0 (4 ways; an even
+    # spread would need 2 per set).
+    program = _loop_program(6)
+    placements = {f"l{i}": 64 * i for i in range(6)}
+    placements.update({"entry": 352, "fin": 356})
+    return _context(program, placements)
+
+
+def _trigger_i002():
+    # The 84-byte program fits the cache, yet the loop's set-0 lines sit
+    # on both sides of the 64B WPA boundary.
+    program = _loop_program(2)
+    return _context(
+        program, {"entry": 32, "l0": 0, "l1": 64, "fin": 80}, wpa_size=64
+    )
+
+
+def _trigger_i003():
+    # Lines 0x0 and 0x100 share set 0 *and* mandated way 0; a WPA
+    # covering both breaks the one-home-per-line contract.
+    program = _loop_program(1)
+    return _context(
+        program, {"entry": 0, "l0": 256, "fin": 16}, wpa_size=512
+    )
+
+
+def _trigger_i004():
+    # The only same-set pair in the program is the loop's (0x0, 0x40),
+    # so set 0 carries 100% of the predicted conflict weight.
+    program = _loop_program(2)
+    return _context(program, {"entry": 32, "l0": 0, "l1": 64, "fin": 48})
+
+
+def _trigger_i005():
+    # l1 is inside the loop but the layout never places it.
+    program = _loop_program(2)
+    return _context(program, {"entry": 0, "l0": 16, "fin": 32})
+
+
+def _trigger_i006():
+    # The binary fits the cache but looped line 0x40 lies above the 64B
+    # WPA boundary (no set has lines on both sides, keeping I002 quiet).
+    program = _loop_program(2)
+    return _context(
+        program, {"entry": 32, "l0": 16, "l1": 64, "fin": 48}, wpa_size=64
+    )
+
+
+I_TRIGGERS = {
+    "I001": _trigger_i001,
+    "I002": _trigger_i002,
+    "I003": _trigger_i003,
+    "I004": _trigger_i004,
+    "I005": _trigger_i005,
+    "I006": _trigger_i006,
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(I_TRIGGERS))
+def test_rule_fires_on_its_trigger(rule_id):
+    diagnostics = Analyzer().run(I_TRIGGERS[rule_id]())
+    fired = {diagnostic.rule_id for diagnostic in diagnostics}
+    assert rule_id in fired
+
+
+@pytest.mark.parametrize("rule_id", sorted(I_TRIGGERS))
+def test_rule_respects_default_severity(rule_id):
+    diagnostics = Analyzer().run(I_TRIGGERS[rule_id]())
+    expected = DEFAULT_REGISTRY.get(rule_id).severity
+    for diagnostic in diagnostics:
+        if diagnostic.rule_id == rule_id:
+            assert diagnostic.severity is expected
+
+
+@pytest.mark.parametrize("rule_id", sorted(I_TRIGGERS))
+def test_findings_carry_suggestions_and_interference_locations(rule_id):
+    diagnostics = Analyzer().run(I_TRIGGERS[rule_id]())
+    target = [d for d in diagnostics if d.rule_id == rule_id]
+    assert target
+    for diagnostic in target:
+        assert diagnostic.suggestion
+        assert diagnostic.location.kind == "interference"
+
+
+def test_layer_self_gates_without_a_layout():
+    """Program-only contexts skip the whole layer silently."""
+    context = AnalysisContext.for_program(build_toy_program())
+    assert Analyzer(select=("I",)).run(context) == []
+
+
+def test_layer_self_gates_on_unsound_geometry():
+    program = _loop_program(2)
+    context = _context(program, {"entry": 0, "l0": 16, "l1": 32, "fin": 48})
+    context.geometry = GeometrySpec(size_bytes=100, ways=3, line_size=16)
+    assert Analyzer(select=("I",)).run(context) == []
+
+
+def test_healthy_toy_layout_is_interference_clean():
+    """A contiguous toy placement on a cache it fits has no findings."""
+    program = build_toy_program()
+    placements, cursor = {}, 0
+    for block in program.blocks():
+        placements[block.label] = cursor
+        cursor += block.num_instructions * INSTRUCTION_SIZE
+    context = _context(program, placements, wpa_size=256)
+    assert Analyzer(select=("I",)).run(context) == []

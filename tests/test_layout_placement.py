@@ -97,7 +97,8 @@ class TestOtherPolicies:
     def test_make_layout_dispatch(self, toy_program, toy_profile):
         for policy in LayoutPolicy:
             layout = make_layout(
-                toy_program, policy, toy_profile.block_counts, seed=3
+                toy_program, policy, toy_profile.block_counts, seed=3,
+                profile=toy_profile,
             )
             assert layout.end_address == toy_program.size_bytes
 
