@@ -1,6 +1,6 @@
 """Benches for the fast engine: kernel speedup, batching, warm-cache startup.
 
-Five acceptance properties of the engine live here:
+Six acceptance properties of the engine live here:
 
 * the vectorized kernels replay the 32KB/32-way way-placement configuration
   at least ~5x faster than the reference schemes (measured as events/sec on
@@ -14,6 +14,9 @@ Five acceptance properties of the engine live here:
 * the static pruning certificate (``--prune-static``) collapses at least
   20% of that 256-point sweep to representatives with bit-identical
   reports, at least halving the batch tier's wall time;
+* the sharded execution backend replays a 16-point sweep bit-identically
+  to the serial run — including under seeded chaos that crashes every
+  shard's first lease (``chaos_identical``, guarded by the compare gate);
 * a second ``ExperimentRunner`` process with a warm persistent cache starts
   up much faster than a cold one because it performs no CFG walks at all.
 
@@ -283,6 +286,85 @@ def test_bench_pruned_sweep_256(benchmark, tmp_path_factory):
         f"pruned sweep took {pruned_time * 1000:.1f}ms, more than half of "
         f"the unpruned batch sweep ({unpruned_time * 1000:.1f}ms)"
     )
+
+
+def test_bench_sharded_sweep(benchmark, tmp_path_factory):
+    """A 16-point WPA sweep on the fault-tolerant sharded backend.
+
+    The load-bearing claim is not wall clock — sharding pays process
+    overhead to buy fault isolation — but *identity under faults*: a
+    seeded chaos run in which every shard's first lease crashes must
+    still deliver reports bit-identical to the fault-free serial run
+    (``chaos_identical`` = 1.0, guarded by the bench compare gate), with
+    every incident recovered.
+    """
+    from repro.experiments.runner import ExperimentRunner
+    from repro.resilience import chaos
+    from repro.resilience.chaos import ChaosConfig, ChaosRule
+    from repro.resilience.policy import ResilienceConfig
+
+    cache = tmp_path_factory.mktemp("sharded-cache")
+    cells = [
+        GridCell("susan_c", "way-placement", wpa_size=point * KB)
+        for point in range(1, 17)
+    ]
+
+    def make(backend):
+        return ExperimentRunner(
+            cache_dir=cache,
+            resilience=ResilienceConfig(
+                retries=3,
+                backoff_s=0.01,
+                timeout_s=120.0,
+                backend=backend,
+                shards=4,
+                lease_timeout_s=10.0,
+            ),
+        )
+
+    serial = make("local")
+    serial.events("susan_c", LayoutPolicy.WAY_PLACEMENT, 32)  # warm the cache
+    want = serial.run_grid(cells, jobs=1)
+
+    sharded = make("sharded")
+    got, sharded_time = run_once(
+        benchmark,
+        lambda: _time(lambda: sharded.run_grid(cells, jobs=4), repeats=1),
+    )
+    assert got == want, "sharded sweep diverges from the serial run"
+    assert sharded.last_grid.shards == 4
+
+    chaos_runner = make("sharded")
+    config = ChaosConfig(
+        seed=13, rules=(ChaosRule("shard", "crash", match="@1", times=1),)
+    )
+    start = time.perf_counter()
+    with chaos.active(config):
+        under_chaos = chaos_runner.run_grid(cells, jobs=4)
+    chaos_time = time.perf_counter() - start
+    chaos_identical = 1.0 if under_chaos == want else 0.0
+    recovered = sum(1 for f in chaos_runner.last_failures if f.recovered)
+
+    emit(
+        f"[engine] 16-point sharded sweep: fault-free {sharded_time * 1000:.1f}ms, "
+        f"under chaos {chaos_time * 1000:.1f}ms "
+        f"({recovered} recovered incident(s), identical={chaos_identical:.0f})"
+    )
+    record_metric(
+        "grid.sharded_sweep",
+        {
+            "cells": len(cells),
+            "shards": sharded.last_grid.shards,
+            "sharded_wall_s": round(sharded_time, 4),
+            "chaos_wall_s": round(chaos_time, 4),
+            "chaos_identical": chaos_identical,
+            "recovered_incidents": recovered,
+            "duplicate_results": chaos_runner.last_grid.duplicate_results,
+        },
+    )
+    assert chaos_identical == 1.0, "chaos run diverged from the serial run"
+    assert recovered == len(chaos_runner.last_failures)
+    assert recovered >= 4, "every shard's first lease should have crashed"
 
 
 def test_bench_warm_cache_startup(benchmark, tmp_path_factory):

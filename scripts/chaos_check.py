@@ -1,100 +1,19 @@
 #!/usr/bin/env python
 """Seeded chaos drill for the supervised grid runner (the CI chaos gate).
 
-Derives a fault schedule from ``--seed`` (worker crash, worker hang, a
-sanitizer trip in the vectorized kernel, probabilistic cell faults, a full
-disk, and a torn cache write), runs a supervised parallel grid under it,
-and fails unless the results are bit-identical to a fault-free serial run
-with every injected incident recovered.
-
-Usage::
+Thin compatibility shim over ``repro chaos`` (see
+:mod:`repro.resilience.drill` for the schedules and the acceptance bar).
+Every flag is forwarded, so the historical CI invocation keeps working::
 
     PYTHONPATH=src python scripts/chaos_check.py --seed 13
+    PYTHONPATH=src python scripts/chaos_check.py --seed 13 --backend both
 """
 
 from __future__ import annotations
 
-import argparse
-import random
 import sys
-import tempfile
-from pathlib import Path
-from typing import Tuple
 
-from repro.engine.grid import GridCell
-from repro.experiments.runner import ExperimentRunner
-from repro.resilience import chaos
-from repro.resilience.chaos import ChaosConfig, ChaosRule, describe_rules
-from repro.resilience.policy import ResilienceConfig
-
-KB = 1024
-
-CELLS = [
-    GridCell("crc", "baseline"),
-    GridCell("crc", "way-placement", wpa_size=8 * KB),
-    GridCell("sha", "baseline"),
-    GridCell("sha", "way-placement", wpa_size=8 * KB),
-]
-
-
-def make_runner(cache_dir: str, **kwargs: object) -> ExperimentRunner:
-    return ExperimentRunner(
-        cache_dir=cache_dir,
-        eval_instructions=8_000,
-        profile_instructions=4_000,
-        **kwargs,
-    )
-
-
-def build_rules(seed: int) -> Tuple[ChaosRule, ...]:
-    """A seed-derived schedule covering every recovery rung at once."""
-    rng = random.Random(seed)
-    crash_bench = rng.choice(["crc", "sha"])
-    hang_bench = "sha" if crash_bench == "crc" else "crc"
-    return (
-        ChaosRule("worker", "crash", match=f"{crash_bench}@1", times=1),
-        ChaosRule("worker", "hang", match=f"{hang_bench}@1", times=1, delay_s=60.0),
-        ChaosRule("kernel", "sanitizer", match="way-placement", times=1),
-        ChaosRule("cell", "raise", times=-1, probability=0.2),
-        ChaosRule("store.save", "enospc", times=1),
-        ChaosRule("store.save", "truncate", match="events:", times=1),
-    )
-
-
-def main(argv: list) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--seed", type=int, default=0, help="chaos schedule seed")
-    parser.add_argument("--jobs", type=int, default=2, help="worker processes")
-    args = parser.parse_args(argv)
-
-    want = make_runner("off").run_grid(CELLS, jobs=1)
-
-    config = ChaosConfig(seed=args.seed, rules=build_rules(args.seed))
-    print(f"chaos schedule (seed={args.seed}):")
-    print(describe_rules(list(config.rules)))
-
-    with tempfile.TemporaryDirectory() as scratch:
-        runner = make_runner(
-            str(Path(scratch) / "cache"),
-            resilience=ResilienceConfig(retries=3, backoff_s=0.01, timeout_s=3.0),
-        )
-        with chaos.active(config):
-            got = runner.run_grid(CELLS, jobs=args.jobs)
-
-    print(f"\n{len(runner.last_failures)} incident(s) during the chaos run:")
-    for failure in runner.last_failures:
-        print(f"  {failure.describe()}")
-
-    if got != want:
-        print("FAIL: chaos run results differ from the fault-free run")
-        return 1
-    fatal = [failure for failure in runner.last_failures if not failure.recovered]
-    if fatal:
-        print(f"FAIL: {len(fatal)} incident(s) were not recovered")
-        return 1
-    print("OK: bit-identical to the fault-free run; every incident recovered")
-    return 0
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main(["chaos", *sys.argv[1:]]))

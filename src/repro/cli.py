@@ -9,7 +9,8 @@ Commands
 ``figure4`` / ``figure5`` / ``figure6``
     Regenerate a figure (optionally on a benchmark subset).  Grid commands
     accept supervision flags — ``--retries``, ``--timeout``, ``--resume``,
-    ``--fallback-policy`` — described in docs/robustness.md.
+    ``--fallback-policy``, ``--backend``, ``--shards``,
+    ``--lease-timeout`` — described in docs/robustness.md.
 ``simulate``
     Run one (benchmark, scheme, geometry, WPA) combination and print the
     normalised result plus the activity counters behind it.
@@ -39,6 +40,13 @@ Commands
 ``bench compare``
     Gate on the checked-in bench snapshot (``BENCH_engine.json``):
     fail when a guarded engine speedup drops more than the tolerance.
+``chaos``
+    Seeded chaos drill (see docs/robustness.md): inject a deterministic
+    fault schedule — per backend: worker/shard crashes and hangs, lease
+    heartbeat loss, duplicate grants, transport failure, disk faults —
+    into a supervised grid across a seed matrix, and fail unless every
+    run is bit-identical to a fault-free run with all incidents
+    recovered.  ``--json`` emits the summary for machines.
 """
 
 from __future__ import annotations
@@ -56,7 +64,12 @@ from repro.experiments.formatting import render_table
 from repro.experiments.runner import ExperimentRunner
 from repro.layout.placement import LayoutPolicy
 from repro.layout.wpa_select import choose_wpa_size
-from repro.resilience.policy import DEFAULT_RESILIENCE, FallbackPolicy, ResilienceConfig
+from repro.resilience.policy import (
+    BACKEND_CHOICES,
+    DEFAULT_RESILIENCE,
+    FallbackPolicy,
+    ResilienceConfig,
+)
 from repro.sim.machine import XSCALE_BASELINE, table1_rows
 from repro.workloads.mibench import MIBENCH_BENCHMARKS, benchmark_names
 
@@ -290,6 +303,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional speedup drop before failing (default: 0.20)",
     )
 
+    chaos_drill = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded chaos drill: inject a deterministic fault schedule "
+            "into a supervised grid and require bit-identical recovery"
+        ),
+    )
+    chaos_drill.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="single chaos schedule seed (shorthand for --seeds SEED)",
+    )
+    chaos_drill.add_argument(
+        "--seeds",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated seed matrix (default: 0)",
+    )
+    chaos_drill.add_argument(
+        "--backend",
+        default="local",
+        choices=sorted(BACKEND_CHOICES) + ["both"],
+        help=(
+            "execution backend(s) to drill: the local pool, the sharded "
+            "lease/heartbeat/steal backend, or both (default local)"
+        ),
+    )
+    chaos_drill.add_argument(
+        "--jobs", type=int, default=2, help="worker processes (default 2)"
+    )
+    chaos_drill.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="write the deterministic summary JSON to PATH ('-' for stdout)",
+    )
+
     return parser
 
 
@@ -391,6 +443,38 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             "back to unpruned execution"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(BACKEND_CHOICES),
+        help=(
+            "execution backend for parallel grids: 'local' chunks by "
+            "benchmark across a worker pool, 'sharded' shards by the "
+            "planner key with lease/heartbeat/work-stealing fault "
+            "tolerance (default local; see docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "target shard count for --backend sharded (default: one shard "
+            "per planner family key; shards never mix keys)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds a shard lease survives without a heartbeat before "
+            "the coordinator reassigns the shard (default "
+            f"{DEFAULT_RESILIENCE.lease_timeout_s})"
+        ),
+    )
 
 
 def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig]:
@@ -399,7 +483,18 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
     timeout = getattr(args, "timeout", None)
     resume = getattr(args, "resume", False)
     fallback = getattr(args, "fallback_policy", None)
-    if retries is None and timeout is None and not resume and fallback is None:
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
+    lease_timeout = getattr(args, "lease_timeout", None)
+    if (
+        retries is None
+        and timeout is None
+        and not resume
+        and fallback is None
+        and backend is None
+        and shards is None
+        and lease_timeout is None
+    ):
         return None
     config = DEFAULT_RESILIENCE
     if retries is not None:
@@ -410,6 +505,12 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         config = dataclasses.replace(config, resume=True)
     if fallback is not None:
         config = config.with_fallback(fallback)
+    if backend is not None:
+        config = dataclasses.replace(config, backend=backend)
+    if shards is not None:
+        config = dataclasses.replace(config, shards=shards)
+    if lease_timeout is not None:
+        config = dataclasses.replace(config, lease_timeout_s=lease_timeout)
     return config.validate()
 
 
@@ -925,6 +1026,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.drill import run_matrix
+
+    if args.seed is not None and args.seeds is not None:
+        print("error: give --seed or --seeds, not both", file=sys.stderr)
+        return 2
+    if args.seeds is not None:
+        try:
+            seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+        except ValueError:
+            print(f"error: bad --seeds value {args.seeds!r}", file=sys.stderr)
+            return 2
+    else:
+        seeds = [args.seed if args.seed is not None else 0]
+    backends = ["local", "sharded"] if args.backend == "both" else [args.backend]
+
+    summary = run_matrix(seeds, backends=backends, jobs=args.jobs)
+    for run in summary["runs"]:
+        print(f"chaos drill seed={run['seed']} backend={run['backend']}:")
+        for line in run["schedule"]:
+            print(f"  {line}")
+        for incident in run["incidents"]:
+            print(f"  {incident}")
+        verdict = "OK" if run["ok"] else "FAIL"
+        print(
+            f"  {verdict}: identical={run['identical']} "
+            f"recovered={run['recovered']} "
+            f"({len(run['incidents'])} incident(s), "
+            f"{run['duplicate_results']} duplicate result(s) dropped)"
+        )
+
+    if args.json_path is not None:
+        payload = json.dumps(summary, indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            from pathlib import Path
+
+            Path(args.json_path).write_text(payload + "\n")
+    if summary["ok"]:
+        print(
+            f"OK: {len(summary['runs'])} drill(s) bit-identical to the "
+            f"fault-free run; every incident recovered"
+        )
+        return 0
+    failed = sum(1 for run in summary["runs"] if not run["ok"])
+    print(f"FAIL: {failed} of {len(summary['runs'])} drill(s) failed")
+    return 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine.store import TraceStore
 
@@ -982,6 +1133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_analyze(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -49,7 +49,13 @@ from repro.trace import io as trace_io
 from repro.trace.events import LineEventTrace
 from repro.trace.executor import BlockTrace
 
-__all__ = ["TraceStore", "layout_digest", "program_digest"]
+__all__ = [
+    "TraceStore",
+    "layout_digest",
+    "program_digest",
+    "suppress_write_warnings",
+    "warn_write_failure",
+]
 
 _DEFAULT_DIR = ".repro_cache"
 _DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
@@ -58,7 +64,7 @@ _PROFILE_KIND = "repro-profile-cache-v1"
 _warned_write_failure = False
 
 
-def _warn_write_failure(root: Path, error: OSError) -> None:
+def _warn_write_failure(root: Union[str, Path], error: object) -> None:
     """One warning per process: the cache went read-only, work continues."""
     global _warned_write_failure
     if _warned_write_failure:
@@ -70,6 +76,29 @@ def _warn_write_failure(root: Path, error: OSError) -> None:
         RuntimeWarning,
         stacklevel=4,
     )
+
+
+def suppress_write_warnings() -> None:
+    """Silence this process's cache-degrade warning.
+
+    Grid worker processes call this at their entry point: a forked
+    16-worker pool hitting a full disk would otherwise print the same
+    degrade warning 16 times, once per process.  Workers instead report
+    ``TraceStore.writes_disabled`` back through their result stats and the
+    supervisor relays **one** warning in the parent (via
+    :func:`warn_write_failure`, which dedups against the parent's own).
+    """
+    global _warned_write_failure
+    _warned_write_failure = True
+
+
+def warn_write_failure(root: Union[str, Path], error: object) -> None:
+    """Emit the one-per-process cache-degrade warning on a store's behalf.
+
+    Used by the grid supervisor to surface a *worker's* write failure in
+    the parent process exactly once (see :func:`suppress_write_warnings`).
+    """
+    _warn_write_failure(root, error)
 
 
 def program_digest(program: Program) -> str:

@@ -56,6 +56,9 @@ GUARDED: Tuple[Tuple[str, str], ...] = (
     ("grid.wpa_sweep_16", "batch_speedup"),
     ("grid.wpa_sweep_256", "differential_speedup"),
     ("grid.wpa_sweep_256_pruned", "pruned_fraction"),
+    # Deliberately not a wall-clock ratio: the sharded backend's guarded
+    # property is bit-identity under injected shard crashes (1.0 or 0.0).
+    ("grid.sharded_sweep", "chaos_identical"),
 )
 
 

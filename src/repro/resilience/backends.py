@@ -1,0 +1,118 @@
+"""Pluggable execution backends for the supervised experiment grid.
+
+:func:`~repro.resilience.supervisor.supervise_grid` decides *what* must be
+simulated (memo misses, resumable cells, retry budgets); an
+:class:`ExecutionBackend` decides *where and how* that work runs.  A
+backend receives the grid's pending chunks, fans them across whatever
+execution substrate it owns, streams every completed cell back through the
+supervisor's ``adopt`` callback (which memoises and checkpoints it), and
+returns the chunks it could not finish — the supervisor's in-process
+last-resort rung then picks those up.  Supervision semantics therefore do
+not depend on the backend: retries, engine fallback, journalling, and
+failure reporting behave identically everywhere.
+
+Two backends ship:
+
+* :class:`LocalBackend` — the classic one-host pool: chunks fan across
+  supervised worker processes, chunked by benchmark (see
+  :func:`~repro.resilience.supervisor._run_parallel`).
+* ``ShardedBackend`` (:mod:`repro.resilience.sharded`) — shards grid
+  families by the planner key so each shard reuses one trace, and makes
+  shard execution fault-tolerant end to end: lease-based ownership with
+  heartbeats, lost-shard reassignment, work-stealing of stragglers with
+  duplicate-safe result delivery, and graceful degradation to
+  :class:`LocalBackend` when its transport fails.
+
+Select a backend with ``ResilienceConfig(backend=...)`` or the grid
+commands' ``--backend`` flag; see docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.errors import ResilienceError
+from repro.resilience.policy import BACKEND_CHOICES, FailureReport, ResilienceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.grid import GridCell
+    from repro.resilience.journal import ResumeJournal
+    from repro.resilience.supervisor import _Chunk
+    from repro.sim.report import SimulationReport
+
+__all__ = ["ExecutionBackend", "LocalBackend", "resolve_backend"]
+
+#: Adoption callback: memoise + checkpoint one completed cell.
+Adopt = Callable[["GridCell", "SimulationReport"], None]
+
+
+class ExecutionBackend(ABC):
+    """Where and how a supervised grid's pending chunks execute.
+
+    Contract: every cell that completes is delivered through ``adopt``
+    exactly once (backends that can receive duplicate results must dedup
+    before adopting), recovered and fatal incidents are appended to
+    ``failures``, planner/backend activity is merged into ``stats``, and
+    the chunks that exhausted the backend's own recovery budget are
+    returned for the supervisor's in-process fallback.
+    """
+
+    #: The ``--backend`` spelling of this backend.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        runner: Any,
+        chunks: List["_Chunk"],
+        jobs: int,
+        config: ResilienceConfig,
+        failures: List[FailureReport],
+        adopt: Adopt,
+        stats: Dict[str, Any],
+        journal: Optional["ResumeJournal"] = None,
+    ) -> List["_Chunk"]:
+        """Execute ``chunks``; return the chunks needing in-process fallback."""
+
+
+class LocalBackend(ExecutionBackend):
+    """The single-host worker pool (the pre-backend behaviour, unchanged).
+
+    Chunks are fanned across supervised worker processes chunked by
+    benchmark; crashed, hung, or timed-out workers are replaced with fresh
+    ones until the chunk's retry budget is spent.
+    """
+
+    name = "local"
+
+    def run(
+        self,
+        runner: Any,
+        chunks: List["_Chunk"],
+        jobs: int,
+        config: ResilienceConfig,
+        failures: List[FailureReport],
+        adopt: Adopt,
+        stats: Dict[str, Any],
+        journal: Optional["ResumeJournal"] = None,
+    ) -> List["_Chunk"]:
+        # Imported here: the supervisor imports this module for backend
+        # resolution, so a module-level import would be circular.
+        from repro.resilience.supervisor import _run_parallel
+
+        return _run_parallel(runner, chunks, jobs, config, failures, adopt, stats)
+
+
+def resolve_backend(name: Optional[str]) -> ExecutionBackend:
+    """The backend registered under ``name`` (``None`` means local)."""
+    if name is None or name == "local":
+        return LocalBackend()
+    if name == "sharded":
+        from repro.resilience.sharded import ShardedBackend
+
+        return ShardedBackend()
+    raise ResilienceError(
+        f"unknown execution backend {name!r}; choose from "
+        f"{sorted(BACKEND_CHOICES)}"
+    )

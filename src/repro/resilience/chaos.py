@@ -22,6 +22,17 @@ site           where it fires
 ``prune``        applying a static sweep-pruning certificate in
                  ``ExperimentRunner.report_family_pruned`` (the topmost
                  ladder rung; recovery is unpruned family execution)
+``shard``        a sharded-backend shard worker's entry point (key
+                 ``shard_id@attempt``; see :mod:`repro.resilience.sharded`)
+``lease``        a shard worker's heartbeat loop (fault ``heartbeat-loss``
+                 silences the worker so its lease expires and the shard is
+                 reassigned)
+``steal``        granting a shard lease (fault ``duplicate`` forces an
+                 immediate speculative duplicate of the shard, exercising
+                 duplicate-delivery idempotence)
+``transport``    the sharded backend's result-queue protocol (coordinator
+                 receive and worker send; an injected fault degrades the
+                 whole backend to :class:`LocalBackend`)
 =============  ==========================================================
 
 Faults model the real failure surface: ``crash`` (the process dies with
@@ -29,7 +40,11 @@ Faults model the real failure surface: ``crash`` (the process dies with
 ``raise`` (an :class:`InjectedFault`), ``enospc``/``eacces`` (environment
 ``OSError``\\ s), ``sanitizer`` (a mid-grid
 :class:`~repro.errors.SanitizerError`), and ``truncate`` (a torn write:
-the entry file is cut short before being published).
+the entry file is cut short before being published).  Two faults are
+*advisory* rather than raising — ``heartbeat-loss`` (a worker keeps
+computing but stops announcing itself) and ``duplicate`` (the coordinator
+double-assigns a shard) — consumed by the sharded backend via
+:func:`should_fire` instead of :func:`chaos_point`.
 
 Determinism: a rule fires at most ``times`` times per process, and a
 ``probability < 1`` draw is seeded by ``(seed, rule, site, key, count)``
@@ -63,6 +78,7 @@ __all__ = [
     "corrupt_file",
     "current",
     "install",
+    "should_fire",
     "uninstall",
 ]
 
@@ -77,10 +93,24 @@ _SITES = frozenset(
         "family",
         "differential",
         "prune",
+        "shard",
+        "lease",
+        "steal",
+        "transport",
     }
 )
 _FAULTS = frozenset(
-    {"crash", "hang", "raise", "enospc", "eacces", "sanitizer", "truncate"}
+    {
+        "crash",
+        "hang",
+        "raise",
+        "enospc",
+        "eacces",
+        "sanitizer",
+        "truncate",
+        "heartbeat-loss",
+        "duplicate",
+    }
 )
 
 #: Exit code of a chaos-crashed process (recognisable in supervisor logs).
@@ -233,6 +263,21 @@ def chaos_point(site: str, key: str) -> None:
             raise OSError(errno.EACCES, f"chaos: permission denied ({key})")
         if rule.fault == "sanitizer":
             raise SanitizerError(f"chaos: injected invariant violation ({key})")
+
+
+def should_fire(site: str, key: str, fault: str) -> bool:
+    """Consume one matching *advisory* rule at ``site``, without raising.
+
+    The sharded backend's behavioural faults — ``heartbeat-loss`` and
+    ``duplicate`` — do not map to an exception at the site that consults
+    them; the caller changes its behaviour instead (stop heartbeating,
+    double-assign the shard).  Counting and probability draws follow the
+    same deterministic rules as :func:`chaos_point`.
+    """
+    state = _ACTIVE
+    if state is None:
+        return False
+    return any(True for _ in state.matching(site, key, frozenset({fault})))
 
 
 def corrupt_file(site: str, key: str, path: "os.PathLike[str]") -> None:

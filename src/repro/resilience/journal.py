@@ -2,11 +2,20 @@
 
 A long grid that dies at cell 180 of 200 should not owe the world 180
 simulations.  The supervisor checkpoints every completed cell's full
-:class:`~repro.sim.report.SimulationReport` into a *grid journal*: one JSON
-file, content-keyed by a digest of the runner spec and the cell list, and
-rewritten atomically (temp file + ``os.replace``, the same discipline as
-:class:`~repro.engine.store.TraceStore`) so an interrupt can never publish
-a torn journal.
+:class:`~repro.sim.report.SimulationReport` into a *grid journal*: one
+JSONL file, content-keyed by a digest of the runner spec and the cell
+list.  The first line is a header naming the format version and grid key;
+every following line is one self-contained record — a completed cell's
+report, or a shard lease granted by the sharded execution backend
+(:mod:`repro.resilience.sharded`).  Flushing *appends* only the records
+written since the last flush, so checkpoint cost is proportional to
+progress, not to grid size.
+
+Records are replay-safe: a cell recorded twice (a resumed run, a
+duplicate delivery after a shard steal) carries the identical report both
+times, and :meth:`ResumeJournal.load` keeps the last occurrence.  A crash
+mid-append can tear at most the trailing line; the loader skips corrupt
+records with a one-time warning and the affected cells simply re-execute.
 
 Reports serialize losslessly: every field is an ``int``, ``str``, or IEEE
 double (JSON round-trips doubles exactly), so a resumed cell's report is
@@ -25,10 +34,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import warnings
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Sequence, Union
 
 from repro.cache.access import FetchCounters
 from repro.cache.geometry import CacheGeometry
@@ -47,7 +55,7 @@ __all__ = [
     "report_to_dict",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -137,12 +145,15 @@ def report_from_dict(payload: Mapping[str, Any]) -> SimulationReport:
 # The journal file
 # ---------------------------------------------------------------------------
 class ResumeJournal:
-    """Atomic on-disk record of a grid's completed cells."""
+    """Append-only on-disk record of a grid's completed cells and leases."""
 
     def __init__(self, path: Union[str, Path], grid_key: str):
         self.path = Path(path)
         self.grid_key = grid_key
         self.completed: Dict[str, Dict[str, Any]] = {}
+        #: Shard leases recorded by the sharded backend, in grant order.
+        self.leases: List[Dict[str, Any]] = []
+        self._pending: List[str] = []
         self._disabled = False
 
     @classmethod
@@ -150,48 +161,129 @@ class ResumeJournal:
         cls, root: Union[str, Path], grid_key: str
     ) -> "ResumeJournal":
         """The journal of grid ``grid_key`` under cache directory ``root``."""
-        return cls(Path(root) / "grids" / f"grid-{grid_key}.json", grid_key)
+        return cls(Path(root) / "grids" / f"grid-{grid_key}.jsonl", grid_key)
 
     # -- reading ------------------------------------------------------------
     def load(self) -> Dict[str, Dict[str, Any]]:
         """Completed cells of a previous identical run (empty when none).
 
-        Corrupt, unreadable, stale-format, or foreign-grid journals all
-        load as empty: resuming then simply re-executes everything.
+        An unreadable, stale-format, or foreign-grid journal loads as
+        empty: resuming then simply re-executes everything.  A journal
+        with corrupt *records* — a line torn by a crash mid-append, or
+        trailing garbage — loses only those records: they are skipped with
+        a one-time warning and the affected cells re-execute, instead of
+        the whole journal (or the run) being thrown away.
         """
         try:
-            payload = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            lines = self.path.read_text().splitlines()
+        except (OSError, UnicodeDecodeError):
+            return {}
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
             return {}
         if (
-            not isinstance(payload, dict)
-            or payload.get("version") != _FORMAT_VERSION
-            or payload.get("grid_key") != self.grid_key
-            or not isinstance(payload.get("completed"), dict)
+            not isinstance(header, dict)
+            or header.get("version") != _FORMAT_VERSION
+            or header.get("grid_key") != self.grid_key
         ):
             return {}
-        self.completed = dict(payload["completed"])
+        completed: Dict[str, Dict[str, Any]] = {}
+        leases: List[Dict[str, Any]] = []
+        skipped = 0
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            if isinstance(record.get("cell"), str) and isinstance(
+                record.get("report"), dict
+            ):
+                # Replay-safe: duplicate records carry identical reports,
+                # so the last occurrence simply wins.
+                completed[record["cell"]] = record["report"]
+            elif isinstance(record.get("lease"), dict):
+                leases.append(record["lease"])
+            else:
+                skipped += 1
+        if skipped:
+            warnings.warn(
+                f"grid journal {self.path.name} held {skipped} corrupt "
+                f"record(s) (a crash mid-checkpoint?); skipping them — the "
+                f"affected cell(s) will re-execute",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.completed = completed
+        self.leases = leases
         return self.completed
+
+    def load_leases(self) -> List[Dict[str, Any]]:
+        """Shard leases of a previous run, oldest first (see :meth:`load`)."""
+        self.load()
+        return self.leases
 
     # -- writing ------------------------------------------------------------
     def record(self, cell_key: str, report: SimulationReport) -> None:
         """Checkpoint one completed cell (buffered until :meth:`flush`)."""
-        self.completed[cell_key] = report_to_dict(report)
+        payload = report_to_dict(report)
+        self.completed[cell_key] = payload
+        self._pending.append(
+            json.dumps({"cell": cell_key, "report": payload}, sort_keys=True)
+        )
+
+    def record_lease(
+        self,
+        shard_id: str,
+        worker: int,
+        attempt: int,
+        cell_keys: Sequence[str],
+    ) -> None:
+        """Checkpoint one shard-lease grant (buffered until :meth:`flush`).
+
+        Lease records are an audit trail of which shards were in flight
+        when a run died: resume re-executes exactly the cells missing from
+        the cell records, i.e. only the unfinished shards' work.
+        """
+        lease = {
+            "shard": shard_id,
+            "worker": worker,
+            "attempt": attempt,
+            "cells": list(cell_keys),
+        }
+        self.leases.append(lease)
+        self._pending.append(json.dumps({"lease": lease}, sort_keys=True))
 
     def flush(self) -> None:
-        """Atomically publish the current completed set to disk."""
-        if self._disabled:
+        """Append the records buffered since the last flush to disk.
+
+        The first flush writes the header line.  A crash mid-append can
+        tear at most the trailing line, which :meth:`load` recovers from
+        by skipping it.
+        """
+        if self._disabled or not self._pending:
             return
-        payload = {
-            "version": _FORMAT_VERSION,
-            "grid_key": self.grid_key,
-            "completed": self.completed,
-        }
-        tmp = self.path.with_name(f"{self.path.stem}.{os.getpid()}.tmp.json")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            os.replace(tmp, self.path)
+            fresh = not self.path.exists()
+            with open(self.path, "a") as handle:
+                if fresh:
+                    header = {
+                        "version": _FORMAT_VERSION,
+                        "grid_key": self.grid_key,
+                    }
+                    handle.write(json.dumps(header, sort_keys=True) + "\n")
+                for line in self._pending:
+                    handle.write(line + "\n")
+            self._pending.clear()
         except OSError as error:
             self._disabled = True
             warnings.warn(

@@ -1,0 +1,803 @@
+"""Fault-tolerant sharded execution backend: leases, heartbeats, stealing.
+
+The local backend chunks a grid by benchmark; this backend shards it by
+the *planner key* — ``(benchmark, resolved layout policy, cache
+geometry)``, the same key :func:`repro.engine.grid.plan_families` batches
+by — so every shard's cells replay one shared trace and a shard is the
+natural unit of distribution.  Shards run on worker processes that talk to
+the coordinator over a deliberately tiny one-directional message-queue
+protocol, one channel per lease
+(plain dicts: ``heartbeat``, per-cell ``cell`` results carrying the
+losslessly-serialized report, ``done``, ``fatal``), so the workers could
+equally be remote hosts.
+
+Fault tolerance is end to end:
+
+* **Leases.** Each shard grant is a lease owned by one worker; workers
+  heartbeat while they compute, and the grant is checkpointed to the
+  resume journal so an interrupted run knows which shards were in flight.
+* **Lost shards.** A lease whose heartbeats stop (worker crash, hang, or
+  an injected ``heartbeat-loss`` fault) expires after
+  ``lease_timeout_s`` and the shard is reassigned, up to the configured
+  retry budget; a shard that exhausts it falls back to the supervisor's
+  in-process rung.  The expired worker is *not* killed — like a
+  partitioned remote host, it may still finish and deliver.
+* **Work-stealing.** When the queue is empty and slots are idle, a
+  straggler shard is speculatively duplicated onto a second worker; chaos
+  can also force a duplicate grant at lease time.
+* **Duplicate-safe delivery.** Results stream per cell, keyed by the
+  cell's content key; the first delivery wins and later copies are
+  counted and dropped, so steals, expired-but-alive workers, and resumed
+  journals can never double-adopt.  The engines are bit-identical, so a
+  duplicate necessarily carries the same numbers.
+* **Graceful degradation.** If the transport itself fails
+  (:class:`~repro.errors.TransportError`), the whole backend degrades to
+  :class:`~repro.resilience.backends.LocalBackend` for whatever cells
+  remain: a transport outage costs locality, never results.
+
+See docs/robustness.md ("Execution backends and failure model").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from multiprocessing.connection import wait as connection_wait
+from dataclasses import asdict, dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import TransportError
+from repro.resilience import chaos
+from repro.resilience.backends import Adopt, ExecutionBackend, LocalBackend
+from repro.resilience.journal import (
+    cell_content_key,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.resilience.policy import FailureReport, ResilienceConfig, cause_chain
+from repro.resilience.supervisor import (
+    _Chunk,
+    _merge_stats,
+    _mp_context,
+    _new_stats,
+    run_cells,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.grid import GridCell
+    from repro.resilience.journal import ResumeJournal
+
+__all__ = ["Shard", "ShardedBackend", "plan_shards"]
+
+#: Seconds between coordinator polls of the result queue.
+_POLL_INTERVAL_S = 0.01
+#: Grace period for a cleanly-exited worker's final queued messages.
+_DRAIN_TIMEOUT_S = 1.0
+#: Heartbeat period as a fraction of the lease timeout.
+_HEARTBEAT_FRACTION = 0.2
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One planner-key group of cells, the unit of distributed execution."""
+
+    shard_id: str
+    benchmark: str
+    cells: Tuple["GridCell", ...]
+
+
+def plan_shards(
+    cells: Sequence["GridCell"],
+    resolve_policy: Callable[..., Any],
+    target: Optional[int] = None,
+) -> List[Shard]:
+    """Group ``cells`` into shards by the family-planner key.
+
+    Cells sharing ``(benchmark, resolved layout policy, icache geometry)``
+    land in one shard, so each shard replays a single shared trace.
+    ``target`` is a hint: the largest shards are split (deterministically,
+    never across planner keys) until the count reaches it or every shard
+    is a single cell.  Fewer groups than ``target`` yields fewer shards —
+    a shard never mixes keys.
+    """
+    groups: Dict[Tuple[str, str, str], List["GridCell"]] = {}
+    order: List[Tuple[str, str, str]] = []
+    for cell in cells:
+        try:
+            policy = str(resolve_policy(cell.scheme, cell.layout_policy).value)
+        except Exception:
+            policy = (
+                cell.layout_policy.value
+                if cell.layout_policy is not None
+                else "default"
+            )
+        geometry = cell.machine.icache
+        key = (
+            cell.benchmark,
+            policy,
+            f"{geometry.size_bytes}B/{geometry.ways}w/{geometry.line_size}L",
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cell)
+
+    parts: List[Tuple[Tuple[str, str, str], List["GridCell"]]] = [
+        (key, groups[key]) for key in order
+    ]
+    if target is not None:
+        while len(parts) < target:
+            widest = max(range(len(parts)), key=lambda i: len(parts[i][1]))
+            key, members = parts[widest]
+            if len(members) < 2:
+                break
+            half = (len(members) + 1) // 2
+            parts[widest] = (key, members[:half])
+            parts.insert(widest + 1, (key, members[half:]))
+
+    multiplicity = Counter(key for key, _ in parts)
+    seen: Dict[Tuple[str, str, str], int] = {}
+    shards: List[Shard] = []
+    for key, members in parts:
+        benchmark, policy, geometry = key
+        shard_id = f"{benchmark}:{policy}:{geometry}"
+        if multiplicity[key] > 1:
+            piece = seen.get(key, 0)
+            seen[key] = piece + 1
+            shard_id = f"{shard_id}#{piece}"
+        shards.append(Shard(shard_id, benchmark, tuple(members)))
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# Transport: a tiny one-directional worker -> coordinator message protocol
+# ---------------------------------------------------------------------------
+class _WorkerChannel:
+    """Worker side of the shard transport.
+
+    One message channel per lease.  A shared queue would couple workers
+    through its write lock — a worker crashing mid-send (exactly what the
+    chaos drill does) would leave the lock orphaned and silently hang
+    every later sender; with one channel each, a dying worker can tear
+    only its own stream, which the coordinator observes as that lease
+    going quiet.  Sends are serialized because the heartbeat thread and
+    the result path share the channel.
+    """
+
+    def __init__(self, conn: Any, worker_id: int, shard_id: str):
+        self._conn = conn
+        self._worker = worker_id
+        self._shard = shard_id
+        self._lock = threading.Lock()
+
+    def send(self, kind: str, **payload: Any) -> None:
+        chaos.chaos_point("transport", f"send:{self._worker}:{kind}")
+        payload["kind"] = kind
+        payload["worker"] = self._worker
+        payload["shard"] = self._shard
+        with self._lock:
+            self._conn.send(payload)
+
+
+class _ChannelTransport:
+    """Coordinator side of the shard transport.
+
+    Multiplexes every lease's message channel.  A channel whose worker
+    died mid-message simply ends (and is dropped — the lease machinery
+    owns worker liveness); a failure of the transport *itself* — an
+    unopenable channel, an undecodable stream, injected ``transport``
+    chaos — surfaces as :class:`TransportError`, the signal for
+    :class:`ShardedBackend` to degrade to the local backend.
+    """
+
+    def __init__(self, context: Any):
+        self._context = context
+        self._readers: List[Any] = []
+        try:
+            chaos.chaos_point("transport", "open")
+        except TransportError:
+            raise
+        except Exception as error:
+            raise TransportError(
+                f"cannot open the shard transport: {error}"
+            ) from error
+
+    def open_channel(self) -> Tuple[Any, Any]:
+        """A fresh ``(reader, writer)`` channel for one lease grant."""
+        try:
+            chaos.chaos_point("transport", "open")
+            reader, writer = self._context.Pipe(duplex=False)
+        except TransportError:
+            raise
+        except Exception as error:
+            raise TransportError(
+                f"cannot open a shard transport channel: {error}"
+            ) from error
+        self._readers.append(reader)
+        return reader, writer
+
+    def poll(self, timeout: float) -> Optional[Dict[str, Any]]:
+        try:
+            chaos.chaos_point("transport", "recv")
+            if not self._readers:
+                if timeout > 0:
+                    time.sleep(timeout)
+                return None
+            ready = connection_wait(self._readers, timeout)
+        except TransportError:
+            raise
+        except Exception as error:
+            raise TransportError(
+                f"shard transport receive failed: {error}"
+            ) from error
+        for reader in ready:
+            try:
+                message = reader.recv()
+            except (EOFError, OSError):
+                # The writer died (possibly mid-message): the channel is
+                # gone, the lease machinery handles the worker.
+                self._discard(reader)
+                continue
+            except TransportError:
+                raise
+            except Exception as error:
+                raise TransportError(
+                    f"shard transport receive failed: {error}"
+                ) from error
+            return message  # type: ignore[no-any-return]
+        return None
+
+    def _discard(self, reader: Any) -> None:
+        try:
+            reader.close()
+        except Exception:
+            pass
+        try:
+            self._readers.remove(reader)
+        except ValueError:
+            pass
+
+    def close(self) -> None:
+        for reader in list(self._readers):
+            self._discard(reader)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+def _shard_worker_main(
+    spec: Dict[str, Any],
+    config: ResilienceConfig,
+    chaos_config: Optional[chaos.ChaosConfig],
+    shard: Shard,
+    attempt: int,
+    worker_id: int,
+    skip: Tuple[str, ...],
+    conn: Any,
+) -> None:
+    """Worker entry point: simulate one shard, stream results per cell.
+
+    Cells already delivered by another lease of the same shard arrive in
+    ``skip`` and are not recomputed.  The full in-worker supervision
+    ladder of :func:`~repro.resilience.supervisor.run_cells` applies, so
+    sharding never weakens per-cell recovery.
+    """
+    channel = _WorkerChannel(conn, worker_id, shard.shard_id)
+    stop = threading.Event()
+    try:
+        if chaos_config is not None:
+            chaos.install(chaos_config)
+        from repro.engine import store as store_module
+
+        # The parent relays a single degradation warning (see
+        # _merge_stats); per-worker copies would just be noise.
+        store_module.suppress_write_warnings()
+
+        token = f"{shard.shard_id}@{attempt}"
+        # An injected heartbeat-loss keeps the worker computing but mute:
+        # the partitioned-host scenario the lease timeout exists for.
+        silenced = chaos.should_fire("lease", token, "heartbeat-loss")
+        interval = max(config.lease_timeout_s * _HEARTBEAT_FRACTION, 0.005)
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    channel.send("heartbeat")
+                except Exception:
+                    return
+
+        if not silenced:
+            channel.send("heartbeat")
+            threading.Thread(target=beat, daemon=True).start()
+        chaos.chaos_point("shard", token)
+
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(**spec)
+        failures: List[FailureReport] = []
+        stats = _new_stats()
+        error: Optional[str] = None
+        skip_set = frozenset(skip)
+        cells = [
+            cell for cell in shard.cells if cell_content_key(cell) not in skip_set
+        ]
+
+        def emit(index: int, report: Any) -> None:
+            channel.send(
+                "cell",
+                cell=cell_content_key(cells[index]),
+                report=report_to_dict(report),
+            )
+
+        def fail(index: int, exc: BaseException) -> None:
+            nonlocal error
+            if error is None:
+                error = f"{type(exc).__name__}: {exc}"
+
+        run_cells(runner, cells, config, failures, emit, fail, stats)
+        store = getattr(runner, "store", None)
+        if store is not None and getattr(store, "writes_disabled", False):
+            stats["store_degraded"] = str(store.root)
+        channel.send(
+            "done",
+            failures=[asdict(failure) for failure in failures],
+            stats=stats,
+            error=error,
+        )
+    except BaseException as exc:  # noqa: B036 - report, then die
+        try:
+            channel.send("fatal", error=f"{type(exc).__name__}: {exc}")
+        except Exception:
+            pass
+    finally:
+        stop.set()
+
+
+def _failure_from_dict(payload: Mapping[str, Any]) -> FailureReport:
+    data = dict(payload)
+    data["causes"] = tuple(data.get("causes", ()))
+    return FailureReport(**data)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+@dataclass
+class _Lease:
+    """One shard grant: which worker owns which shard, and since when."""
+
+    shard: Shard
+    attempt: int
+    worker_id: int
+    process: Any
+    granted_at: float
+    last_heartbeat: float
+    speculative: bool = False
+    dead_since: Optional[float] = None
+
+
+class _Coordinator:
+    """Grants leases, watches heartbeats, reassigns, steals, dedups."""
+
+    def __init__(
+        self,
+        runner: Any,
+        shards: Sequence[Shard],
+        jobs: int,
+        config: ResilienceConfig,
+        failures: List[FailureReport],
+        adopt: Adopt,
+        stats: Dict[str, Any],
+        journal: Optional["ResumeJournal"],
+    ):
+        self._spec = runner.spawn_spec()
+        self._jobs = jobs
+        self._config = config
+        self._failures = failures
+        self._adopt = adopt
+        self._stats = stats
+        self._journal = journal
+        self._context = _mp_context()
+        self._chaos = chaos.current()
+        self._by_key: Dict[str, "GridCell"] = {}
+        for shard in shards:
+            for cell in shard.cells:
+                self._by_key.setdefault(cell_content_key(cell), cell)
+        self._pending: Deque[Tuple[Shard, int]] = deque(
+            (shard, 1) for shard in shards
+        )
+        self._active: List[_Lease] = []
+        #: Superseded leases (expired, duplicated, finished): their workers
+        #: may linger and deliver late duplicates until shutdown reaps them.
+        self._retired: List[_Lease] = []
+        self._completed: Set[str] = set()
+        self._delivered: Set[str] = set()
+        self._causes: Dict[str, List[str]] = {}
+        self._exhausted: List[Tuple[Shard, int]] = []
+        self._worker_seq = 0
+        self._transport: Optional[_ChannelTransport] = None
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> List[_Chunk]:
+        self._transport = _ChannelTransport(self._context)
+        try:
+            while self._pending or self._active:
+                self._fill_slots()
+                self._steal_stragglers()
+                message = self._transport.poll(_POLL_INTERVAL_S)
+                while message is not None:
+                    self._handle(message, time.monotonic())
+                    message = self._transport.poll(0.0)
+                self._check_leases(time.monotonic())
+            return self._leftover_chunks()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Reap every worker still alive and close the transport."""
+        for lease in self._active + self._retired:
+            process = lease.process
+            try:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(2.0)
+                    if process.is_alive():
+                        process.kill()
+                process.join(5.0)
+            except Exception:
+                pass
+        self._active = []
+        self._retired = []
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # -- scheduling ---------------------------------------------------------
+    def _fill_slots(self) -> None:
+        while self._pending and len(self._active) < self._jobs:
+            shard, attempt = self._pending.popleft()
+            if shard.shard_id in self._completed:
+                continue
+            self._grant(shard, attempt)
+
+    def _grant(self, shard: Shard, attempt: int, speculative: bool = False) -> None:
+        assert self._transport is not None
+        self._worker_seq += 1
+        worker_id = self._worker_seq
+        keys = [cell_content_key(cell) for cell in shard.cells]
+        skip = tuple(key for key in keys if key in self._delivered)
+        reader, writer = self._transport.open_channel()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                self._spec,
+                self._config,
+                self._chaos,
+                shard,
+                attempt,
+                worker_id,
+                skip,
+                writer,
+            ),
+        )
+        process.daemon = True
+        process.start()
+        try:
+            writer.close()
+        except Exception:
+            pass
+        now = time.monotonic()
+        self._active.append(
+            _Lease(shard, attempt, worker_id, process, now, now, speculative)
+        )
+        if self._journal is not None:
+            self._journal.record_lease(shard.shard_id, worker_id, attempt, keys)
+            self._journal.flush()
+        if not speculative and chaos.should_fire(
+            "steal", shard.shard_id, "duplicate"
+        ):
+            self._failures.append(
+                FailureReport(
+                    site="steal",
+                    benchmark=shard.benchmark,
+                    cell=shard.shard_id,
+                    attempts=attempt,
+                    causes=("chaos: forced duplicate shard assignment",),
+                    recovery="duplicate-delivery",
+                    recovered=True,
+                )
+            )
+            self._grant(shard, attempt, speculative=True)
+
+    def _steal_stragglers(self) -> None:
+        if self._pending or len(self._active) >= self._jobs:
+            return
+        now = time.monotonic()
+        for lease in list(self._active):
+            if len(self._active) >= self._jobs:
+                return
+            shard_id = lease.shard.shard_id
+            if shard_id in self._completed or lease.speculative:
+                continue
+            if any(
+                other is not lease and other.shard.shard_id == shard_id
+                for other in self._active
+            ):
+                continue
+            age = now - lease.granted_at
+            if age <= self._config.lease_timeout_s:
+                continue
+            self._failures.append(
+                FailureReport(
+                    site="steal",
+                    benchmark=lease.shard.benchmark,
+                    cell=shard_id,
+                    attempts=lease.attempt,
+                    causes=(
+                        f"straggler: no result after {age:.3g}s; "
+                        f"speculating a duplicate",
+                    ),
+                    recovery="work-steal",
+                    recovered=True,
+                )
+            )
+            self._grant(lease.shard, lease.attempt, speculative=True)
+
+    # -- message handling ---------------------------------------------------
+    def _handle(self, message: Any, now: float) -> None:
+        if not isinstance(message, dict):
+            raise TransportError(
+                f"malformed shard transport message: {message!r}"
+            )
+        kind = message.get("kind")
+        worker = message.get("worker")
+        if kind == "heartbeat":
+            for lease in self._active:
+                if lease.worker_id == worker:
+                    lease.last_heartbeat = now
+        elif kind == "cell":
+            key = message.get("cell")
+            if key in self._delivered:
+                # First delivery won; a steal or expired-but-alive worker
+                # recomputed it (bit-identically).
+                self._stats["duplicates"] = self._stats.get("duplicates", 0) + 1
+                return
+            cell = self._by_key.get(key) if isinstance(key, str) else None
+            if cell is None:
+                raise TransportError(f"shard result for unknown cell {key!r}")
+            try:
+                report = report_from_dict(message["report"])
+            except Exception as error:
+                raise TransportError(
+                    f"undecodable shard result for {key}: {error}"
+                ) from error
+            self._adopt(cell, report)
+            self._delivered.add(key)
+        elif kind == "done":
+            self._handle_done(message)
+        elif kind == "fatal":
+            lease = self._pop_lease(worker)
+            if lease is None:
+                return
+            if lease.shard.shard_id in self._completed:
+                self._retired.append(lease)
+                return
+            self._settle(
+                lease, str(message.get("error") or "shard worker failed"), "shard"
+            )
+        else:
+            raise TransportError(
+                f"unknown shard transport message kind {kind!r}"
+            )
+
+    def _handle_done(self, message: Dict[str, Any]) -> None:
+        shard_id = message.get("shard")
+        lease = self._pop_lease(message.get("worker"))
+        if lease is not None:
+            self._retired.append(lease)
+        if not isinstance(shard_id, str) or shard_id in self._completed:
+            return
+        self._failures.extend(
+            _failure_from_dict(payload)
+            for payload in message.get("failures", ())
+        )
+        _merge_stats(self._stats, dict(message.get("stats") or {}))
+        error = message.get("error")
+        if error is None:
+            self._completed.add(shard_id)
+            # Retire any duplicate leases still running this shard; their
+            # late results dedup against the delivered set.
+            for other in [
+                entry
+                for entry in self._active
+                if entry.shard.shard_id == shard_id
+            ]:
+                self._active.remove(other)
+                self._retired.append(other)
+        elif lease is not None:
+            self._retired.remove(lease)
+            self._settle(lease, str(error), "shard")
+
+    # -- liveness -----------------------------------------------------------
+    def _check_leases(self, now: float) -> None:
+        for lease in list(self._active):
+            shard_id = lease.shard.shard_id
+            if shard_id in self._completed:
+                self._active.remove(lease)
+                self._retired.append(lease)
+                continue
+            process = lease.process
+            if not process.is_alive():
+                if lease.dead_since is None:
+                    # Grace period: its final messages may still be queued.
+                    lease.dead_since = now
+                    continue
+                clean = process.exitcode == 0
+                if clean and now - lease.dead_since < _DRAIN_TIMEOUT_S:
+                    continue
+                self._active.remove(lease)
+                cause = (
+                    "shard worker exited without a result"
+                    if clean
+                    else f"shard worker crashed (exit code {process.exitcode})"
+                )
+                self._settle(lease, cause, "shard")
+            elif now - lease.last_heartbeat > self._config.lease_timeout_s:
+                # Do not kill the worker: like a partitioned remote host it
+                # may still finish, and its delivery must stay harmless.
+                self._active.remove(lease)
+                self._retired.append(lease)
+                self._settle(
+                    lease,
+                    f"lease expired after {self._config.lease_timeout_s}s "
+                    f"without a heartbeat",
+                    "lease",
+                )
+
+    def _settle(self, lease: _Lease, cause: str, site: str) -> None:
+        """A lease failed: hand the shard to a survivor, requeue, or give up."""
+        shard = lease.shard
+        self._causes.setdefault(shard.shard_id, []).append(cause)
+        survivor = next(
+            (
+                entry
+                for entry in self._active
+                if entry.shard.shard_id == shard.shard_id
+            ),
+            None,
+        )
+        if survivor is not None:
+            # Another lease (a speculative copy, or the primary when a
+            # speculative copy died) still owns the shard; promote it.
+            survivor.speculative = False
+            self._failures.append(
+                FailureReport(
+                    site=site,
+                    benchmark=shard.benchmark,
+                    cell=shard.shard_id,
+                    attempts=lease.attempt,
+                    causes=(cause,),
+                    recovery="work-steal",
+                    recovered=True,
+                )
+            )
+            return
+        if lease.attempt <= self._config.retries:
+            self._failures.append(
+                FailureReport(
+                    site=site,
+                    benchmark=shard.benchmark,
+                    cell=shard.shard_id,
+                    attempts=lease.attempt,
+                    causes=(cause,),
+                    recovery="reassigned",
+                    recovered=True,
+                )
+            )
+            self._pending.append((shard, lease.attempt + 1))
+        else:
+            self._exhausted.append((shard, lease.attempt))
+
+    def _pop_lease(self, worker_id: Any) -> Optional[_Lease]:
+        for lease in self._active:
+            if lease.worker_id == worker_id:
+                self._active.remove(lease)
+                return lease
+        return None
+
+    def _leftover_chunks(self) -> List[_Chunk]:
+        chunks: List[_Chunk] = []
+        for shard, attempts in self._exhausted:
+            remaining = [
+                cell
+                for cell in shard.cells
+                if cell_content_key(cell) not in self._delivered
+            ]
+            if not remaining:
+                continue
+            chunk = _Chunk(shard.benchmark, remaining, attempts=attempts)
+            chunk.causes = list(self._causes.get(shard.shard_id, []))
+            chunks.append(chunk)
+        return chunks
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+class ShardedBackend(ExecutionBackend):
+    """Planner-key sharding with leases, heartbeats, and work-stealing.
+
+    See the module docstring for the failure model.  Shards that exhaust
+    their reassignment budget are returned as chunks for the supervisor's
+    in-process rung; a transport failure degrades the whole backend to
+    :class:`LocalBackend` for the cells not yet delivered.
+    """
+
+    name = "sharded"
+
+    def run(
+        self,
+        runner: Any,
+        chunks: List[_Chunk],
+        jobs: int,
+        config: ResilienceConfig,
+        failures: List[FailureReport],
+        adopt: Adopt,
+        stats: Dict[str, Any],
+        journal: Optional["ResumeJournal"] = None,
+    ) -> List[_Chunk]:
+        cells = [cell for chunk in chunks for cell in chunk.cells]
+        if not cells:
+            return []
+        shards = plan_shards(cells, runner._resolve_layout_policy, config.shards)
+        stats["shards"] = stats.get("shards", 0) + len(shards)
+        coordinator = _Coordinator(
+            runner, shards, max(1, jobs), config, failures, adopt, stats, journal
+        )
+        try:
+            return coordinator.run()
+        except TransportError as error:
+            coordinator.shutdown()
+            failures.append(
+                FailureReport(
+                    site="transport",
+                    benchmark="*",
+                    cell="shard transport",
+                    attempts=1,
+                    causes=tuple(cause_chain(error)),
+                    recovery="local-backend",
+                    recovered=True,
+                )
+            )
+            remaining = _regroup_by_benchmark(runner, cells)
+            if not remaining:
+                return []
+            return LocalBackend().run(
+                runner, remaining, jobs, config, failures, adopt, stats, journal
+            )
+
+
+def _regroup_by_benchmark(runner: Any, cells: Sequence["GridCell"]) -> List[_Chunk]:
+    """Benchmark chunks of the cells the sharded run did not deliver."""
+    groups: Dict[str, List["GridCell"]] = {}
+    for cell in cells:
+        if runner.has_report(cell):
+            continue
+        groups.setdefault(cell.benchmark, []).append(cell)
+    return [_Chunk(benchmark, group) for benchmark, group in groups.items()]

@@ -22,6 +22,14 @@ checkpointed to the grid's :class:`~repro.resilience.journal.ResumeJournal`
 Every incident is recorded as a
 :class:`~repro.resilience.policy.FailureReport`; unrecovered failures raise
 :class:`~repro.errors.CellFailure` with those reports attached.
+
+*Where* the parallel portion runs is delegated to an execution backend
+(:mod:`repro.resilience.backends`): the local benchmark-chunked worker
+pool implemented by :func:`_run_parallel` here, or the lease/heartbeat/
+work-stealing sharded backend of :mod:`repro.resilience.sharded`.  Both
+stream completed cells through the same adoption path and return their
+unfinished chunks to the in-process rung, so the recovery ladder is
+backend-independent.
 """
 
 from __future__ import annotations
@@ -90,11 +98,25 @@ class GridSummary:
     family_cells: int = 0
     pruned: int = 0
     prune_certificates: Tuple[str, ...] = ()
+    #: Which execution backend ran the parallel portion (see
+    #: :mod:`repro.resilience.backends`), the shards it planned, and how
+    #: many duplicate deliveries its first-wins dedup dropped.
+    backend: str = "local"
+    shards: int = 0
+    duplicate_results: int = 0
 
 
 def _new_stats() -> Dict[str, Any]:
-    """Mutable planner-stats accumulator threaded through :func:`run_cells`."""
-    return {"families": 0, "family_cells": 0, "pruned": 0, "certificates": []}
+    """Mutable execution-stats accumulator threaded through :func:`run_cells`."""
+    return {
+        "families": 0,
+        "family_cells": 0,
+        "pruned": 0,
+        "certificates": [],
+        "shards": 0,
+        "duplicates": 0,
+        "store_degraded": None,
+    }
 
 
 def _merge_stats(into: Dict[str, Any], other: Dict[str, Any]) -> None:
@@ -102,6 +124,19 @@ def _merge_stats(into: Dict[str, Any], other: Dict[str, Any]) -> None:
     into["family_cells"] += other.get("family_cells", 0)
     into["pruned"] += other.get("pruned", 0)
     into["certificates"].extend(other.get("certificates", []))
+    into["shards"] = into.get("shards", 0) + other.get("shards", 0)
+    into["duplicates"] = into.get("duplicates", 0) + other.get("duplicates", 0)
+    degraded = other.get("store_degraded")
+    if degraded:
+        # Workers suppress their own copy of the cache-degradation warning
+        # (see store.suppress_write_warnings); the parent relays exactly
+        # one on their behalf, deduplicated by the store module's global.
+        into["store_degraded"] = degraded
+        from repro.engine import store as store_module
+
+        store_module.warn_write_failure(
+            degraded, "cache writes failed in a worker process"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -348,6 +383,11 @@ def _chunk_worker_main(
     try:
         if chaos_config is not None:
             chaos.install(chaos_config)
+        from repro.engine import store as store_module
+
+        # The parent relays one degradation warning for all workers (see
+        # _merge_stats); a per-process copy from every worker is noise.
+        store_module.suppress_write_warnings()
         chaos.chaos_point("worker", f"{benchmark}@{attempt}")
         from repro.experiments.runner import ExperimentRunner
 
@@ -361,6 +401,9 @@ def _chunk_worker_main(
             error = f"{type(exc).__name__}: {exc}"
 
         run_cells(runner, cells, config, failures, emit, fail, stats)
+        store = getattr(runner, "store", None)
+        if store is not None and getattr(store, "writes_disabled", False):
+            stats["store_degraded"] = str(store.root)
         conn.send(("done", results, failures, error, stats))
     except BaseException as exc:  # noqa: B036 - report, then die
         try:
@@ -658,7 +701,17 @@ def supervise_grid(
             journal.flush()
 
     pending = {benchmark: group for benchmark, group in groups.items() if group}
-    if jobs > 1 and len(pending) > 1:
+    pending_cells = sum(len(group) for group in pending.values())
+    # The local backend parallelizes across benchmark chunks, so one
+    # benchmark gains nothing from workers; the sharded backend shards by
+    # the planner key and can fan out any multi-cell grid.
+    parallel = jobs > 1 and (
+        len(pending) > 1 or (config.backend != "local" and pending_cells > 1)
+    )
+    if parallel:
+        from repro.resilience.backends import resolve_backend
+
+        backend = resolve_backend(config.backend)
         chunks = [
             _Chunk(benchmark, list(group)) for benchmark, group in pending.items()
         ]
@@ -668,8 +721,8 @@ def supervise_grid(
             if journal is not None:
                 journal.flush()
 
-        exhausted = _run_parallel(
-            runner, chunks, jobs, config, failures, adopt_and_flush, stats
+        exhausted = backend.run(
+            runner, chunks, jobs, config, failures, adopt_and_flush, stats, journal
         )
         for chunk in exhausted:
             before = len(failed)
@@ -702,6 +755,9 @@ def supervise_grid(
         family_cells=stats["family_cells"],
         pruned=stats["pruned"],
         prune_certificates=tuple(stats["certificates"]),
+        backend=config.backend,
+        shards=stats["shards"],
+        duplicate_results=stats["duplicates"],
     )
     if failed:
         if journal is not None:

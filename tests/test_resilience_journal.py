@@ -114,16 +114,87 @@ class TestResumeJournal:
         assert len(messages) == 1
         assert journal._disabled
 
-    def test_flush_is_atomic(self, tmp_path, fast_runner):
-        """No partially-written journal is ever visible under the final name."""
+    def test_flush_appends_jsonl_records_under_a_header(self, tmp_path, fast_runner):
+        """The journal is header + one self-contained JSON record per line,
+        and flushing appends only what accumulated since the last flush."""
         journal = ResumeJournal.for_grid(tmp_path, "g1")
-        journal.record("k", fast_runner.report("crc", "baseline"))
+        journal.record("k1", fast_runner.report("crc", "baseline"))
+        journal.flush()
+        first_size = journal.path.stat().st_size
+        journal.record("k2", fast_runner.report("sha", "baseline"))
         journal.flush()
         leftovers = [
             p for p in journal.path.parent.iterdir() if p.name != journal.path.name
         ]
         assert leftovers == []
-        assert json.loads(journal.path.read_text())["grid_key"] == "g1"
+        lines = journal.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {"version": 2, "grid_key": "g1"}
+        assert [json.loads(line)["cell"] for line in lines[1:]] == ["k1", "k2"]
+        # append-only: the first flush's bytes are a prefix of the file
+        assert journal.path.read_text().encode()[:first_size]
+        assert journal.path.stat().st_size > first_size
+
+    def test_torn_trailing_line_loses_only_that_record(self, tmp_path, fast_runner):
+        """A crash mid-append tears at most the last line; the loader skips
+        it with one warning and only the torn cell re-executes."""
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("k1", fast_runner.report("crc", "baseline"))
+        journal.record("k2", fast_runner.report("sha", "baseline"))
+        journal.flush()
+        lines = journal.path.read_text().splitlines()
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        journal.path.write_text(torn)  # tear the trailing (k2) record
+        fresh = ResumeJournal.for_grid(tmp_path, "g1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            completed = fresh.load()
+        assert set(completed) == {"k1"}
+        messages = [w for w in caught if "corrupt record" in str(w.message)]
+        assert len(messages) == 1
+
+    def test_garbage_records_are_skipped_with_one_warning(
+        self, tmp_path, fast_runner
+    ):
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("k1", fast_runner.report("crc", "baseline"))
+        journal.flush()
+        with open(journal.path, "a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"neither": "cell", "nor": "lease"}\n')
+            handle.write('{"cell": 17, "report": "not-a-dict"}\n')
+        fresh = ResumeJournal.for_grid(tmp_path, "g1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            completed = fresh.load()
+        assert set(completed) == {"k1"}
+        messages = [w for w in caught if "3 corrupt record" in str(w.message)]
+        assert len(messages) == 1
+
+    def test_duplicate_cell_records_are_replay_safe(self, tmp_path, fast_runner):
+        """A cell recorded twice (resume, duplicate shard delivery) loads
+        once; the engines are bit-identical so the last occurrence wins."""
+        report = fast_runner.report("crc", "baseline")
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record("k", report)
+        journal.record("k", report)
+        journal.flush()
+        fresh = ResumeJournal.for_grid(tmp_path, "g1")
+        completed = fresh.load()
+        assert set(completed) == {"k"}
+        assert report_from_dict(completed["k"]) == report
+
+    def test_lease_records_roundtrip_alongside_cells(self, tmp_path, fast_runner):
+        journal = ResumeJournal.for_grid(tmp_path, "g1")
+        journal.record_lease("crc:original:32KB", worker=1, attempt=1, cell_keys=["a", "b"])
+        journal.record("a", fast_runner.report("crc", "baseline"))
+        journal.record_lease("crc:original:32KB", worker=2, attempt=2, cell_keys=["a", "b"])
+        journal.flush()
+        fresh = ResumeJournal.for_grid(tmp_path, "g1")
+        leases = fresh.load_leases()
+        assert [lease["worker"] for lease in leases] == [1, 2]
+        assert leases[0]["cells"] == ["a", "b"]
+        assert set(fresh.completed) == {"a"}
 
 
 class TestJournalLifecycleInGrids:

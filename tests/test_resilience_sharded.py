@@ -1,0 +1,366 @@
+"""Tests for the sharded execution backend: leases, steals, degradation.
+
+The acceptance bar (see docs/robustness.md): a seeded chaos run on the
+sharded backend — shard crashes, lease expiries, stolen stragglers,
+forced duplicate deliveries, a torn transport — must still return reports
+bit-identical to a fault-free run on the local backend, with a recovered
+FailureReport per incident; and an interrupted sharded grid must resume
+from its journal, re-executing only the unfinished shards' cells.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.engine.grid import GridCell
+from repro.errors import CellFailure, ResilienceError
+from repro.experiments.runner import ExperimentRunner
+from repro.resilience import chaos
+from repro.resilience.backends import LocalBackend, resolve_backend
+from repro.resilience.chaos import ChaosConfig, ChaosRule
+from repro.resilience.journal import ResumeJournal, cell_content_key, grid_digest
+from repro.resilience.policy import FallbackPolicy, ResilienceConfig
+from repro.resilience.sharded import ShardedBackend, plan_shards
+
+KB = 1024
+
+CELLS = [
+    GridCell("crc", "baseline"),
+    GridCell("crc", "way-placement", wpa_size=8 * KB),
+    GridCell("sha", "baseline"),
+    GridCell("sha", "way-placement", wpa_size=8 * KB),
+]
+
+#: The fast-expiring sharded config every chaos test here runs under.
+SHARDED = ResilienceConfig(
+    retries=3,
+    backoff_s=0.01,
+    timeout_s=10.0,
+    backend="sharded",
+    lease_timeout_s=0.3,
+)
+
+RESOLVE = ExperimentRunner._resolve_layout_policy
+
+
+def make_runner(cache_dir="off", **kwargs):
+    kwargs.setdefault("eval_instructions", 8_000)
+    kwargs.setdefault("profile_instructions", 4_000)
+    return ExperimentRunner(cache_dir=cache_dir, **kwargs)
+
+
+def fault_free_reports(cells=None):
+    return make_runner().run_grid(cells or CELLS, jobs=1)
+
+
+class TestBackendResolution:
+    def test_names_resolve_to_backends(self):
+        assert isinstance(resolve_backend(None), LocalBackend)
+        assert isinstance(resolve_backend("local"), LocalBackend)
+        assert isinstance(resolve_backend("sharded"), ShardedBackend)
+
+    def test_unknown_backend_is_rejected_with_choices(self):
+        with pytest.raises(ResilienceError, match="local.*sharded"):
+            resolve_backend("mainframe")
+
+
+class TestPlanShards:
+    def test_shards_follow_the_family_planner_key(self):
+        shards = plan_shards(CELLS, RESOLVE)
+        assert [shard.shard_id for shard in shards] == [
+            "crc:original:32768B/32w/32L",
+            "crc:way-placement:32768B/32w/32L",
+            "sha:original:32768B/32w/32L",
+            "sha:way-placement:32768B/32w/32L",
+        ]
+        assert all(len(shard.cells) == 1 for shard in shards)
+        assert [shard.benchmark for shard in shards] == ["crc", "crc", "sha", "sha"]
+
+    def test_cells_sharing_a_key_share_a_shard(self):
+        cells = [
+            GridCell("crc", "baseline"),
+            GridCell("crc", "baseline", l0_size=256),
+        ]
+        shards = plan_shards(cells, RESOLVE)
+        assert len(shards) == 1
+        assert shards[0].cells == tuple(cells)
+
+    def test_target_splits_the_widest_shard_without_mixing_keys(self):
+        cells = [GridCell("crc", "baseline", l0_size=size) for size in (0, 128, 256, 512)]
+        cells.append(GridCell("sha", "baseline"))
+        shards = plan_shards(cells, RESOLVE, target=4)
+        assert len(shards) == 4
+        # split pieces of one planner key are numbered, others untouched
+        assert [shard.shard_id for shard in shards] == [
+            "crc:original:32768B/32w/32L#0",
+            "crc:original:32768B/32w/32L#1",
+            "crc:original:32768B/32w/32L#2",
+            "sha:original:32768B/32w/32L",
+        ]
+        assert all(len({c.benchmark for c in shard.cells}) == 1 for shard in shards)
+        assert sum(len(shard.cells) for shard in shards) == len(cells)
+
+    def test_single_cell_shards_cannot_split_further(self):
+        shards = plan_shards(CELLS, RESOLVE, target=100)
+        assert len(shards) == len(CELLS)
+
+    def test_planning_is_deterministic(self):
+        assert plan_shards(CELLS, RESOLVE, target=3) == plan_shards(
+            CELLS, RESOLVE, target=3
+        )
+
+
+class TestShardedFaultFree:
+    def test_matches_the_local_backend_bit_identically(self):
+        want = fault_free_reports()
+        runner = make_runner(resilience=SHARDED)
+        got = runner.run_grid(CELLS, jobs=2)
+        assert got == want
+        assert runner.last_failures == []
+        summary = runner.last_grid
+        assert summary.backend == "sharded"
+        assert summary.shards == len(CELLS)
+        assert summary.duplicate_results == 0
+        assert summary.failed == ()
+
+
+class TestShardedChaos:
+    """Each fault class recovers with its own label, results bit-identical."""
+
+    def run_chaos(self, rules, seed=13):
+        runner = make_runner(resilience=SHARDED)
+        with chaos.active(ChaosConfig(seed=seed, rules=tuple(rules))):
+            got = runner.run_grid(CELLS, jobs=2)
+        return runner, got
+
+    def test_crashed_shard_workers_are_reassigned(self):
+        # every shard's first lease dies at the worker entry point
+        runner, got = self.run_chaos([ChaosRule("shard", "crash", match="@1", times=1)])
+        assert got == fault_free_reports()
+        incidents = runner.last_failures
+        assert len(incidents) == len(CELLS)
+        assert all(f.recovered for f in incidents)
+        assert {f.site for f in incidents} == {"shard"}
+        assert {f.recovery for f in incidents} == {"reassigned"}
+        causes = " ".join(c for f in incidents for c in f.causes)
+        assert "crashed" in causes
+
+    def test_silenced_heartbeats_expire_the_lease(self):
+        # one shard's workers go mute while still computing: its leases
+        # expire and the shard is reassigned until a mute worker finishes
+        # anyway and delivers — the partitioned-host scenario.
+        runner, got = self.run_chaos(
+            [
+                ChaosRule("lease", "heartbeat-loss", match="crc:original", times=1),
+                ChaosRule(
+                    "shard", "hang", match="crc:original", times=1, delay_s=1.2
+                ),
+            ]
+        )
+        assert got == fault_free_reports()
+        incidents = runner.last_failures
+        assert all(f.recovered for f in incidents)
+        assert "lease" in {f.site for f in incidents}
+        assert {f.recovery for f in incidents} <= {"reassigned", "work-steal"}
+        causes = " ".join(c for f in incidents for c in f.causes)
+        assert "lease expired" in causes
+
+    def test_straggler_shard_is_stolen(self):
+        # heartbeats keep flowing, so only the straggler-steal path reacts
+        runner, got = self.run_chaos(
+            [ChaosRule("shard", "hang", match="crc:original", times=1, delay_s=1.0)]
+        )
+        assert got == fault_free_reports()
+        incidents = runner.last_failures
+        assert all(f.recovered for f in incidents)
+        steals = [f for f in incidents if f.site == "steal"]
+        assert steals and {f.recovery for f in steals} == {"work-steal"}
+        assert "straggler" in steals[0].causes[0]
+
+    def test_forced_duplicate_delivery_is_idempotent(self):
+        runner, got = self.run_chaos(
+            [ChaosRule("steal", "duplicate", match="crc:original", times=1)]
+        )
+        assert got == fault_free_reports()
+        incidents = runner.last_failures
+        assert all(f.recovered for f in incidents)
+        duplicated = [f for f in incidents if f.recovery == "duplicate-delivery"]
+        assert len(duplicated) == 1 and duplicated[0].site == "steal"
+        # the copy's results were dropped, not double-adopted
+        assert runner.last_grid.duplicate_results >= 1
+
+    def test_transport_failure_degrades_to_the_local_backend(self):
+        runner, got = self.run_chaos(
+            [ChaosRule("transport", "raise", match="recv", times=1)]
+        )
+        assert got == fault_free_reports()
+        incidents = runner.last_failures
+        assert all(f.recovered for f in incidents)
+        outages = [f for f in incidents if f.site == "transport"]
+        assert len(outages) == 1
+        assert outages[0].recovery == "local-backend"
+        summary = runner.last_grid
+        assert summary.failed == ()
+        assert len(summary.executed) == len(CELLS)
+
+    def test_exhausted_shard_falls_back_to_the_in_process_rung(self):
+        # a shard that fails every lease (crash on all attempts) must
+        # still finish via the supervisor's in-process last resort
+        runner, got = self.run_chaos(
+            [ChaosRule("shard", "crash", match="sha:original", times=-1)]
+        )
+        assert got == fault_free_reports()
+        incidents = runner.last_failures
+        assert all(f.recovered for f in incidents)
+        in_process = [f for f in incidents if f.recovery == "in-process"]
+        assert in_process and in_process[0].benchmark == "sha"
+
+
+class TestShardedResume:
+    def test_resume_re_executes_only_unfinished_shards(self, tmp_path):
+        cache = tmp_path / "cache"
+        fail_fast = dataclasses.replace(
+            SHARDED, retries=0, fallback=FallbackPolicy.NONE
+        )
+        first = make_runner(cache, resilience=fail_fast)
+        rule = ChaosRule("cell", "raise", match="sha:way-placement", times=-1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            with pytest.raises(CellFailure):
+                first.run_grid(CELLS, jobs=2)
+
+        # the journal holds the three completed shards' cells plus the
+        # lease audit trail of every grant
+        key = grid_digest(first.spawn_spec(), [cell_content_key(c) for c in CELLS])
+        journal = ResumeJournal.for_grid(cache, key)
+        completed = set(journal.load())
+        assert completed == {cell_content_key(c) for c in CELLS[:3]}
+        granted = {lease["shard"] for lease in journal.leases}
+        assert len(granted) == len(CELLS)
+
+        # a fresh process resumes: only the unfinished shard's cell runs
+        resumed = make_runner(
+            cache, resilience=dataclasses.replace(SHARDED, resume=True)
+        )
+        reports = resumed.run_grid(CELLS, jobs=2)
+        assert reports == fault_free_reports()
+        summary = resumed.last_grid
+        assert set(summary.resumed) == completed
+        assert summary.executed == (cell_content_key(CELLS[3]),)
+        assert not journal.path.exists()
+
+
+class TestStoreWarningDedup:
+    """Satellite: one degrade warning for a whole pool of failing workers."""
+
+    @pytest.mark.parametrize("backend", ["local", "sharded"])
+    def test_worker_store_degradation_warns_once_in_parent(
+        self, tmp_path, backend
+    ):
+        from repro.engine import store as store_module
+
+        store_module._warned_write_failure = False
+        try:
+            runner = make_runner(
+                tmp_path / "cache",
+                resilience=dataclasses.replace(SHARDED, backend=backend),
+            )
+            rule = ChaosRule("store.save", "enospc", times=-1)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with chaos.active(ChaosConfig(seed=3, rules=(rule,))):
+                    got = runner.run_grid(CELLS, jobs=2)
+            assert got == fault_free_reports()
+            degrade = [
+                w for w in caught if "trace cache write" in str(w.message)
+            ]
+            assert len(degrade) == 1
+        finally:
+            store_module._warned_write_failure = False
+
+
+class TestDifferentialTierChaos:
+    """Satellite: worker replacement + the differential→batch→per-cell
+    ladder, all in one supervised parallel run."""
+
+    FAMILY_CELLS = [
+        GridCell("crc", "way-placement", wpa_size=4 * KB),
+        GridCell("crc", "way-placement", wpa_size=8 * KB),
+        GridCell("sha", "way-placement", wpa_size=4 * KB),
+        GridCell("sha", "way-placement", wpa_size=8 * KB),
+    ]
+
+    def test_hung_worker_is_replaced_and_family_tiers_degrade(self):
+        want = fault_free_reports(self.FAMILY_CELLS)
+        runner = make_runner(
+            engine="differential",
+            resilience=ResilienceConfig(retries=2, backoff_s=0.01, timeout_s=2.0),
+        )
+        config = ChaosConfig(
+            seed=13,
+            rules=(
+                # the first crc worker hangs until the supervisor kills it
+                ChaosRule("worker", "hang", match="crc@1", times=1, delay_s=60.0),
+                # in its replacement, the differential tier fails once ...
+                ChaosRule("differential", "raise", match="crc", times=1),
+                # ... and so does the batch tier, falling to per-cell
+                ChaosRule("family", "raise", match="crc", times=1),
+            ),
+        )
+        with chaos.active(config):
+            got = runner.run_grid(self.FAMILY_CELLS, jobs=2)
+        assert got == want
+        incidents = runner.last_failures
+        assert all(f.recovered for f in incidents)
+        recoveries = {f.recovery for f in incidents}
+        assert {"fresh-worker", "batch", "per-cell"} <= recoveries
+        causes = " ".join(c for f in incidents for c in f.causes)
+        assert "timed out" in causes
+
+
+class TestShardedCliFlags:
+    def test_backend_flags_reach_the_runner(self):
+        from repro.cli import _make_runner, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "figure4",
+                "--benchmarks",
+                "crc",
+                "--backend",
+                "sharded",
+                "--shards",
+                "8",
+                "--lease-timeout",
+                "2.5",
+            ]
+        )
+        config = _make_runner(args).resilience
+        assert config.backend == "sharded"
+        assert config.shards == 8
+        assert config.lease_timeout_s == 2.5
+
+    def test_chaos_seed_flags_are_mutually_exclusive(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--seed", "1", "--seeds", "1,2"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+
+class TestChaosDrill:
+    def test_build_rules_is_deterministic_and_backend_specific(self):
+        from repro.resilience.drill import build_rules
+
+        assert build_rules(13, "sharded") == build_rules(13, "sharded")
+        local = {rule.site for rule in build_rules(13, "local")}
+        sharded = {rule.site for rule in build_rules(13, "sharded")}
+        assert "worker" in local and "shard" not in local
+        assert {"shard", "lease", "steal"} <= sharded
+
+    def test_sharded_drill_passes_the_acceptance_bar(self):
+        from repro.resilience.drill import run_drill
+
+        summary = run_drill(seed=1, backend="sharded")
+        assert summary["ok"], summary["incidents"]
+        assert summary["identical"] and summary["recovered"]
+        assert summary["shards"] == 4
