@@ -169,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser(
         "cache", help="manage the persistent trace cache ($REPRO_CACHE_DIR)"
     )
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "clear", "migrate"])
     cache.add_argument(
         "--dir",
         default=None,
@@ -1088,15 +1088,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         counts = cast(Dict[str, int], stats["entries"])
         kind_bytes = cast(Dict[str, int], stats["kind_bytes"])
         total_bytes = cast(int, stats["total_bytes"])
+        format_entries = cast(Dict[str, int], stats["format_entries"])
+        quarantined = cast(int, stats["quarantined"])
         print(f"cache directory : {stats['dir']}")
         print(f"entries         : {sum(counts.values())}")
         print(f"size            : {total_bytes / KB:.1f}KB")
         for kind, count in sorted(counts.items()):
             print(f"  {kind:<8}: {count} entries, {kind_bytes[kind] / KB:.1f}KB")
+        print(
+            f"trace formats   : "
+            f"{format_entries['v2']} v2 (mmap), {format_entries['v1']} v1 (npz)"
+        )
+        if quarantined:
+            quarantine_bytes = cast(int, stats["quarantine_bytes"])
+            print(
+                f"quarantine      : {quarantined} entries, "
+                f"{quarantine_bytes / KB:.1f}KB (undeletable corrupt entries; "
+                f"'repro cache clear' removes them)"
+            )
         print(f"session hits    : {stats['session_hits']}")
         print(f"session misses  : {stats['session_misses']}")
         if stats["writes_disabled"]:
             print("writes          : DISABLED (earlier write failure)")
+    elif args.action == "migrate":
+        outcome = store.migrate()
+        print(
+            f"migrated {outcome['migrated']} legacy entries to format "
+            f"v{store.FORMAT_VERSION} in {store.root} "
+            f"({outcome['skipped']} already current or kept, "
+            f"{outcome['discarded']} corrupt discarded)"
+        )
     else:
         removed = store.clear()
         print(f"removed {removed} entries from {store.root}")

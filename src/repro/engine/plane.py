@@ -1,0 +1,265 @@
+"""Shared-memory trace plane: publish derived arrays once, attach everywhere.
+
+A parallel grid forks one worker per chunk/shard, and each worker used to
+load (or re-derive) its benchmark's trace arrays privately — per process,
+per attempt.  The :class:`TraceArena` turns the supervisor into a
+publisher: each benchmark's block-trace and line-event arrays are packed
+**once** into :mod:`multiprocessing.shared_memory` segments keyed by the
+store content key, and every worker attaches zero-copy read-only views
+instead of making its own copies.
+
+Lifecycle contract:
+
+* the **supervisor owns every segment**: it publishes before launching
+  workers and unlinks all segments in a ``finally`` (plus an ``atexit``
+  backstop), so no run can leak ``/dev/shm`` space;
+* **workers never close or unlink**: they detach implicitly at process
+  exit, and they unregister their attachment from Python's
+  ``resource_tracker`` (which would otherwise "helpfully" unlink the
+  supervisor's segment when the first worker exits);
+* publication is **best effort and warm-only**: only artifacts already
+  resident in the parent (in-process memo or a persistent-store hit) are
+  published — a cold benchmark is left to the workers, which derive and
+  persist it exactly as before, so the parent never serialises cold
+  derivation;
+* attachment is **fallible by design**: the ``plane.attach`` chaos site
+  sits on the attach path, and any failure (injected or real — segment
+  gone, exotic platform, no ``/dev/shm``) degrades that artifact to the
+  per-worker store/derive path with bit-identical results.
+
+``REPRO_PLANE=off`` (or ``0``/``none``/empty) disables the arena.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.resilience.chaos import chaos_point
+from repro.trace.events import LineEventTrace
+from repro.trace.executor import BlockTrace
+
+__all__ = ["PlaneClient", "TraceArena", "plane_enabled"]
+
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+
+#: Handles are plain picklable dicts so they cross the worker ``spawn``
+#: boundary untouched: segment name, artifact kind, scalar metadata, and
+#: the (field, dtype, length, offset) layout of each packed array.
+Handle = Dict[str, Any]
+
+_ALIGN = 64
+
+
+def plane_enabled() -> bool:
+    """Whether the shared-memory plane is enabled (``REPRO_PLANE``)."""
+    value = os.environ.get("REPRO_PLANE", "on").strip().lower()
+    return value not in _DISABLED_VALUES
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _unregister(shm: shared_memory.SharedMemory) -> None:
+    # Attaching registers the segment with this process's resource
+    # tracker, which unlinks it at process exit — yanking the mapping out
+    # from under every sibling.  The supervisor owns the lifecycle.
+    try:
+        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:
+        pass
+
+
+def _reregister(shm: shared_memory.SharedMemory) -> None:
+    # Forked workers share the supervisor's tracker process, so a worker's
+    # unregister above removed the supervisor's registration too.  Restore
+    # it (a set add — idempotent) right before unlink, whose own internal
+    # unregister would otherwise trip a KeyError inside the tracker.
+    try:
+        resource_tracker.register(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:
+        pass
+
+
+class TraceArena:
+    """Supervisor-side owner of the published shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._handles: Dict[str, Handle] = {}
+        self._closed = False
+        atexit.register(self.close)
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def handles(self) -> Dict[str, Handle]:
+        """Picklable attachment handles, keyed by store content key."""
+        return dict(self._handles)
+
+    def _publish(
+        self,
+        key: str,
+        kind: str,
+        scalars: Mapping[str, Any],
+        fields: Sequence[Tuple[str, np.ndarray]],
+    ) -> int:
+        if self._closed or key in self._handles:
+            return 0
+        layout: List[Tuple[str, str, int, int]] = []
+        offset = 0
+        for name, array in fields:
+            offset = _aligned(offset)
+            layout.append((name, str(array.dtype), int(array.shape[0]), offset))
+            offset += int(array.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        try:
+            for (name, dtype, length, start), (_, array) in zip(layout, fields):
+                view: np.ndarray = np.ndarray(
+                    (length,), dtype=np.dtype(dtype), buffer=shm.buf, offset=start
+                )
+                view[:] = array
+                del view  # drop the buffer export before any close()
+        except BaseException:
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+            raise
+        self._segments.append(shm)
+        self._handles[key] = {
+            "segment": shm.name,
+            "kind": kind,
+            "key": key,
+            "scalars": dict(scalars),
+            "arrays": layout,
+        }
+        return 1
+
+    def publish_events(self, key: str, events: LineEventTrace) -> int:
+        """Publish a line-event trace; returns 1 if a segment was created."""
+        return self._publish(
+            key,
+            "events",
+            {"line_size": int(events.line_size)},
+            [
+                ("line_addrs", np.ascontiguousarray(events.line_addrs)),
+                ("counts", np.ascontiguousarray(events.counts)),
+                ("slots", np.ascontiguousarray(events.slots)),
+            ],
+        )
+
+    def publish_block_trace(self, key: str, trace: BlockTrace) -> int:
+        """Publish a block trace; returns 1 if a segment was created."""
+        return self._publish(
+            key,
+            "blocks",
+            {
+                "program_name": str(trace.program_name),
+                "num_instructions": int(trace.num_instructions),
+                "num_program_runs": int(trace.num_program_runs),
+            },
+            [("uids", np.ascontiguousarray(trace.uids))],
+        )
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; also the ``atexit`` backstop)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            _reregister(shm)
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._segments = []
+        self._handles = {}
+
+
+class PlaneClient:
+    """Worker-side zero-copy attachment to a published arena.
+
+    Every accessor returns ``None`` on any failure — unknown key, injected
+    ``plane.attach`` fault, vanished segment — so callers always have the
+    store/derive path as a bit-identical fallback.  ``attached``/
+    ``degraded`` count outcomes for the grid summary.
+    """
+
+    def __init__(self, handles: Mapping[str, Handle]):
+        self._handles: Dict[str, Handle] = dict(handles)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self.attached = 0
+        self.degraded = 0
+
+    def _segment(self, name: str) -> shared_memory.SharedMemory:
+        shm = self._segments.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name)
+            _unregister(shm)
+            # Keep the mapping open for the life of the process: the views
+            # handed out below alias its buffer.
+            self._segments[name] = shm
+        return shm
+
+    def _arrays(self, handle: Handle) -> Dict[str, np.ndarray]:
+        shm = self._segment(str(handle["segment"]))
+        out: Dict[str, np.ndarray] = {}
+        for name, dtype, length, offset in handle["arrays"]:
+            view: np.ndarray = np.ndarray(
+                (int(length),),
+                dtype=np.dtype(str(dtype)),
+                buffer=shm.buf,
+                offset=int(offset),
+            )
+            view.setflags(write=False)
+            out[str(name)] = view
+        return out
+
+    def events(self, key: str) -> Optional[LineEventTrace]:
+        handle = self._handles.get(key)
+        if handle is None or handle.get("kind") != "events":
+            return None
+        try:
+            chaos_point("plane.attach", f"events:{key}")
+            arrays = self._arrays(handle)
+            trace = LineEventTrace(
+                line_size=int(handle["scalars"]["line_size"]),
+                line_addrs=arrays["line_addrs"],
+                counts=arrays["counts"],
+                slots=arrays["slots"],
+            )
+        except Exception:
+            self.degraded += 1
+            return None
+        self.attached += 1
+        return trace
+
+    def block_trace(self, key: str) -> Optional[BlockTrace]:
+        handle = self._handles.get(key)
+        if handle is None or handle.get("kind") != "blocks":
+            return None
+        try:
+            chaos_point("plane.attach", f"blocks:{key}")
+            arrays = self._arrays(handle)
+            scalars = handle["scalars"]
+            trace = BlockTrace(
+                program_name=str(scalars["program_name"]),
+                uids=arrays["uids"],
+                num_instructions=int(scalars["num_instructions"]),
+                num_program_runs=int(scalars["num_program_runs"]),
+            )
+        except Exception:
+            self.degraded += 1
+            return None
+        self.attached += 1
+        return trace

@@ -59,6 +59,12 @@ GUARDED: Tuple[Tuple[str, str], ...] = (
     # Deliberately not a wall-clock ratio: the sharded backend's guarded
     # property is bit-identity under injected shard crashes (1.0 or 0.0).
     ("grid.sharded_sweep", "chaos_identical"),
+    # Warm mmap (v2) vs npz-decompress (v1) store loads — same process,
+    # same trace, so the ratio is hardware-stable like the tiers above.
+    ("store.load_events", "warm_speedup"),
+    # Boolean: arena workers must not out-consume npz-copying workers
+    # (per-worker Pss growth; 1.0 or 0.0).
+    ("grid.arena_rss", "arena_no_worse"),
 )
 
 

@@ -33,6 +33,10 @@ site           where it fires
 ``transport``    the sharded backend's result-queue protocol (coordinator
                  receive and worker send; an injected fault degrades the
                  whole backend to :class:`LocalBackend`)
+``plane.attach`` a grid worker attaching a shared-memory trace segment in
+                 :class:`~repro.engine.plane.PlaneClient` (key
+                 ``kind:store-key``; recovery is the per-worker store/
+                 derive path, bit-identical)
 =============  ==========================================================
 
 Faults model the real failure surface: ``crash`` (the process dies with
@@ -97,6 +101,7 @@ _SITES = frozenset(
         "lease",
         "steal",
         "transport",
+        "plane.attach",
     }
 )
 _FAULTS = frozenset(

@@ -79,6 +79,9 @@ def build_rules(seed: int, backend: str = "local") -> Tuple[ChaosRule, ...]:
         ChaosRule("cell", "raise", times=-1, probability=0.2),
         ChaosRule("store.save", "enospc", times=1),
         ChaosRule("store.save", "truncate", match="events:", times=1),
+        # A shared-memory attach fails: the worker must degrade to its own
+        # store/derive path with bit-identical results.
+        ChaosRule("plane.attach", "raise", times=1),
     )
     if backend != "sharded":
         return (
@@ -130,6 +133,16 @@ def run_drill(
                 lease_timeout_s=_LEASE_TIMEOUT_S,
             ),
         )
+        # Warm exactly one benchmark's traces before the faults go live:
+        # the supervisor publishes warm artifacts into the shared-memory
+        # plane, giving the plane.attach rule a real attachment to hit,
+        # while the other benchmark stays cold and keeps exercising the
+        # per-worker derive-and-persist path under the store.save faults.
+        for cell in drill_cells():
+            if cell.benchmark != "crc":
+                continue
+            policy = runner._resolve_layout_policy(cell.scheme, cell.layout_policy)
+            runner.events(cell.benchmark, policy, cell.machine.icache.line_size)
         with chaos.active(config):
             got = runner.run_grid(drill_cells(), jobs=jobs)
     failures = list(runner.last_failures)

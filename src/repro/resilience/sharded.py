@@ -73,6 +73,7 @@ from repro.resilience.supervisor import (
     _merge_stats,
     _mp_context,
     _new_stats,
+    _peak_rss_kb,
     run_cells,
 )
 
@@ -285,6 +286,7 @@ def _shard_worker_main(
     spec: Dict[str, Any],
     config: ResilienceConfig,
     chaos_config: Optional[chaos.ChaosConfig],
+    plane_handles: Optional[Dict[str, Any]],
     shard: Shard,
     attempt: int,
     worker_id: int,
@@ -298,6 +300,7 @@ def _shard_worker_main(
     ladder of :func:`~repro.resilience.supervisor.run_cells` applies, so
     sharding never weakens per-cell recovery.
     """
+    rss_baseline = _peak_rss_kb()
     channel = _WorkerChannel(conn, worker_id, shard.shard_id)
     stop = threading.Event()
     try:
@@ -330,6 +333,10 @@ def _shard_worker_main(
         from repro.experiments.runner import ExperimentRunner
 
         runner = ExperimentRunner(**spec)
+        if plane_handles:
+            from repro.engine.plane import PlaneClient
+
+            runner.plane = PlaneClient(plane_handles)
         failures: List[FailureReport] = []
         stats = _new_stats()
         error: Optional[str] = None
@@ -354,6 +361,11 @@ def _shard_worker_main(
         store = getattr(runner, "store", None)
         if store is not None and getattr(store, "writes_disabled", False):
             stats["store_degraded"] = str(store.root)
+        plane = getattr(runner, "plane", None)
+        if plane is not None:
+            stats["plane_attached"] = int(getattr(plane, "attached", 0))
+            stats["plane_degraded"] = int(getattr(plane, "degraded", 0))
+        stats["peak_rss_kb"] = max(0, _peak_rss_kb() - rss_baseline)
         channel.send(
             "done",
             failures=[asdict(failure) for failure in failures],
@@ -415,6 +427,9 @@ class _Coordinator:
         self._journal = journal
         self._context = _mp_context()
         self._chaos = chaos.current()
+        self._plane: Optional[Dict[str, Any]] = getattr(
+            runner, "plane_handles", None
+        )
         self._by_key: Dict[str, "GridCell"] = {}
         for shard in shards:
             for cell in shard.cells:
@@ -489,6 +504,7 @@ class _Coordinator:
                 self._spec,
                 self._config,
                 self._chaos,
+                self._plane,
                 shard,
                 attempt,
                 worker_id,

@@ -104,6 +104,15 @@ class GridSummary:
     backend: str = "local"
     shards: int = 0
     duplicate_results: int = 0
+    #: Shared-memory trace plane (see :mod:`repro.engine.plane`): arena
+    #: attachments made by workers, attachments that degraded to the
+    #: per-worker load path, and the largest memory growth of any worker
+    #: process over its at-spawn baseline (KB; proportional set size on
+    #: Linux, so shared trace pages are billed fractionally) — the
+    #: per-worker data-plane footprint.
+    plane_attached: int = 0
+    plane_degraded: int = 0
+    peak_worker_rss_kb: int = 0
 
 
 def _new_stats() -> Dict[str, Any]:
@@ -115,8 +124,41 @@ def _new_stats() -> Dict[str, Any]:
         "certificates": [],
         "shards": 0,
         "duplicates": 0,
+        "plane_attached": 0,
+        "plane_degraded": 0,
+        "peak_rss_kb": 0,
         "store_degraded": None,
     }
+
+
+def _peak_rss_kb() -> int:
+    """This process's memory footprint in KB (0 where unavailable).
+
+    Workers sample this at entry and at exit; the difference — the growth
+    attributable to the worker's own loads and replay — is what the grid
+    summary aggregates, cancelling whatever the parent had resident at
+    fork time.  On Linux the sample is Pss from ``smaps_rollup``, which
+    attributes pages shared between siblings (the trace plane's segments,
+    mmap'd v2 store entries) fractionally — plain RSS bills a shared page
+    at full price in every attached worker, hiding the sharing entirely.
+    Elsewhere it falls back to peak RSS via ``ru_maxrss``.
+    """
+    try:
+        with open("/proc/self/smaps_rollup", "rb") as rollup:
+            for line in rollup:
+                if line.startswith(b"Pss:"):
+                    return int(line.split()[1])
+    except Exception:
+        pass
+    try:
+        import resource
+
+        peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return 0
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KB on Linux
+        peak //= 1024
+    return peak
 
 
 def _merge_stats(into: Dict[str, Any], other: Dict[str, Any]) -> None:
@@ -126,6 +168,15 @@ def _merge_stats(into: Dict[str, Any], other: Dict[str, Any]) -> None:
     into["certificates"].extend(other.get("certificates", []))
     into["shards"] = into.get("shards", 0) + other.get("shards", 0)
     into["duplicates"] = into.get("duplicates", 0) + other.get("duplicates", 0)
+    into["plane_attached"] = into.get("plane_attached", 0) + other.get(
+        "plane_attached", 0
+    )
+    into["plane_degraded"] = into.get("plane_degraded", 0) + other.get(
+        "plane_degraded", 0
+    )
+    into["peak_rss_kb"] = max(
+        into.get("peak_rss_kb", 0), other.get("peak_rss_kb", 0)
+    )
     degraded = other.get("store_degraded")
     if degraded:
         # Workers suppress their own copy of the cache-degradation warning
@@ -363,6 +414,7 @@ def _chunk_worker_main(
     spec: Dict[str, Any],
     config: ResilienceConfig,
     chaos_config: Optional[chaos.ChaosConfig],
+    plane_handles: Optional[Dict[str, Any]],
     benchmark: str,
     attempt: int,
     cells: Tuple["GridCell", ...],
@@ -376,6 +428,7 @@ def _chunk_worker_main(
     ``stats`` carries the chunk's planner decisions (see
     :func:`_new_stats`).
     """
+    rss_baseline = _peak_rss_kb()
     results: List[Tuple[int, SimulationReport]] = []
     failures: List[FailureReport] = []
     stats = _new_stats()
@@ -392,6 +445,10 @@ def _chunk_worker_main(
         from repro.experiments.runner import ExperimentRunner
 
         runner = ExperimentRunner(**spec)
+        if plane_handles:
+            from repro.engine.plane import PlaneClient
+
+            runner.plane = PlaneClient(plane_handles)
 
         def emit(index: int, report: SimulationReport) -> None:
             results.append((index, report))
@@ -404,6 +461,11 @@ def _chunk_worker_main(
         store = getattr(runner, "store", None)
         if store is not None and getattr(store, "writes_disabled", False):
             stats["store_degraded"] = str(store.root)
+        plane = getattr(runner, "plane", None)
+        if plane is not None:
+            stats["plane_attached"] = int(getattr(plane, "attached", 0))
+            stats["plane_degraded"] = int(getattr(plane, "degraded", 0))
+        stats["peak_rss_kb"] = max(0, _peak_rss_kb() - rss_baseline)
         conn.send(("done", results, failures, error, stats))
     except BaseException as exc:  # noqa: B036 - report, then die
         try:
@@ -480,6 +542,7 @@ def _run_parallel(
     context = _mp_context()
     spec = runner.spawn_spec()
     chaos_config = chaos.current()
+    plane_handles = getattr(runner, "plane_handles", None)
     pending = list(chunks)
     active: List[_Active] = []
     exhausted: List[_Chunk] = []
@@ -493,6 +556,7 @@ def _run_parallel(
                 spec,
                 config,
                 chaos_config,
+                plane_handles,
                 chunk.benchmark,
                 chunk.attempts,
                 tuple(chunk.cells),
@@ -721,9 +785,36 @@ def supervise_grid(
             if journal is not None:
                 journal.flush()
 
-        exhausted = backend.run(
-            runner, chunks, jobs, config, failures, adopt_and_flush, stats, journal
-        )
+        # Publish the pending cells' warm trace arrays into a shared-memory
+        # arena so workers attach zero-copy instead of re-loading (see
+        # repro.engine.plane).  Best effort: any failure just means workers
+        # use their own load path, bit-identically.
+        arena = None
+        if hasattr(runner, "publish_plane"):
+            try:
+                from repro.engine import plane as plane_module
+
+                if plane_module.plane_enabled():
+                    arena = plane_module.TraceArena()
+                    pending_all = [
+                        cell for group in pending.values() for cell in group
+                    ]
+                    if runner.publish_plane(arena, pending_all) == 0:
+                        arena.close()
+                        arena = None
+            except Exception:
+                if arena is not None:
+                    arena.close()
+                arena = None
+        try:
+            runner.plane_handles = arena.handles() if arena is not None else None
+            exhausted = backend.run(
+                runner, chunks, jobs, config, failures, adopt_and_flush, stats, journal
+            )
+        finally:
+            runner.plane_handles = None
+            if arena is not None:
+                arena.close()
         for chunk in exhausted:
             before = len(failed)
             run_in_process(chunk.benchmark, chunk.cells)
@@ -758,6 +849,9 @@ def supervise_grid(
         backend=config.backend,
         shards=stats["shards"],
         duplicate_results=stats["duplicates"],
+        plane_attached=stats["plane_attached"],
+        plane_degraded=stats["plane_degraded"],
+        peak_worker_rss_kb=stats["peak_rss_kb"],
     )
     if failed:
         if journal is not None:

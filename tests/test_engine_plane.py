@@ -1,0 +1,217 @@
+"""Tests for the shared-memory trace plane (:mod:`repro.engine.plane`).
+
+Unit level: publish/attach roundtrips are bit-identical and read-only,
+segments are unlinked on close, unknown keys and injected ``plane.attach``
+faults degrade to ``None`` (the caller's store/derive fallback).  Grid
+level: parallel runs on both backends attach published traces zero-copy
+and stay bit-identical to serial runs — with the plane disabled, under
+chaos, and with the arena active.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.engine.grid import GridCell
+from repro.engine.plane import PlaneClient, TraceArena, plane_enabled
+from repro.experiments.runner import ExperimentRunner
+from repro.layout import original_layout
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosConfig, ChaosRule
+from repro.resilience.drill import run_drill
+from repro.resilience.policy import ResilienceConfig
+from repro.trace.executor import CfgWalker
+from repro.trace.fetch import line_events_from_block_trace
+
+KB = 1024
+
+CELLS = [
+    GridCell("crc", "baseline"),
+    GridCell("crc", "way-placement", wpa_size=8 * KB),
+    GridCell("sha", "baseline"),
+    GridCell("sha", "way-placement", wpa_size=8 * KB),
+]
+
+SHARDED = ResilienceConfig(
+    retries=3,
+    backoff_s=0.01,
+    timeout_s=10.0,
+    backend="sharded",
+    lease_timeout_s=0.5,
+)
+
+
+@pytest.fixture()
+def traced(toy_program, toy_models):
+    trace = CfgWalker(toy_program, toy_models, seed=0).walk(800)
+    layout = original_layout(toy_program)
+    events = line_events_from_block_trace(trace, toy_program, layout, 32)
+    return trace, events
+
+
+@pytest.fixture()
+def arena():
+    arena = TraceArena()
+    yield arena
+    arena.close()
+
+
+def make_runner(cache_dir, **kwargs):
+    kwargs.setdefault("eval_instructions", 8_000)
+    kwargs.setdefault("profile_instructions", 4_000)
+    return ExperimentRunner(cache_dir=cache_dir, **kwargs)
+
+
+class TestArenaAndClient:
+    def test_publish_attach_roundtrip_is_identical_and_readonly(
+        self, arena, traced
+    ):
+        trace, events = traced
+        assert arena.publish_block_trace("bk", trace) == 1
+        assert arena.publish_events("ek", events) == 1
+        assert arena.publish_events("ek", events) == 0  # duplicate: no-op
+        assert len(arena) == 2
+
+        client = PlaneClient(arena.handles())
+        got_trace = client.block_trace("bk")
+        assert got_trace is not None
+        assert got_trace.program_name == trace.program_name
+        assert got_trace.num_instructions == trace.num_instructions
+        assert got_trace.num_program_runs == trace.num_program_runs
+        assert np.array_equal(got_trace.uids, trace.uids)
+        assert got_trace.uids.flags.writeable is False
+
+        got_events = client.events("ek")
+        assert got_events is not None
+        assert got_events.line_size == events.line_size
+        assert np.array_equal(got_events.line_addrs, events.line_addrs)
+        assert np.array_equal(got_events.counts, events.counts)
+        assert np.array_equal(got_events.slots, events.slots)
+        assert got_events.line_addrs.flags.writeable is False
+        assert client.attached == 2 and client.degraded == 0
+
+    def test_close_unlinks_every_segment_and_is_idempotent(self, traced):
+        trace, events = traced
+        arena = TraceArena()
+        arena.publish_block_trace("bk", trace)
+        arena.publish_events("ek", events)
+        names = [handle["segment"] for handle in arena.handles().values()]
+        assert len(names) == 2
+        arena.close()
+        assert len(arena) == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        arena.close()  # second close is a no-op
+        # a closed arena refuses new publications
+        assert arena.publish_block_trace("bk2", trace) == 0
+
+    def test_unknown_key_and_kind_mismatch_return_none(self, arena, traced):
+        trace, events = traced
+        arena.publish_block_trace("bk", trace)
+        arena.publish_events("ek", events)
+        client = PlaneClient(arena.handles())
+        assert client.block_trace("missing") is None
+        assert client.events("missing") is None
+        # key exists but holds the other artifact kind
+        assert client.events("bk") is None
+        assert client.block_trace("ek") is None
+        # unpublished keys are silent misses, not degradations
+        assert client.attached == 0 and client.degraded == 0
+
+    def test_vanished_segment_degrades_to_none(self, traced):
+        trace, _ = traced
+        arena = TraceArena()
+        arena.publish_block_trace("bk", trace)
+        handles = arena.handles()
+        arena.close()  # segment gone before the worker attaches
+        client = PlaneClient(handles)
+        assert client.block_trace("bk") is None
+        assert client.degraded == 1
+
+    def test_chaos_attach_fault_degrades_then_recovers(self, arena, traced):
+        trace, _ = traced
+        arena.publish_block_trace("bk", trace)
+        client = PlaneClient(arena.handles())
+        rule = ChaosRule("plane.attach", "raise", times=1)
+        with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
+            assert client.block_trace("bk") is None
+            assert client.degraded == 1
+            # the fault was one-shot: the next attach succeeds
+            assert client.block_trace("bk") is not None
+        assert client.attached == 1
+
+    def test_plane_enabled_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLANE", raising=False)
+        assert plane_enabled() is True
+        for value in ("off", "0", "none", "", "OFF", "disabled"):
+            monkeypatch.setenv("REPRO_PLANE", value)
+            assert plane_enabled() is False
+        monkeypatch.setenv("REPRO_PLANE", "on")
+        assert plane_enabled() is True
+
+
+class TestGridIntegration:
+    def _warm(self, cache):
+        """Serial warm-up run: fills the store so the plane can publish."""
+        runner = make_runner(cache)
+        return runner.run_grid(CELLS, jobs=1)
+
+    def test_local_backend_attaches_and_matches_serial(self, tmp_path):
+        cache = tmp_path / "cache"
+        want = self._warm(cache)
+        parallel = make_runner(cache)
+        got = parallel.run_grid(CELLS, jobs=2)
+        for a, b in zip(want, got):
+            assert a.counters == b.counters
+            assert a.cycles == b.cycles
+        grid = parallel.last_grid
+        assert grid is not None
+        assert grid.plane_attached > 0
+        assert grid.plane_degraded == 0
+
+    def test_sharded_backend_attaches_and_matches_serial(self, tmp_path):
+        cache = tmp_path / "cache"
+        want = self._warm(cache)
+        parallel = make_runner(cache, resilience=SHARDED)
+        got = parallel.run_grid(CELLS, jobs=2)
+        for a, b in zip(want, got):
+            assert a.counters == b.counters
+        grid = parallel.last_grid
+        assert grid is not None
+        assert grid.plane_attached > 0
+
+    def test_plane_off_env_disables_publication(self, tmp_path, monkeypatch):
+        cache = tmp_path / "cache"
+        want = self._warm(cache)
+        monkeypatch.setenv("REPRO_PLANE", "off")
+        parallel = make_runner(cache)
+        got = parallel.run_grid(CELLS, jobs=2)
+        for a, b in zip(want, got):
+            assert a.counters == b.counters
+        grid = parallel.last_grid
+        assert grid is not None
+        assert grid.plane_attached == 0 and grid.plane_degraded == 0
+
+    def test_cold_cache_publishes_nothing_but_still_matches(self, tmp_path):
+        """Publication is warm-only: a cold store leaves the workers on
+        their own derive-and-persist path, bit-identically."""
+        want = make_runner("off").run_grid(CELLS, jobs=1)
+        parallel = make_runner(tmp_path / "cold-cache")
+        got = parallel.run_grid(CELLS, jobs=2)
+        for a, b in zip(want, got):
+            assert a.counters == b.counters
+        grid = parallel.last_grid
+        assert grid is not None
+        assert grid.plane_attached == 0
+
+    @pytest.mark.parametrize("backend", ["local", "sharded"])
+    def test_chaos_drill_stays_bit_identical_with_plane_faults(self, backend):
+        """The standard drill (which includes a ``plane.attach`` fault on a
+        published artifact) passes its acceptance bar on both backends."""
+        summary = run_drill(seed=5, backend=backend)
+        assert any("plane.attach" in line for line in summary["schedule"])
+        assert summary["identical"] and summary["recovered"]

@@ -1,7 +1,6 @@
 """Tests for the persistent artifact cache and the parallel grid runner."""
 
 import json
-import os
 import warnings
 
 import numpy as np
@@ -17,7 +16,12 @@ from repro.layout import original_layout
 from repro.layout.placement import LayoutPolicy
 from repro.trace.executor import CfgWalker
 from repro.trace.fetch import line_events_from_block_trace
-from repro.trace.io import load_block_trace, save_block_trace
+from repro.trace.io import (
+    load_block_trace,
+    save_block_trace,
+    save_block_trace_v2,
+    save_events,
+)
 
 KB = 1024
 
@@ -102,7 +106,14 @@ class TestTraceStore:
     def test_corrupted_entry_is_deleted_and_misses(self, store, traced):
         trace, _ = traced
         path = store.save_block_trace("k1", trace)
-        path.write_bytes(b"not an npz archive")
+        (path / "uids.npy").write_bytes(b"not an npy member")
+        assert store.load_block_trace("k1") is None
+        assert not path.exists()
+
+    def test_entry_missing_its_meta_record_is_deleted(self, store, traced):
+        trace, _ = traced
+        path = store.save_block_trace("k1", trace)
+        (path / "meta.json").unlink()
         assert store.load_block_trace("k1") is None
         assert not path.exists()
 
@@ -112,7 +123,7 @@ class TestTraceStore:
         trace, _ = traced
         path = store.path_for("blocks", "k1")
         store.root.mkdir(parents=True, exist_ok=True)
-        save_block_trace(trace, path, key="something-else")
+        save_block_trace_v2(trace, path, key="something-else")
         assert store.load_block_trace("k1") is None
         assert not path.exists()
 
@@ -166,18 +177,22 @@ class TestStoreFailureModes:
     def test_concurrent_writer_race_never_exposes_partial_entries(
         self, store, traced
     ):
-        """Writers stage under pid-unique tmp names and publish with the
-        atomic ``os.replace``; a racing writer's final swap yields a valid
-        entry and readers never observe a partial one."""
+        """Writers stage under unique tmp names and publish atomically; a
+        racing writer of the same key concedes cleanly (directories cannot
+        atomically replace non-empty directories) and readers always see a
+        valid entry."""
         trace, _ = traced
         path = store.save_block_trace("k1", trace)
-        # a second process writes the same key concurrently
-        rival_tmp = path.with_name(f"{path.stem}.99999.tmp{path.suffix}")
-        save_block_trace(trace, rival_tmp, key="k1")
-        os.replace(rival_tmp, path)
+        # a second store (another process) writes the same key concurrently
+        rival = TraceStore(store.root)
+        assert rival.save_block_trace("k1", trace) == path
+        assert not rival.writes_disabled
         assert_same_block_trace(store.load_block_trace("k1"), trace)
-        # stray tmp files (a writer that died mid-stage) are not entries
+        # stray staging litter (a writer that died mid-stage) is not an entry
         (store.root / "blocks-dead.12345.tmp.npz").write_bytes(b"partial")
+        dead_dir = store.root / "blocks-dead.67890.tmp.v2"
+        dead_dir.mkdir()
+        (dead_dir / "uids.npy").write_bytes(b"partial")
         assert store.entries()["blocks"] == 1
 
     def test_write_failure_degrades_to_cache_off_with_one_warning(
@@ -217,15 +232,21 @@ class TestStoreFailureModes:
     def test_undeletable_corrupt_entry_is_quarantined(self, store, traced):
         trace, _ = traced
         path = store.save_block_trace("k1", trace)
-        path.write_bytes(b"not an npz archive")
+        (path / "uids.npy").write_bytes(b"not an npy member")
         rule = ChaosRule("store.discard", "eacces", match=path.name, times=-1)
         with chaos.active(ChaosConfig(seed=0, rules=(rule,))):
             assert store.load_block_trace("k1") is None
-        # moved aside, never resolvable again, invisible to management
+        # moved aside, never resolvable again, invisible to entry counts
         assert not path.exists()
         assert (store.root / "quarantine" / path.name).exists()
         assert store.entries()["blocks"] == 0
-        assert store.clear() == 0
+        # but stats() surfaces it, and clear() empties the quarantine
+        stats = store.stats()
+        assert stats["quarantined"] == 1
+        assert stats["quarantine_bytes"] > 0
+        assert store.clear() == 1
+        assert not (store.root / "quarantine").exists()
+        assert store.stats()["quarantined"] == 0
         assert store.load_block_trace("k1") is None  # plain miss now
 
     def test_transient_read_fault_keeps_the_entry(self, store, traced):
@@ -238,6 +259,127 @@ class TestStoreFailureModes:
             assert store.load_block_trace("k1") is None
         assert path.exists()
         assert_same_block_trace(store.load_block_trace("k1"), trace)
+
+
+class TestFormatV2AndMigration:
+    """Format v2 entry directories, the ``REPRO_STORE_FORMAT`` rollback
+    knob, and v1 -> v2 migration — read-through, bulk, and profiles."""
+
+    KEY = f"v{TraceStore.FORMAT_VERSION}|blocks|toy|seed=0"
+
+    def _plant_v1(self, store, trace, key):
+        """Write a v1-era block entry exactly where the old store kept it."""
+        legacy = store.legacy_path_for("blocks", key)
+        store.root.mkdir(parents=True, exist_ok=True)
+        save_block_trace(trace, legacy, key=TraceStore._legacy_key(key))
+        return legacy
+
+    def test_v2_entries_are_mmapable_directories(self, store, traced):
+        trace, _ = traced
+        path = store.save_block_trace("k1", trace)
+        assert path.is_dir() and path.suffix == ".v2"
+        assert (path / "meta.json").exists() and (path / "uids.npy").exists()
+        loaded = store.load_block_trace("k1")
+        assert_same_block_trace(loaded, trace)
+        assert loaded.uids.flags.writeable is False
+
+    def test_store_format_env_rolls_back_to_v1(self, tmp_path, traced, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FORMAT", "1")
+        store = TraceStore(tmp_path / "cache")
+        trace, events = traced
+        bpath = store.save_block_trace("k1", trace)
+        epath = store.save_events("k2", events)
+        assert bpath.suffix == ".npz" and bpath.is_file()
+        assert epath.suffix == ".npz"
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
+        loaded = store.load_events("k2")
+        assert_same_events(loaded, events)
+        # v1 loads obey the same read-only discipline as mmap'd v2 loads
+        assert loaded.line_addrs.flags.writeable is False
+        assert store.stats()["format_entries"] == {"v1": 2, "v2": 0}
+
+    def test_read_through_migration_republishes_v1_entries(self, store, traced):
+        trace, _ = traced
+        legacy = self._plant_v1(store, trace, self.KEY)
+        assert store.stats()["format_entries"] == {"v1": 1, "v2": 0}
+        loaded = store.load_block_trace(self.KEY)
+        assert_same_block_trace(loaded, trace)
+        assert store.hits == 1 and store.migrated == 1
+        # the legacy archive is gone; the v2 entry serves future readers
+        assert not legacy.exists()
+        assert store.path_for("blocks", self.KEY).is_dir()
+        assert store.stats()["format_entries"] == {"v1": 0, "v2": 1}
+        assert store.stats()["session_migrated"] == 1
+        fresh = TraceStore(store.root)
+        assert_same_block_trace(fresh.load_block_trace(self.KEY), trace)
+        assert fresh.migrated == 0  # already current: a plain v2 hit
+
+    def test_corrupt_v1_entry_is_discarded_not_migrated(self, store, traced):
+        trace, _ = traced
+        legacy = self._plant_v1(store, trace, self.KEY)
+        legacy.write_bytes(b"torn v1 archive")
+        assert store.load_block_trace(self.KEY) is None
+        assert not legacy.exists()
+        assert not store.path_for("blocks", self.KEY).exists()
+
+    def test_same_key_npz_entries_migrate_too(self, tmp_path, traced, monkeypatch):
+        """Entries a ``REPRO_STORE_FORMAT=1`` store wrote under the
+        *current* key are also found and republished as v2."""
+        trace, _ = traced
+        monkeypatch.setenv("REPRO_STORE_FORMAT", "1")
+        old = TraceStore(tmp_path / "cache")
+        npz = old.save_block_trace(self.KEY, trace)
+        monkeypatch.delenv("REPRO_STORE_FORMAT")
+        store = TraceStore(tmp_path / "cache")
+        assert_same_block_trace(store.load_block_trace(self.KEY), trace)
+        assert store.migrated == 1
+        assert not npz.exists()
+
+    def test_profile_read_through_migration(self, store, fast_runner):
+        profile = fast_runner.profile("crc")
+        key = f"v{TraceStore.FORMAT_VERSION}|profile|crc"
+        legacy = store.save_profile(TraceStore._legacy_key(key), profile)
+        assert legacy == store.legacy_path_for("profile", key)
+        loaded = store.load_profile(key)
+        assert loaded.block_counts == profile.block_counts
+        assert store.migrated == 1
+        assert not legacy.exists()
+        assert store.path_for("profile", key).exists()
+
+    def test_bulk_migrate_counts_and_rewrites_everything(self, store, traced):
+        trace, events = traced
+        self._plant_v1(store, trace, self.KEY)
+        ekey = f"v{TraceStore.FORMAT_VERSION}|events|toy|seed=0"
+        elegacy = store.legacy_path_for("events", ekey)
+        save_events(events, elegacy, key=TraceStore._legacy_key(ekey))
+        store.save_events("k2", events)  # already current
+        (store.root / "blocks-0badc0ffee.npz").write_bytes(b"junk")
+        outcome = store.migrate()
+        assert outcome == {"migrated": 2, "discarded": 1, "skipped": 1}
+        assert store.stats()["format_entries"] == {"v1": 0, "v2": 3}
+        assert_same_block_trace(store.load_block_trace(self.KEY), trace)
+        assert_same_events(store.load_events(ekey), events)
+
+    def test_tmp_staging_names_are_unique_within_a_process(self, store):
+        path = store.path_for("blocks", "k1")
+        names = {store._tmp_for(path).name for _ in range(64)}
+        assert len(names) == 64
+
+    def test_threaded_same_key_saves_never_collide(self, store, traced):
+        """Concurrent saves of one key used to stage under the same
+        pid-derived tmp name; the nonce makes each staging path unique and
+        the losers of the publish race concede cleanly."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        trace, _ = traced
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            paths = list(
+                pool.map(lambda _: store.save_block_trace("k1", trace), range(16))
+            )
+        assert all(path is not None for path in paths)
+        assert not store.writes_disabled
+        assert_same_block_trace(store.load_block_trace("k1"), trace)
+        assert not [p for p in store.root.iterdir() if ".tmp" in p.name]
 
 
 class TestDigests:
